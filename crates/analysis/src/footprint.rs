@@ -1,0 +1,152 @@
+//! Footprint models: how much data (elements, cache lines, TLB pages) a
+//! set of references touches inside a localized iteration space — the
+//! paper's `Footprint(Refs, loop, Tiles)`.
+//!
+//! The model is the standard bounding-box one: per dimension, the range
+//! of a subscript over the tile is `sum_v |coeff_v| * (trips_v - 1) + 1`,
+//! extended over a uniformly-generated group by the spread of its
+//! constant terms; the element footprint is the product of ranges.
+//! Line and page footprints account for contiguity of the leftmost
+//! dimension (column-major layout).
+
+use crate::nest::{NestInfo, RefInfo};
+use eco_ir::VarId;
+
+/// Iteration counts per loop inside the localized space. Loops absent
+/// from the map are treated as having the given default trip count.
+#[derive(Debug, Clone, Default)]
+pub struct Trips {
+    pairs: Vec<(VarId, u64)>,
+    default: u64,
+}
+
+impl Trips {
+    /// All loops default to `default` trips unless overridden.
+    pub fn with_default(default: u64) -> Self {
+        Trips {
+            pairs: Vec::new(),
+            default,
+        }
+    }
+
+    /// Sets the trip count of loop `v` (builder style).
+    #[must_use]
+    pub fn set(mut self, v: VarId, trips: u64) -> Self {
+        self.pairs.push((v, trips));
+        self
+    }
+
+    /// The trip count of loop `v`.
+    pub fn get(&self, v: VarId) -> u64 {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|&&(w, _)| w == v)
+            .map(|&(_, t)| t)
+            .unwrap_or(self.default)
+    }
+}
+
+/// The per-dimension index ranges spanned by a group of
+/// uniformly-generated references over `trips`.
+fn group_ranges(refs: &[&RefInfo], trips: &Trips) -> Vec<u64> {
+    let rank = refs[0].idx.len();
+    (0..rank)
+        .map(|d| {
+            let lin: u64 = refs[0].idx[d]
+                .terms()
+                .iter()
+                .map(|&(v, c)| c.unsigned_abs() * (trips.get(v).saturating_sub(1)))
+                .sum();
+            let cmin = refs
+                .iter()
+                .map(|r| r.idx[d].constant_part())
+                .min()
+                .expect("nonempty group");
+            let cmax = refs
+                .iter()
+                .map(|r| r.idx[d].constant_part())
+                .max()
+                .expect("nonempty group");
+            lin + (cmax - cmin) as u64 + 1
+        })
+        .collect()
+}
+
+/// Splits `refs` (indices into `nest.refs`) into uniformly-generated
+/// groups and returns one slice of [`RefInfo`] per group.
+fn grouped<'n>(nest: &'n NestInfo, refs: &[usize]) -> Vec<Vec<&'n RefInfo>> {
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    for &r in refs {
+        let g = nest.group_of(r);
+        if let Some(bucket) = out.iter_mut().find(|b| g.contains(&b[0])) {
+            if !bucket.contains(&r) {
+                bucket.push(r);
+            }
+        } else {
+            out.push(vec![r]);
+        }
+    }
+    out.into_iter()
+        .map(|b| b.into_iter().map(|r| &nest.refs[r]).collect())
+        .collect()
+}
+
+/// Distinct array elements touched by `refs` over `trips`
+/// (`Footprint` in double-precision words).
+pub fn footprint_doubles(nest: &NestInfo, refs: &[usize], trips: &Trips) -> u64 {
+    grouped(nest, refs)
+        .iter()
+        .map(|g| group_ranges(g, trips).iter().product::<u64>())
+        .sum()
+}
+
+/// Cache lines touched by `refs` over `trips`, for a line of
+/// `line_elems` doubles. Contiguity only helps in the leftmost
+/// dimension, and only for unit-stride subscripts.
+pub fn footprint_lines(nest: &NestInfo, refs: &[usize], trips: &Trips, line_elems: u64) -> u64 {
+    grouped(nest, refs)
+        .iter()
+        .map(|g| {
+            let ranges = group_ranges(g, trips);
+            let unit_stride = g[0].idx[0].terms().iter().all(|&(_, c)| c.abs() == 1);
+            let lines0 = if unit_stride {
+                ranges[0].div_ceil(line_elems) + 1 // +1: tile not line-aligned
+            } else {
+                ranges[0]
+            };
+            lines0 * ranges[1..].iter().product::<u64>()
+        })
+        .sum()
+}
+
+/// TLB pages touched by `refs` over `trips`, for pages of `page_elems`
+/// doubles and arrays whose contiguous (column) extent is
+/// `column_extent` elements.
+///
+/// Each combination of non-leading subscripts starts a fresh column walk,
+/// so a tile touching `r1` contiguous elements of a column costs
+/// `ceil(r1 / page_elems) + 1` pages unless whole columns are shorter
+/// than a page (then columns share pages).
+pub fn footprint_pages(
+    nest: &NestInfo,
+    refs: &[usize],
+    trips: &Trips,
+    page_elems: u64,
+    column_extent: u64,
+) -> u64 {
+    grouped(nest, refs)
+        .iter()
+        .map(|g| {
+            let ranges = group_ranges(g, trips);
+            let cols: u64 = ranges[1..].iter().product();
+            if column_extent <= page_elems {
+                // Several columns share one page.
+                let cols_per_page = (page_elems / column_extent).max(1);
+                cols.div_ceil(cols_per_page) + 1
+            } else {
+                (ranges[0].div_ceil(page_elems) + 1) * cols
+            }
+        })
+        .sum()
+}

@@ -1,0 +1,301 @@
+//! Compiler analyses for the ECO reproduction: the models that drive
+//! Phase 1 of the paper (variant derivation) and constrain Phase 2 (the
+//! guided empirical search).
+//!
+//! * [`NestInfo`] — extraction of the perfect nest, distinct references,
+//!   and uniformly-generated reuse groups;
+//! * [`reuse`] — Wolf–Lam reuse classification and the paper's
+//!   `MostProfitableLoops` / `MostProfitableRefs`;
+//! * [`dependence`] — SIV distance-vector analysis and permutation
+//!   legality;
+//! * [`footprint`] — element / cache-line / TLB-page footprint models
+//!   (`Footprint(Refs, loop, Tiles)` of Figure 3).
+//!
+//! # Examples
+//!
+//! The analysis reproduces the paper's choices for Matrix Multiply: `K`
+//! carries the register-level reuse (of `C[I,J]`), and `I`/`J` tie at the
+//! L1 level, producing the two variants of Table 4:
+//!
+//! ```
+//! use eco_analysis::{reuse, NestInfo};
+//! use eco_kernels::Kernel;
+//!
+//! let k = Kernel::matmul();
+//! let nest = NestInfo::from_program(&k.program)?;
+//! let all: Vec<usize> = (0..nest.refs.len()).collect();
+//! let vars = nest.loop_vars();
+//! let reg = reuse::most_profitable_loops(&nest, &vars, &all, &all);
+//! assert_eq!(reg.len(), 1);
+//! assert_eq!(k.program.var(reg[0]).name, "K");
+//! # Ok::<(), eco_analysis::NestError>(())
+//! ```
+
+mod nest;
+
+pub mod dependence;
+pub mod footprint;
+pub mod reuse;
+
+pub use nest::{NestError, NestInfo, RefInfo};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dependence::{dependences, permutation_is_legal, DepKind, Dist};
+    use eco_ir::VarId;
+    use eco_kernels::Kernel;
+    use footprint::{footprint_doubles, footprint_lines, footprint_pages, Trips};
+    use reuse::{
+        most_profitable_loops, most_profitable_refs, reuse_kind, temporal_savings, ReuseKind,
+    };
+
+    fn mm_nest() -> (Kernel, NestInfo) {
+        let k = Kernel::matmul();
+        let n = NestInfo::from_program(&k.program).expect("analyzable");
+        (k, n)
+    }
+
+    fn var(k: &Kernel, name: &str) -> VarId {
+        k.program.var_by_name(name).expect("var")
+    }
+
+    fn ref_idx(k: &Kernel, nest: &NestInfo, array: &str) -> usize {
+        let a = k.program.array_by_name(array).expect("array");
+        nest.refs.iter().position(|r| r.array == a).expect("ref")
+    }
+
+    #[test]
+    fn mm_refs_are_collapsed() {
+        let (k, nest) = mm_nest();
+        // C appears as read and write of the same ref: one entry.
+        assert_eq!(nest.refs.len(), 3);
+        let c = ref_idx(&k, &nest, "C");
+        assert_eq!(nest.refs[c].reads, 1);
+        assert_eq!(nest.refs[c].writes, 1);
+        assert!(nest.refs[c].is_reduction);
+        assert_eq!(nest.refs[c].accesses(), 2);
+    }
+
+    #[test]
+    fn mm_reuse_kinds() {
+        let (k, nest) = mm_nest();
+        let (i, j, kk) = (var(&k, "I"), var(&k, "J"), var(&k, "K"));
+        let (a, b, c) = (
+            ref_idx(&k, &nest, "A"),
+            ref_idx(&k, &nest, "B"),
+            ref_idx(&k, &nest, "C"),
+        );
+        assert_eq!(reuse_kind(&nest, c, kk), ReuseKind::SelfTemporal);
+        assert_eq!(reuse_kind(&nest, a, j), ReuseKind::SelfTemporal);
+        assert_eq!(reuse_kind(&nest, b, i), ReuseKind::SelfTemporal);
+        // A[I,K] is walked contiguously by I (column-major).
+        assert_eq!(reuse_kind(&nest, a, i), ReuseKind::SelfSpatial);
+        assert_eq!(reuse_kind(&nest, b, kk), ReuseKind::SelfSpatial);
+        assert_eq!(reuse_kind(&nest, b, j), ReuseKind::None);
+    }
+
+    #[test]
+    fn mm_register_loop_is_k() {
+        let (k, nest) = mm_nest();
+        let all: Vec<usize> = (0..3).collect();
+        let picked = most_profitable_loops(&nest, &nest.loop_vars(), &all, &all);
+        assert_eq!(picked, vec![var(&k, "K")]);
+        // C (2 accesses) beats A and B (1 each).
+        assert_eq!(temporal_savings(&nest, var(&k, "K"), &all), 2);
+        assert_eq!(temporal_savings(&nest, var(&k, "J"), &all), 1);
+    }
+
+    #[test]
+    fn mm_l1_level_ties_i_and_j_giving_two_variants() {
+        let (k, nest) = mm_nest();
+        let c = ref_idx(&k, &nest, "C");
+        let unmapped: Vec<usize> = (0..3).filter(|&r| r != c).collect();
+        let candidates = vec![var(&k, "J"), var(&k, "I")];
+        let picked = most_profitable_loops(&nest, &candidates, &unmapped, &[0, 1, 2]);
+        assert_eq!(picked.len(), 2, "the tie produces variants v1 and v2");
+    }
+
+    #[test]
+    fn mm_retained_refs_per_loop() {
+        let (k, nest) = mm_nest();
+        let (a, b, c) = (
+            ref_idx(&k, &nest, "A"),
+            ref_idx(&k, &nest, "B"),
+            ref_idx(&k, &nest, "C"),
+        );
+        let all = vec![a, b, c];
+        assert_eq!(most_profitable_refs(&nest, var(&k, "K"), &all), vec![c]);
+        let unmapped = vec![a, b];
+        assert_eq!(most_profitable_refs(&nest, var(&k, "I"), &unmapped), vec![b]);
+        assert_eq!(most_profitable_refs(&nest, var(&k, "J"), &unmapped), vec![a]);
+    }
+
+    #[test]
+    fn jacobi_groups_and_ties() {
+        let k = Kernel::jacobi3d();
+        let nest = NestInfo::from_program(&k.program).expect("analyzable");
+        // 1 write ref to A + 6 reads of B in one group.
+        assert_eq!(nest.refs.len(), 7);
+        assert_eq!(nest.groups.len(), 2);
+        let all: Vec<usize> = (0..7).collect();
+        let picked = most_profitable_loops(&nest, &nest.loop_vars(), &all, &all);
+        assert_eq!(picked.len(), 3, "all three loops carry equal reuse");
+        // Group-temporal: B[I-1,...] re-reads what B[I+1,...] touched two
+        // I-iterations earlier; B[I+1] is the group leader (and walks the
+        // contiguous dimension, so it has self-spatial reuse along I).
+        let b = k.program.array_by_name("B").expect("B");
+        let im1 = nest
+            .refs
+            .iter()
+            .position(|r| r.array == b && r.idx[0].constant_part() == -1)
+            .expect("B[I-1]");
+        let ip1 = nest
+            .refs
+            .iter()
+            .position(|r| r.array == b && r.idx[0].constant_part() == 1)
+            .expect("B[I+1]");
+        assert_eq!(
+            reuse_kind(&nest, im1, var(&k, "I")),
+            ReuseKind::GroupTemporal
+        );
+        assert_eq!(reuse_kind(&nest, ip1, var(&k, "I")), ReuseKind::SelfSpatial);
+        let (src, t) = reuse::group_source(&nest, im1, var(&k, "I")).expect("source");
+        assert_eq!(nest.refs[src].idx[0].constant_part(), 1);
+        assert_eq!(t, 2);
+    }
+
+    #[test]
+    fn mm_only_dependence_is_the_c_reduction() {
+        let (k, nest) = mm_nest();
+        let deps = dependences(&nest);
+        assert_eq!(deps.len(), 1);
+        let d = &deps[0];
+        assert!(d.is_reduction);
+        let c = ref_idx(&k, &nest, "C");
+        assert_eq!((d.src, d.dst), (c, c));
+        // distance: K any, J = 0, I = 0 (outermost-first order K,J,I)
+        assert_eq!(d.distance, vec![Dist::Any, Dist::Exact(0), Dist::Exact(0)]);
+        // All 3! permutations legal (reduction reordering permitted).
+        let (i, j, kk) = (var(&k, "I"), var(&k, "J"), var(&k, "K"));
+        for order in [
+            [i, j, kk],
+            [i, kk, j],
+            [j, i, kk],
+            [j, kk, i],
+            [kk, i, j],
+            [kk, j, i],
+        ] {
+            assert!(permutation_is_legal(&nest, &deps, &order));
+        }
+    }
+
+    #[test]
+    fn jacobi_has_no_dependences() {
+        let k = Kernel::jacobi3d();
+        let nest = NestInfo::from_program(&k.program).expect("analyzable");
+        assert!(dependences(&nest).is_empty());
+    }
+
+    #[test]
+    fn forward_stencil_dependence_blocks_reversal() {
+        // A[I] = A[I-1]: flow dep distance +1; order (I) legal, nothing
+        // else to permute, but the dep is found and classified.
+        use eco_ir::{AffineExpr, ArrayRef, Loop, Program, ScalarExpr, Stmt};
+        let mut p = Program::new("scan");
+        let n = p.add_param("N");
+        let i = p.add_loop_var("I");
+        let a = p.add_array("A", vec![AffineExpr::var(n)]);
+        p.body.push(Stmt::For(Loop {
+            var: i,
+            lo: 1.into(),
+            hi: (AffineExpr::var(n) - AffineExpr::constant(1)).into(),
+            step: 1,
+            body: vec![Stmt::Store {
+                target: ArrayRef::new(a, vec![AffineExpr::var(i)]),
+                value: ScalarExpr::Load(ArrayRef::new(
+                    a,
+                    vec![AffineExpr::var(i) - AffineExpr::constant(1)],
+                )),
+            }],
+        }));
+        let nest = NestInfo::from_program(&p).expect("analyzable");
+        let deps = dependences(&nest);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].kind, DepKind::Flow);
+        assert_eq!(deps[0].distance, vec![Dist::Exact(1)]);
+        assert!(!deps[0].is_reduction);
+        let wr = nest.refs.iter().position(|r| r.writes > 0).expect("write");
+        assert_eq!(deps[0].src, wr, "write is the source of the flow dep");
+    }
+
+    #[test]
+    fn mm_footprints() {
+        let (k, nest) = mm_nest();
+        let (a, b, c) = (
+            ref_idx(&k, &nest, "A"),
+            ref_idx(&k, &nest, "B"),
+            ref_idx(&k, &nest, "C"),
+        );
+        // Register tile: UI x UJ iterations, 1 iteration of K.
+        let trips = Trips::with_default(1)
+            .set(var(&k, "I"), 4)
+            .set(var(&k, "J"), 2);
+        assert_eq!(footprint_doubles(&nest, &[c], &trips), 8); // 4x2 block of C
+        assert_eq!(footprint_doubles(&nest, &[a], &trips), 4); // A[I..I+3, K]
+        assert_eq!(footprint_doubles(&nest, &[b], &trips), 2); // B[K, J..J+1]
+        assert_eq!(footprint_doubles(&nest, &[a, b, c], &trips), 14);
+        // L1 tile of B: TK x TJ.
+        let l1 = Trips::with_default(1)
+            .set(var(&k, "K"), 64)
+            .set(var(&k, "J"), 32);
+        assert_eq!(footprint_doubles(&nest, &[b], &l1), 64 * 32);
+        // 4-double lines: 64/4 + 1 alignment line per column.
+        assert_eq!(footprint_lines(&nest, &[b], &l1, 4), 17 * 32);
+    }
+
+    #[test]
+    fn jacobi_group_footprint_includes_halo() {
+        let k = Kernel::jacobi3d();
+        let nest = NestInfo::from_program(&k.program).expect("analyzable");
+        let b = k.program.array_by_name("B").expect("B");
+        let brefs: Vec<usize> = (0..nest.refs.len())
+            .filter(|&r| nest.refs[r].array == b)
+            .collect();
+        let trips = Trips::with_default(1)
+            .set(k.program.var_by_name("I").expect("I"), 10)
+            .set(k.program.var_by_name("J").expect("J"), 4);
+        // ranges: I: 10-1+2+1 = 12, J: 4-1+2+1 = 6, K: 1+2 = 3
+        assert_eq!(footprint_doubles(&nest, &brefs, &trips), 12 * 6 * 3);
+    }
+
+    #[test]
+    fn page_footprint_regimes() {
+        let (k, nest) = mm_nest();
+        let b = ref_idx(&k, &nest, "B");
+        let trips = Trips::with_default(1)
+            .set(var(&k, "K"), 64)
+            .set(var(&k, "J"), 8);
+        // Long columns (4096 >> 16-double pages): per-column page count.
+        let pages = footprint_pages(&nest, &[b], &trips, 16, 4096);
+        assert_eq!(pages, (64u64.div_ceil(16) + 1) * 8);
+        // Short columns (4 doubles per 16-double page): columns share.
+        let pages2 = footprint_pages(&nest, &[b], &trips, 16, 4);
+        assert_eq!(pages2, 8u64.div_ceil(4) + 1);
+    }
+
+    #[test]
+    fn nest_error_on_imperfect_program() {
+        use eco_ir::{AffineExpr, ArrayRef, Program, ScalarExpr, Stmt};
+        let mut p = Program::new("flat");
+        let a = p.add_array("A", vec![AffineExpr::constant(1)]);
+        p.body.push(Stmt::Store {
+            target: ArrayRef::new(a, vec![AffineExpr::constant(0)]),
+            value: ScalarExpr::Const(1.0),
+        });
+        match NestInfo::from_program(&p) {
+            Err(NestError::NotPerfectNest) => {}
+            other => panic!("expected NotPerfectNest, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Extraction of the analyzable view of a kernel: the perfect loop nest
+//! and its array references, with duplicate references collapsed and
+//! uniform-generated references grouped (the unit at which the paper's
+//! group-reuse analysis works).
+
+use eco_ir::{AffineExpr, ArrayId, NestLoop, Program, Stmt, VarId};
+
+/// One distinct array reference of the nest body, with how often it is
+/// read and written per innermost iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefInfo {
+    /// The referenced array.
+    pub array: ArrayId,
+    /// Affine subscripts (0-based, column-major: `idx[0]` contiguous).
+    pub idx: Vec<AffineExpr>,
+    /// Loads of exactly this reference per innermost iteration.
+    pub reads: u32,
+    /// Stores of exactly this reference per innermost iteration.
+    pub writes: u32,
+    /// True if the reference is read and written by the same statement
+    /// (`C[I,J] = C[I,J] + ...`): a reduction the paper's compiler may
+    /// reorder (cf. the `roundoff=3` flags of Table 3).
+    pub is_reduction: bool,
+}
+
+impl RefInfo {
+    /// Total accesses (loads + stores) per innermost iteration.
+    pub fn accesses(&self) -> u32 {
+        self.reads + self.writes
+    }
+
+    /// The coefficient of `v` in subscript dimension `d`.
+    pub fn coeff(&self, d: usize, v: VarId) -> i64 {
+        self.idx[d].coeff(v)
+    }
+
+    /// True if `v` appears in any subscript.
+    pub fn uses(&self, v: VarId) -> bool {
+        self.idx.iter().any(|e| e.uses(v))
+    }
+
+    /// The linear part of the subscripts (constants zeroed): two
+    /// references with equal linear parts are *uniformly generated* and
+    /// belong to one reuse group.
+    pub fn linear_part(&self) -> Vec<AffineExpr> {
+        self.idx.iter().map(|e| e.clone().shifted(-e.constant_part())).collect()
+    }
+
+    /// The constant part of each subscript.
+    pub fn constants(&self) -> Vec<i64> {
+        self.idx.iter().map(|e| e.constant_part()).collect()
+    }
+}
+
+/// The analyzable view of a kernel program.
+#[derive(Debug, Clone)]
+pub struct NestInfo {
+    /// Nest loops, outermost first.
+    pub loops: Vec<NestLoop>,
+    /// Distinct references of the body.
+    pub refs: Vec<RefInfo>,
+    /// Reuse groups: indices into `refs`, grouped by
+    /// `(array, linear part)`.
+    pub groups: Vec<Vec<usize>>,
+}
+
+/// Errors from nest extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NestError {
+    /// The program body is not a single perfect loop nest.
+    NotPerfectNest,
+    /// The program failed validation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for NestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NestError::NotPerfectNest => write!(f, "program is not a single perfect loop nest"),
+            NestError::Invalid(m) => write!(f, "invalid program: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NestError {}
+
+impl NestInfo {
+    /// Analyzes `program`, which must be a single perfect loop nest (the
+    /// shape of every kernel in `eco-kernels`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the program is invalid or not a perfect nest.
+    pub fn from_program(program: &Program) -> Result<NestInfo, NestError> {
+        program.validate().map_err(NestError::Invalid)?;
+        let (loops, body) = program.perfect_nest().ok_or(NestError::NotPerfectNest)?;
+        let mut refs: Vec<RefInfo> = Vec::new();
+        let mut upsert = |array: ArrayId, idx: &[AffineExpr], write: bool, reduction: bool| {
+            if let Some(r) = refs
+                .iter_mut()
+                .find(|r| r.array == array && r.idx == idx)
+            {
+                if write {
+                    r.writes += 1;
+                } else {
+                    r.reads += 1;
+                }
+                r.is_reduction |= reduction;
+            } else {
+                refs.push(RefInfo {
+                    array,
+                    idx: idx.to_vec(),
+                    reads: u32::from(!write),
+                    writes: u32::from(write),
+                    is_reduction: reduction,
+                });
+            }
+        };
+        for s in body {
+            match s {
+                Stmt::Store { target, value } => {
+                    // Reduction: the stored reference also appears as a load
+                    // of the same statement.
+                    let mut self_read = false;
+                    value.for_each_load(&mut |r| {
+                        self_read |= r == target;
+                    });
+                    value.for_each_load(&mut |r| {
+                        upsert(r.array, &r.idx, false, self_read && r == target);
+                    });
+                    upsert(target.array, &target.idx, true, self_read);
+                }
+                Stmt::SetTemp { value, .. } => {
+                    value.for_each_load(&mut |r| upsert(r.array, &r.idx, false, false));
+                }
+                Stmt::Prefetch { .. } => {}
+                Stmt::For(_) | Stmt::If { .. } => return Err(NestError::NotPerfectNest),
+            }
+        }
+        let mut groups: Vec<(ArrayId, Vec<AffineExpr>, Vec<usize>)> = Vec::new();
+        for (i, r) in refs.iter().enumerate() {
+            let lin = r.linear_part();
+            if let Some(g) = groups
+                .iter_mut()
+                .find(|(a, l, _)| *a == r.array && *l == lin)
+            {
+                g.2.push(i);
+            } else {
+                groups.push((r.array, lin, vec![i]));
+            }
+        }
+        Ok(NestInfo {
+            loops: loops.clone(),
+            refs,
+            groups: groups.into_iter().map(|(_, _, g)| g).collect(),
+        })
+    }
+
+    /// The loop variables, outermost first.
+    pub fn loop_vars(&self) -> Vec<VarId> {
+        self.loops.iter().map(|l| l.var).collect()
+    }
+
+    /// The innermost loop variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nest has no loops (impossible for a value built by
+    /// [`NestInfo::from_program`]).
+    pub fn innermost(&self) -> VarId {
+        self.loops.last().expect("nonempty nest").var
+    }
+
+    /// The group containing reference `r`.
+    pub fn group_of(&self, r: usize) -> &[usize] {
+        self.groups
+            .iter()
+            .find(|g| g.contains(&r))
+            .expect("every ref is grouped")
+    }
+}

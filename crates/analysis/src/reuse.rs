@@ -1,0 +1,220 @@
+//! Reuse analysis in the style of Wolf & Lam, plus the profitability
+//! functions of the paper's Figure 3 (`MostProfitableLoops`,
+//! `MostProfitableRefs`).
+//!
+//! For a reference `r` and loop `l`, the amount of reuse `R_l(r)` is
+//! `N_l` for temporal reuse, the cache line size for spatial reuse, and
+//! 1 otherwise (§3.1.1). Because every loop of our kernels has the same
+//! trip count, comparing loops by *how many accesses per iteration* their
+//! temporal reuse saves is equivalent to comparing total reuse — and it
+//! is what makes the algorithm pick `K` (which carries the reuse of the
+//! read-*and*-written `C[I,J]`) as the register loop for Matrix Multiply,
+//! exactly as in the paper's Table 4.
+
+use crate::nest::{NestInfo, RefInfo};
+use eco_ir::VarId;
+
+/// The kind of reuse a reference has with respect to one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReuseKind {
+    /// No reuse carried by the loop.
+    None,
+    /// Same element re-accessed across iterations (subscripts do not use
+    /// the loop variable).
+    SelfTemporal,
+    /// Same cache line re-accessed (loop variable strides the contiguous
+    /// dimension with coefficient 1 and appears nowhere else).
+    SelfSpatial,
+    /// The element was accessed a constant number of iterations earlier
+    /// by another reference of the same uniformly-generated group.
+    GroupTemporal,
+}
+
+/// Classifies the reuse reference `r` has in loop `v`.
+///
+/// Group-temporal takes precedence over self-spatial; self-temporal over
+/// both.
+pub fn reuse_kind(nest: &NestInfo, r: usize, v: VarId) -> ReuseKind {
+    let rf = &nest.refs[r];
+    if !rf.uses(v) {
+        return ReuseKind::SelfTemporal;
+    }
+    if group_source(nest, r, v).is_some() {
+        return ReuseKind::GroupTemporal;
+    }
+    if self_spatial(rf, v) {
+        return ReuseKind::SelfSpatial;
+    }
+    ReuseKind::None
+}
+
+/// True if `r` has self-spatial reuse along `v`: `v` appears only in the
+/// contiguous (leftmost) subscript, with coefficient 1.
+pub fn self_spatial(r: &RefInfo, v: VarId) -> bool {
+    if r.idx.is_empty() || r.coeff(0, v) != 1 {
+        return false;
+    }
+    r.idx[1..].iter().all(|e| !e.uses(v))
+}
+
+/// If `r`'s data was touched earlier (along loop `v`) by another member
+/// of its group, returns `(source reference, iteration distance)`.
+///
+/// `src` touches the same element `t > 0` iterations of `v` before `r`
+/// when, for every dimension `d`:
+/// `const(src)_d - const(r)_d = t * coeff_d(v)`.
+pub fn group_source(nest: &NestInfo, r: usize, v: VarId) -> Option<(usize, i64)> {
+    let rf = &nest.refs[r];
+    let mut best: Option<(usize, i64)> = None;
+    for &s in nest.group_of(r) {
+        if s == r {
+            continue;
+        }
+        let sf = &nest.refs[s];
+        if let Some(t) = uniform_distance(rf, sf, v) {
+            if t > 0 && best.is_none_or(|(_, bt)| t < bt) {
+                best = Some((s, t));
+            }
+        }
+    }
+    best
+}
+
+/// The iteration distance `t` along `v` such that `src` at iteration
+/// `i` touches what `r` touches at iteration `i + t`, for two
+/// uniformly-generated references. `None` if no integer distance exists.
+pub fn uniform_distance(r: &RefInfo, src: &RefInfo, v: VarId) -> Option<i64> {
+    let mut t: Option<i64> = None;
+    for d in 0..r.idx.len() {
+        let a = r.coeff(d, v);
+        let delta = src.idx[d].constant_part() - r.idx[d].constant_part();
+        if a == 0 {
+            if delta != 0 {
+                return None;
+            }
+        } else {
+            if delta % a != 0 {
+                return None;
+            }
+            let td = delta / a;
+            match t {
+                None => t = Some(td),
+                Some(prev) if prev != td => return None,
+                _ => {}
+            }
+        }
+    }
+    t
+}
+
+/// Accesses per innermost iteration that exploiting loop `v`'s temporal
+/// reuse would save, over the references in `candidates`.
+///
+/// Self-temporal references save all their accesses (a read-and-written
+/// accumulator like `C[I,J]` saves a load *and* a store per iteration);
+/// group-temporal followers save their loads.
+pub fn temporal_savings(nest: &NestInfo, v: VarId, candidates: &[usize]) -> u32 {
+    let mut total = 0;
+    for &r in candidates {
+        let rf = &nest.refs[r];
+        if !rf.uses(v) {
+            total += rf.accesses();
+        } else if group_source(nest, r, v)
+            .is_some_and(|(src, _)| candidates.contains(&src))
+        {
+            total += rf.reads;
+        }
+    }
+    total
+}
+
+/// Accesses per iteration whose *spatial* reuse loop `v` carries, used
+/// as the paper's tie-breaker.
+pub fn spatial_savings(nest: &NestInfo, v: VarId, candidates: &[usize]) -> u32 {
+    candidates
+        .iter()
+        .map(|&r| {
+            let rf = &nest.refs[r];
+            if rf.uses(v) && self_spatial(rf, v) {
+                rf.accesses()
+            } else {
+                0
+            }
+        })
+        .sum()
+}
+
+/// The paper's `MostProfitableLoops(Loops, Refs)`: among `candidates`,
+/// the loops carrying the most unexploited temporal reuse over
+/// `unmapped` references. Ties return multiple loops — one variant each.
+///
+/// §3.1.1 mentions spatial reuse as a tie-breaker, but the paper's own
+/// outputs show temporal ties surviving to produce variants (the I/J tie
+/// at Matrix Multiply's L1 level yields both v1 and v2 of Table 4, and
+/// "for Jacobi our approach generates variants with different loop
+/// orders, since all loops carry temporal reuse"). We therefore keep all
+/// temporally-tied loops — letting the empirical phase decide is the
+/// system's philosophy — and expose [`spatial_savings`] as a ranking
+/// hint for callers that want it.
+///
+/// If no unmapped reference has reuse, falls back to considering all
+/// references (the paper: "if no such references exist, the algorithm
+/// may select a reference that has already been mapped").
+pub fn most_profitable_loops(
+    nest: &NestInfo,
+    candidates: &[VarId],
+    unmapped: &[usize],
+    all_refs: &[usize],
+) -> Vec<VarId> {
+    let pick = |refs: &[usize]| -> Vec<VarId> {
+        let temporal: Vec<u32> = candidates
+            .iter()
+            .map(|&v| temporal_savings(nest, v, refs))
+            .collect();
+        let best = temporal.iter().copied().max().unwrap_or(0);
+        if best == 0 {
+            return Vec::new();
+        }
+        candidates
+            .iter()
+            .zip(&temporal)
+            .filter(|&(_, &t)| t == best)
+            .map(|(&v, _)| v)
+            .collect()
+    };
+    let first = pick(unmapped);
+    if !first.is_empty() {
+        first
+    } else {
+        pick(all_refs)
+    }
+}
+
+/// The paper's `MostProfitableRefs(l, Refs)`: the references among
+/// `candidates` whose temporal reuse loop `l` carries (self-temporal, or
+/// group-temporal from a source also in `candidates`).
+pub fn most_profitable_refs(nest: &NestInfo, l: VarId, candidates: &[usize]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for &r in candidates {
+        let rf = &nest.refs[r];
+        let has = !rf.uses(l)
+            || group_source(nest, r, l).is_some_and(|(src, _)| candidates.contains(&src));
+        if has {
+            out.push(r);
+        }
+    }
+    // Group-temporal followers pull their whole group in: the retained
+    // data tile must include the sources.
+    let mut closed = out.clone();
+    for &r in &out {
+        if nest.refs[r].uses(l) {
+            for &s in nest.group_of(r) {
+                if candidates.contains(&s) && !closed.contains(&s) {
+                    closed.push(s);
+                }
+            }
+        }
+    }
+    closed.sort_unstable();
+    closed
+}

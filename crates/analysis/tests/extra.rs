@@ -1,0 +1,165 @@
+//! Supplementary analysis tests: dependence normalization, non-unit
+//! strides, spatial savings, group closure.
+
+use eco_analysis::dependence::{dependences, DepKind, Dist};
+use eco_analysis::footprint::{footprint_doubles, footprint_lines, Trips};
+use eco_analysis::reuse::{self, spatial_savings, uniform_distance};
+use eco_analysis::NestInfo;
+use eco_ir::{AffineExpr, ArrayRef, Loop, Program, ScalarExpr, Stmt};
+use eco_kernels::Kernel;
+
+/// `A[I] = A[I+1]` — an anti-dependence written with the read *ahead*,
+/// which the solver must normalize (source = earlier iteration).
+#[test]
+fn anti_dependence_is_normalized() {
+    let mut p = Program::new("shift");
+    let n = p.add_param("N");
+    let i = p.add_loop_var("I");
+    let a = p.add_array("A", vec![AffineExpr::var(n)]);
+    p.body.push(Stmt::For(Loop {
+        var: i,
+        lo: 0.into(),
+        hi: (AffineExpr::var(n) - AffineExpr::constant(2)).into(),
+        step: 1,
+        body: vec![Stmt::Store {
+            target: ArrayRef::new(a, vec![AffineExpr::var(i)]),
+            value: ScalarExpr::Load(ArrayRef::new(
+                a,
+                vec![AffineExpr::var(i) + AffineExpr::constant(1)],
+            )),
+        }],
+    }));
+    let nest = NestInfo::from_program(&p).expect("analyzable");
+    let deps = dependences(&nest);
+    assert_eq!(deps.len(), 1);
+    let d = &deps[0];
+    assert_eq!(d.distance, vec![Dist::Exact(1)], "normalized positive");
+    assert_eq!(d.kind, DepKind::Anti, "read at i+1 precedes write at i+1");
+    let rd = nest.refs.iter().position(|r| r.writes == 0).expect("read");
+    assert_eq!(d.src, rd, "the read is the source after normalization");
+}
+
+/// ZIV: constant subscripts that differ can never alias.
+#[test]
+fn ziv_disproves_dependence() {
+    let mut p = Program::new("ziv");
+    let i = p.add_loop_var("I");
+    let a = p.add_array("A", vec![AffineExpr::constant(8)]);
+    p.body.push(Stmt::For(Loop {
+        var: i,
+        lo: 0.into(),
+        hi: 7.into(),
+        step: 1,
+        body: vec![Stmt::Store {
+            target: ArrayRef::new(a, vec![AffineExpr::constant(0)]),
+            value: ScalarExpr::Load(ArrayRef::new(a, vec![AffineExpr::constant(1)])),
+        }],
+    }));
+    let nest = NestInfo::from_program(&p).expect("analyzable");
+    assert!(dependences(&nest).is_empty());
+}
+
+/// Strong SIV with a non-dividing offset has no dependence.
+#[test]
+fn non_dividing_stride_disproves_dependence() {
+    let mut p = Program::new("stride");
+    let n = p.add_param("N");
+    let i = p.add_loop_var("I");
+    let a = p.add_array("A", vec![AffineExpr::var(n)]);
+    // A[2I] = A[2I+1]: even vs odd elements never alias.
+    p.body.push(Stmt::For(Loop {
+        var: i,
+        lo: 0.into(),
+        hi: (AffineExpr::var(n) * 0 + AffineExpr::constant(7)).into(),
+        step: 1,
+        body: vec![Stmt::Store {
+            target: ArrayRef::new(a, vec![AffineExpr::var(i) * 2]),
+            value: ScalarExpr::Load(ArrayRef::new(
+                a,
+                vec![AffineExpr::var(i) * 2 + AffineExpr::constant(1)],
+            )),
+        }],
+    }));
+    let nest = NestInfo::from_program(&p).expect("analyzable");
+    assert!(dependences(&nest).is_empty());
+}
+
+#[test]
+fn uniform_distance_rejects_mixed_offsets() {
+    let k = Kernel::jacobi3d();
+    let nest = NestInfo::from_program(&k.program).expect("analyzable");
+    let b = k.program.array_by_name("B").expect("B");
+    let i = k.program.var_by_name("I").expect("I");
+    let bm1 = nest
+        .refs
+        .iter()
+        .position(|r| r.array == b && r.idx[0].constant_part() == -1)
+        .expect("B[I-1]");
+    let bj1 = nest
+        .refs
+        .iter()
+        .position(|r| r.array == b && r.idx[1].constant_part() == 1)
+        .expect("B[.,J+1,.]");
+    // B[I-1,J,K] and B[I,J+1,K] differ in a dimension I does not move:
+    // no distance along I.
+    assert_eq!(
+        uniform_distance(&nest.refs[bm1], &nest.refs[bj1], i),
+        None
+    );
+}
+
+#[test]
+fn spatial_savings_counts_contiguous_walkers() {
+    let k = Kernel::matmul();
+    let nest = NestInfo::from_program(&k.program).expect("analyzable");
+    let i = k.program.var_by_name("I").expect("I");
+    let j = k.program.var_by_name("J").expect("J");
+    let all: Vec<usize> = (0..nest.refs.len()).collect();
+    // I walks A (1 access) and C (2 accesses) contiguously.
+    assert_eq!(spatial_savings(&nest, i, &all), 3);
+    // J walks nothing contiguously (column-major).
+    assert_eq!(spatial_savings(&nest, j, &all), 0);
+}
+
+#[test]
+fn group_closure_pulls_sources_into_retained_set() {
+    let k = Kernel::jacobi3d();
+    let nest = NestInfo::from_program(&k.program).expect("analyzable");
+    let i = k.program.var_by_name("I").expect("I");
+    let all: Vec<usize> = (0..nest.refs.len()).collect();
+    let retained = reuse::most_profitable_refs(&nest, i, &all);
+    let b = k.program.array_by_name("B").expect("B");
+    // The I+-1 pair must be retained together (the tile includes the
+    // source of the group reuse).
+    let offsets: Vec<i64> = retained
+        .iter()
+        .filter(|&&r| nest.refs[r].array == b && nest.refs[r].idx[0].uses(i))
+        .map(|&r| nest.refs[r].idx[0].constant_part())
+        .collect();
+    assert!(offsets.contains(&-1) && offsets.contains(&1), "{offsets:?}");
+}
+
+#[test]
+fn non_unit_stride_footprint_does_not_get_line_discount() {
+    let mut p = Program::new("stride2");
+    let n = p.add_param("N");
+    let i = p.add_loop_var("I");
+    let a = p.add_array("A", vec![AffineExpr::var(n)]);
+    p.body.push(Stmt::For(Loop {
+        var: i,
+        lo: 0.into(),
+        hi: (AffineExpr::var(n) - AffineExpr::constant(1)).into(),
+        step: 1,
+        body: vec![Stmt::Store {
+            target: ArrayRef::new(a, vec![AffineExpr::var(i) * 4]),
+            value: ScalarExpr::Const(0.0),
+        }],
+    }));
+    let nest = NestInfo::from_program(&p).expect("analyzable");
+    let trips = Trips::with_default(1).set(i, 16);
+    // elements: range = 4*15 + 1 = 61
+    assert_eq!(footprint_doubles(&nest, &[0], &trips), 61);
+    // no line sharing for stride 4 (each element on its own line at
+    // 4-double lines): lines == element range, not range/4.
+    assert_eq!(footprint_lines(&nest, &[0], &trips, 4), 61);
+}

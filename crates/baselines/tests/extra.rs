@@ -1,0 +1,71 @@
+//! Supplementary baseline tests on the second machine model and for
+//! the extension kernels.
+
+use eco_baselines::{atlas_mm, model_only, native, vendor_mm};
+use eco_exec::{interpret, ArrayLayout, LayoutOptions, Params, Storage};
+use eco_ir::Program;
+use eco_kernels::Kernel;
+use eco_machine::MachineDesc;
+
+fn assert_correct(program: &Program, kernel: &Kernel, n: i64) {
+    let run = |p: &Program| {
+        let pr = Params::new().with(kernel.size, n);
+        let layout = ArrayLayout::new(p, &pr, &LayoutOptions::default()).expect("layout");
+        let mut st = Storage::seeded(&layout, 4242);
+        interpret(p, &pr, &layout, &mut st).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        st
+    };
+    let want = run(&kernel.program);
+    let got = run(program);
+    for &o in &kernel.outputs {
+        assert!(
+            want.max_abs_diff(&got, o) < 1e-9,
+            "{} wrong at N={n}",
+            program.name
+        );
+    }
+}
+
+#[test]
+fn all_baselines_correct_on_the_sun_model() {
+    let machine = MachineDesc::ultrasparc_iie().scaled(32);
+    let mm = Kernel::matmul();
+    assert_correct(native(&mm, &machine).expect("native").for_size(23), &mm, 23);
+    assert_correct(
+        model_only(&mm, &machine).expect("model").for_size(23),
+        &mm,
+        23,
+    );
+    let atlas = atlas_mm(&machine, 32).expect("atlas");
+    assert_correct(atlas.program.for_size(23), &mm, 23);
+    let vendor = vendor_mm(&machine, 32).expect("vendor");
+    assert_correct(vendor.for_size(64), &mm, 23);
+}
+
+#[test]
+fn native_handles_extension_kernels() {
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    for kernel in [Kernel::syrk(), Kernel::matmul_transposed()] {
+        let b = native(&kernel, &machine).unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        assert_correct(b.for_size(15), &kernel, 15);
+    }
+}
+
+#[test]
+fn model_only_handles_extension_kernels() {
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    for kernel in [Kernel::syrk(), Kernel::matmul_transposed(), Kernel::stencil5()] {
+        let b = model_only(&kernel, &machine).unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        assert_correct(b.for_size(17), &kernel, 17);
+    }
+}
+
+#[test]
+fn atlas_direct_mapped_l1_still_tunes() {
+    // The Sun's direct-mapped L1 exercises the n=1 effective-capacity
+    // branch throughout the grid.
+    let machine = MachineDesc::ultrasparc_iie().scaled(32);
+    let r = atlas_mm(&machine, 24).expect("atlas");
+    assert!(r.points > 10);
+    assert!(r.nb >= 4);
+}

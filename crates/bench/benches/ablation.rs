@@ -1,0 +1,58 @@
+//! Criterion bench for the ablation studies DESIGN.md calls out:
+//! copy vs no-copy, prefetch on/off, model-only vs search, and the
+//! simulator/executor primitives everything rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_bench::{counters_at, mflops_at, mm_copy_variant, mm_table_row};
+use eco_cachesim::{AccessKind, MemoryHierarchy};
+use eco_exec::{interpret, ArrayLayout, LayoutOptions, Params, Storage};
+use eco_kernels::Kernel;
+use eco_machine::MachineDesc;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let kernel = Kernel::matmul();
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("copy_on_pathological_n128", |b| {
+        let p = mm_copy_variant(8, 16, 16, true);
+        b.iter(|| black_box(mflops_at(&p, &kernel, 128, &machine)))
+    });
+    group.bench_function("nocopy_on_pathological_n128", |b| {
+        let p = mm_copy_variant(8, 16, 16, false);
+        b.iter(|| black_box(mflops_at(&p, &kernel, 128, &machine)))
+    });
+    group.bench_function("prefetch_row_n64", |b| {
+        let p = mm_table_row(4, 16, 16, true);
+        b.iter(|| black_box(counters_at(&p, &kernel, 64, &machine)))
+    });
+    group.finish();
+
+    // Substrate microbenchmarks.
+    let mut group = c.benchmark_group("substrate");
+    group.bench_function("cachesim_1m_accesses", |b| {
+        b.iter(|| {
+            let mut h = MemoryHierarchy::new(&machine);
+            for i in 0..1_000_000u64 {
+                h.access(black_box((i * 24) % (1 << 20)), AccessKind::Load);
+            }
+            black_box(h.into_counters())
+        })
+    });
+    group.bench_function("interpreter_matmul_n32", |b| {
+        let params = Params::new().with(kernel.size, 32);
+        let layout =
+            ArrayLayout::new(&kernel.program, &params, &LayoutOptions::default()).expect("layout");
+        b.iter(|| {
+            let mut st = Storage::seeded(&layout, 1);
+            interpret(&kernel.program, &params, &layout, &mut st).expect("run");
+            black_box(st)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench for Figure 4: one sweep point per series (ECO,
+//! native, ATLAS-like, vendor) of the Matrix Multiply comparison, plus
+//! the cost of the searches themselves.
+//!
+//! The figure's data is produced by `repro fig4a` / `repro fig4b`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_baselines::{atlas_mm, native, vendor_mm};
+use eco_bench::mflops_at;
+use eco_core::Optimizer;
+use eco_kernels::Kernel;
+use eco_machine::MachineDesc;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let kernel = Kernel::matmul();
+    let n = 64;
+
+    let mut opt = Optimizer::new(machine.clone());
+    opt.opts.search_n = 48;
+    opt.opts.max_variants = 1;
+    let eco = opt.optimize(&kernel).expect("eco");
+    let nat = native(&kernel, &machine).expect("native");
+    let atlas = atlas_mm(&machine, 32).expect("atlas");
+    let vendor = vendor_mm(&machine, 32).expect("vendor");
+
+    let mut group = c.benchmark_group("fig4_point");
+    group.sample_size(10);
+    group.bench_function("eco_n64", |b| {
+        b.iter(|| black_box(mflops_at(&eco.program, &kernel, n, &machine)))
+    });
+    group.bench_function("native_n64", |b| {
+        b.iter(|| black_box(mflops_at(nat.for_size(n), &kernel, n, &machine)))
+    });
+    group.bench_function("atlas_n64", |b| {
+        b.iter(|| black_box(mflops_at(atlas.program.for_size(n), &kernel, n, &machine)))
+    });
+    group.bench_function("vendor_n64", |b| {
+        b.iter(|| black_box(mflops_at(vendor.for_size(n), &kernel, n, &machine)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("fig4_search");
+    group.sample_size(10);
+    group.bench_function("eco_search_mm", |b| {
+        b.iter(|| {
+            let mut opt = Optimizer::new(machine.clone());
+            opt.opts.search_n = 32;
+            opt.opts.max_variants = 1;
+            black_box(opt.optimize(&kernel).expect("eco"))
+        })
+    });
+    group.bench_function("atlas_search_mm", |b| {
+        b.iter(|| black_box(atlas_mm(&machine, 32).expect("atlas")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

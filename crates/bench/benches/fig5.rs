@@ -1,0 +1,37 @@
+//! Criterion bench for Figure 5: one sweep point per series (ECO,
+//! native) of the Jacobi comparison on both machine models.
+//!
+//! The figure's data is produced by `repro fig5a` / `repro fig5b`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_baselines::native;
+use eco_bench::mflops_at;
+use eco_core::Optimizer;
+use eco_kernels::Kernel;
+use eco_machine::MachineDesc;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let kernel = Kernel::jacobi3d();
+    let mut group = c.benchmark_group("fig5_point");
+    group.sample_size(10);
+    for base in [MachineDesc::sgi_r10000(), MachineDesc::ultrasparc_iie()] {
+        let machine = base.scaled(32);
+        let tag = if machine.name.contains("SGI") { "sgi" } else { "sun" };
+        let mut opt = Optimizer::new(machine.clone());
+        opt.opts.search_n = 24;
+        opt.opts.max_variants = 1;
+        let eco = opt.optimize(&kernel).expect("eco");
+        let nat = native(&kernel, &machine).expect("native");
+        group.bench_function(format!("eco_{tag}_n32"), |b| {
+            b.iter(|| black_box(mflops_at(&eco.program, &kernel, 32, &machine)))
+        });
+        group.bench_function(format!("native_{tag}_n32"), |b| {
+            b.iter(|| black_box(mflops_at(nat.for_size(32), &kernel, 32, &machine)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Table 1: simulating the parameterized Matrix
+//! Multiply / Jacobi versions whose counters the table reports.
+//!
+//! The *simulated* metrics (the table's contents) are produced by
+//! `repro table1`; this bench tracks the wall-clock cost of generating
+//! and measuring each row, i.e. the cost of one empirical-search point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_bench::{counters_at, jacobi_table_row, mm_table_row};
+use eco_kernels::Kernel;
+use eco_machine::MachineDesc;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let mm = Kernel::matmul();
+    let jac = Kernel::jacobi3d();
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("mm4_row_n64", |b| {
+        let p = mm_table_row(4, 16, 16, false);
+        b.iter(|| black_box(counters_at(&p, &mm, 64, &machine)))
+    });
+    group.bench_function("mm5_row_prefetch_n64", |b| {
+        let p = mm_table_row(4, 16, 16, true);
+        b.iter(|| black_box(counters_at(&p, &mm, 64, &machine)))
+    });
+    group.bench_function("j3_row_n24", |b| {
+        let p = jacobi_table_row(1, 4, 4, false);
+        b.iter(|| black_box(counters_at(&p, &jac, 24, &machine)))
+    });
+    group.bench_function("row_generation_mm4", |b| {
+        b.iter(|| black_box(mm_table_row(4, 16, 16, true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

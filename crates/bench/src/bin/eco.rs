@@ -1,0 +1,205 @@
+//! `eco` — command-line front end to the optimizer.
+//!
+//! ```text
+//! eco kernels                         list built-in kernels
+//! eco show <kernel>                   print a kernel's source nest
+//! eco variants <kernel> [opts]        Phase 1: derived variants (Table-4 style)
+//! eco tune <kernel> [opts]            Phase 1 + 2: full optimization
+//! eco measure <kernel> --n <N> [opts] simulate the untransformed kernel
+//!
+//! options:
+//!   --machine sgi|sun    target machine model       (default sgi)
+//!   --scale F            shrink the machine by F    (default 32; 1 = full size)
+//!   --n N                problem size               (default 96)
+//!   --search-n N         tuning size for `tune`     (default 96)
+//!   --strategy S         guided|grid|random         (default guided)
+//!   --code               also print generated code  (tune)
+//! ```
+
+use eco_analysis::NestInfo;
+use eco_core::{derive_variants, describe_variant, Optimizer, SearchStrategy};
+use eco_exec::{measure, LayoutOptions, Params};
+use eco_kernels::Kernel;
+use eco_machine::MachineDesc;
+
+struct Opts {
+    machine: MachineDesc,
+    n: i64,
+    search_n: i64,
+    strategy: SearchStrategy,
+    code: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut machine = "sgi".to_string();
+    let mut scale = 32usize;
+    let mut n = 96i64;
+    let mut search_n = 96i64;
+    let mut strategy = SearchStrategy::Guided;
+    let mut code = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--machine" => machine = val("--machine")?,
+            "--scale" => {
+                scale = val("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?
+            }
+            "--n" => n = val("--n")?.parse().map_err(|e| format!("bad --n: {e}"))?,
+            "--search-n" => {
+                search_n = val("--search-n")?
+                    .parse()
+                    .map_err(|e| format!("bad --search-n: {e}"))?
+            }
+            "--strategy" => {
+                strategy = match val("--strategy")?.as_str() {
+                    "guided" => SearchStrategy::Guided,
+                    "grid" => SearchStrategy::Grid { max_points: 300 },
+                    "random" => SearchStrategy::Random {
+                        points: 60,
+                        seed: 42,
+                    },
+                    other => return Err(format!("unknown strategy {other}")),
+                }
+            }
+            "--code" => code = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let base = match machine.as_str() {
+        "sgi" => MachineDesc::sgi_r10000(),
+        "sun" => MachineDesc::ultrasparc_iie(),
+        other => return Err(format!("unknown machine {other} (sgi|sun)")),
+    };
+    let machine = if scale > 1 { base.scaled(scale) } else { base };
+    Ok(Opts {
+        machine,
+        n,
+        search_n,
+        strategy,
+        code,
+    })
+}
+
+fn find_kernel(name: &str) -> Result<Kernel, String> {
+    Kernel::all()
+        .into_iter()
+        .find(|k| k.name == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown kernel {name}; try one of: {}",
+                Kernel::all()
+                    .iter()
+                    .map(|k| k.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) => dispatch(cmd, rest),
+        None => Err("usage: eco <kernels|show|variants|tune|measure> ...".into()),
+    };
+    if let Err(e) = result {
+        eprintln!("eco: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
+    match cmd {
+        "kernels" => {
+            for k in Kernel::all() {
+                println!("{:10} ({} loops, {} arrays)", k.name, {
+                    let nest = NestInfo::from_program(&k.program).map_err(|e| e.to_string())?;
+                    nest.loops.len()
+                }, k.program.arrays.len());
+            }
+            Ok(())
+        }
+        "show" => {
+            let (name, _) = rest
+                .split_first()
+                .ok_or("usage: eco show <kernel>")?;
+            let k = find_kernel(name)?;
+            print!("{}", k.program);
+            Ok(())
+        }
+        "variants" => {
+            let (name, opts) = rest
+                .split_first()
+                .ok_or("usage: eco variants <kernel> [opts]")?;
+            let k = find_kernel(name)?;
+            let opts = parse_opts(opts)?;
+            let nest = NestInfo::from_program(&k.program).map_err(|e| e.to_string())?;
+            let vs = derive_variants(&nest, &opts.machine, &k.program);
+            println!("{} variants for {} on {}:", vs.len(), k.name, opts.machine.name);
+            for v in &vs {
+                println!("{}:", v.name);
+                print!("{}", describe_variant(v, &nest, &k.program));
+            }
+            Ok(())
+        }
+        "tune" => {
+            let (name, optargs) = rest
+                .split_first()
+                .ok_or("usage: eco tune <kernel> [opts]")?;
+            let k = find_kernel(name)?;
+            let opts = parse_opts(optargs)?;
+            let mut optimizer = Optimizer::new(opts.machine.clone());
+            optimizer.opts.search_n = opts.search_n;
+            optimizer.opts.strategy = opts.strategy;
+            let tuned = optimizer.optimize(&k).map_err(|e| e.to_string())?;
+            println!(
+                "selected {} with {:?}, prefetches {:?}",
+                tuned.variant.name, tuned.params, tuned.prefetches
+            );
+            println!(
+                "search: {} points over {} variants ({} fully searched)",
+                tuned.stats.points, tuned.stats.variants_derived, tuned.stats.variants_searched
+            );
+            println!(
+                "at N={}: {:.1} MFLOPS ({} cycles)",
+                opts.search_n,
+                tuned.counters.mflops(opts.machine.clock_mhz),
+                tuned.counters.cycles()
+            );
+            if opts.code {
+                print!("\n{}", tuned.program);
+            }
+            Ok(())
+        }
+        "measure" => {
+            let (name, optargs) = rest
+                .split_first()
+                .ok_or("usage: eco measure <kernel> --n <N> [opts]")?;
+            let k = find_kernel(name)?;
+            let opts = parse_opts(optargs)?;
+            let params = Params::new().with(k.size, opts.n);
+            let c = measure(&k.program, &params, &opts.machine, &LayoutOptions::default())
+                .map_err(|e| e.to_string())?;
+            println!("{} at N={} on {}:", k.name, opts.n, opts.machine.name);
+            println!(
+                "  loads {}  stores {}  L1 misses {}  L2 misses {}  TLB {}  cycles {}  {:.1} MFLOPS",
+                c.loads,
+                c.stores,
+                c.cache_misses[0],
+                c.cache_misses.get(1).copied().unwrap_or(0),
+                c.tlb_misses,
+                c.cycles(),
+                c.mflops(opts.machine.clock_mhz)
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}

@@ -1,0 +1,553 @@
+//! Trace-driven memory-hierarchy simulator.
+//!
+//! This crate substitutes for the paper's measurement substrate (real SGI
+//! R10000 / UltraSparc IIe hardware read through PAPI): it models a
+//! multi-level set-associative cache hierarchy with LRU replacement, a
+//! fully-associative TLB, software prefetch, and a cycle cost model, and
+//! accumulates PAPI-like [`Counters`] (loads, per-level misses, TLB
+//! misses, cycles).
+//!
+//! The executor in `eco-exec` walks an IR program and feeds every memory
+//! access to [`MemoryHierarchy::access`]; flop and loop-overhead costs
+//! are added through [`MemoryHierarchy::add_flops`] and
+//! [`MemoryHierarchy::add_loop_iterations`].
+//!
+//! Modelling choices (documented deviations from real hardware):
+//!
+//! * Caches are virtually indexed off a flat address space and arrays are
+//!   laid out contiguously, which matches the paper's footnote-1
+//!   assumption of a well-behaved page-colouring OS.
+//! * A software prefetch brings the line into every cache level
+//!   immediately; it pays the issue cost and the memory *bandwidth*
+//!   occupancy (if the line comes from memory) but no latency stall —
+//!   i.e. prefetch hides latency but cannot create bandwidth.
+//! * Demand misses stall for the full per-level penalty; write-backs are
+//!   not modelled (stores are write-allocate, write-back, but dirty
+//!   evictions are free).
+//! * Per-level miss counters count *demand* (load/store) misses only,
+//!   like PAPI's `PAPI_L1_DCM`; prefetch fills are counted separately.
+//!
+//! # Examples
+//!
+//! ```
+//! use eco_cachesim::{AccessKind, MemoryHierarchy};
+//! use eco_machine::MachineDesc;
+//!
+//! let mut h = MemoryHierarchy::new(&MachineDesc::sgi_r10000());
+//! h.access(0, AccessKind::Load);     // cold miss
+//! h.access(8, AccessKind::Load);     // same 32-byte line: hit
+//! let c = h.counters();
+//! assert_eq!(c.loads, 2);
+//! assert_eq!(c.cache_misses[0], 1);
+//! ```
+
+use eco_machine::{CacheDesc, MachineDesc, TlbDesc};
+
+/// The kind of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A demand load.
+    Load,
+    /// A demand store (write-allocate).
+    Store,
+    /// A software prefetch (no stall, bandwidth + issue cost only).
+    Prefetch,
+}
+
+/// PAPI-like event counters accumulated by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Counters {
+    /// Demand loads issued.
+    pub loads: u64,
+    /// Demand stores issued.
+    pub stores: u64,
+    /// Software prefetch instructions issued.
+    pub prefetches: u64,
+    /// Demand misses per cache level (index 0 = L1).
+    pub cache_misses: Vec<u64>,
+    /// Lines filled by prefetches, per cache level.
+    pub prefetch_fills: Vec<u64>,
+    /// TLB misses (demand and prefetch).
+    pub tlb_misses: u64,
+    /// Floating-point operations executed.
+    pub flops: u64,
+    /// Loop iterations executed (for overhead costing).
+    pub loop_iterations: u64,
+    /// Total cycles, in milli-cycles (divide by 1000).
+    pub cycles_x1000: u64,
+    /// Optional per-tag attribution (see
+    /// [`MemoryHierarchy::access_tagged`]); empty unless tags are used.
+    pub per_tag: Vec<TagCounters>,
+}
+
+/// Per-tag (typically per-array) attribution counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TagCounters {
+    /// Demand accesses (loads + stores) with this tag.
+    pub accesses: u64,
+    /// Demand misses per cache level with this tag.
+    pub misses: Vec<u64>,
+    /// TLB misses with this tag.
+    pub tlb_misses: u64,
+}
+
+impl Counters {
+    /// Total cycles (rounded down from milli-cycles).
+    pub fn cycles(&self) -> u64 {
+        self.cycles_x1000 / 1000
+    }
+
+    /// The paper's "Loads" column counts prefetch instructions too
+    /// (compare mm4 and mm5 in Table 1).
+    pub fn loads_incl_prefetch(&self) -> u64 {
+        self.loads + self.prefetches
+    }
+
+    /// Achieved MFLOPS given a clock rate in MHz.
+    ///
+    /// Returns 0.0 for an empty run.
+    pub fn mflops(&self, clock_mhz: u64) -> f64 {
+        if self.cycles_x1000 == 0 {
+            return 0.0;
+        }
+        // flops / seconds = flops * clock_hz / cycles
+        self.flops as f64 * clock_mhz as f64 * 1000.0 / self.cycles_x1000 as f64
+    }
+}
+
+const INVALID: u64 = u64::MAX;
+
+/// One set-associative cache level with LRU replacement.
+#[derive(Debug, Clone)]
+struct Cache {
+    line_bits: u32,
+    set_mask: u64,
+    ways: usize,
+    /// `tags[set * ways + way]`; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+    miss_penalty_x1000: u64,
+}
+
+impl Cache {
+    fn new(desc: &CacheDesc) -> Self {
+        let sets = desc.num_sets();
+        assert!(sets.is_power_of_two(), "cache sets must be a power of two");
+        assert!(
+            desc.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        Cache {
+            line_bits: desc.line_bytes.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            ways: desc.associativity,
+            tags: vec![INVALID; sets * desc.associativity],
+            stamps: vec![0; sets * desc.associativity],
+            clock: 0,
+            miss_penalty_x1000: desc.miss_penalty_cycles * 1000,
+        }
+    }
+
+    /// Looks up `addr`, filling on miss. Returns `true` on hit.
+    #[inline]
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_bits;
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.ways;
+        self.clock += 1;
+        let mut victim = base;
+        let mut oldest = u64::MAX;
+        for i in base..base + self.ways {
+            if self.tags[i] == line {
+                self.stamps[i] = self.clock;
+                return true;
+            }
+            if self.stamps[i] < oldest {
+                oldest = self.stamps[i];
+                victim = i;
+            }
+        }
+        self.tags[victim] = line;
+        self.stamps[victim] = self.clock;
+        false
+    }
+}
+
+/// Fully-associative LRU TLB.
+#[derive(Debug, Clone)]
+struct Tlb {
+    page_bits: u32,
+    pages: Vec<u64>,
+    stamps: Vec<u64>,
+    clock: u64,
+    miss_penalty_x1000: u64,
+}
+
+impl Tlb {
+    fn new(desc: &TlbDesc) -> Self {
+        assert!(
+            desc.page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        Tlb {
+            page_bits: desc.page_bytes.trailing_zeros(),
+            pages: vec![INVALID; desc.entries],
+            stamps: vec![0; desc.entries],
+            clock: 0,
+            miss_penalty_x1000: desc.miss_penalty_cycles * 1000,
+        }
+    }
+
+    #[inline]
+    fn access(&mut self, addr: u64) -> bool {
+        let page = addr >> self.page_bits;
+        self.clock += 1;
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for i in 0..self.pages.len() {
+            if self.pages[i] == page {
+                self.stamps[i] = self.clock;
+                return true;
+            }
+            if self.stamps[i] < oldest {
+                oldest = self.stamps[i];
+                victim = i;
+            }
+        }
+        self.pages[victim] = page;
+        self.stamps[victim] = self.clock;
+        false
+    }
+}
+
+/// The full simulated memory hierarchy for one machine.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    caches: Vec<Cache>,
+    tlb: Tlb,
+    counters: Counters,
+    mem_issue_x1000: u64,
+    prefetch_issue_x1000: u64,
+    flop_x1000: u64,
+    loop_overhead_x1000: u64,
+    bandwidth_per_line_x1000: u64,
+}
+
+impl MemoryHierarchy {
+    /// A cold hierarchy for the given machine.
+    pub fn new(machine: &MachineDesc) -> Self {
+        let caches: Vec<Cache> = machine.caches.iter().map(Cache::new).collect();
+        MemoryHierarchy {
+            tlb: Tlb::new(&machine.tlb),
+            counters: Counters {
+                cache_misses: vec![0; caches.len()],
+                prefetch_fills: vec![0; caches.len()],
+                ..Default::default()
+            },
+            caches,
+            mem_issue_x1000: machine.cost.mem_issue_cycles_x1000,
+            prefetch_issue_x1000: machine.cost.prefetch_issue_cycles_x1000,
+            flop_x1000: machine.cost.flop_cycles_x1000,
+            loop_overhead_x1000: machine.cost.loop_overhead_cycles_x1000,
+            bandwidth_per_line_x1000: machine.cost.memory_bandwidth_cycles_per_line_x1000,
+        }
+    }
+
+    /// Simulates one access to byte address `addr`, attributing misses
+    /// to `tag` (e.g. the array id). Tags grow the per-tag table on
+    /// demand; use [`MemoryHierarchy::access`] when attribution is not
+    /// needed.
+    pub fn access_tagged(&mut self, addr: u64, kind: AccessKind, tag: usize) {
+        let levels = self.caches.len();
+        if self.counters.per_tag.len() <= tag {
+            self.counters.per_tag.resize_with(tag + 1, || TagCounters {
+                accesses: 0,
+                misses: vec![0; levels],
+                tlb_misses: 0,
+            });
+        }
+        let before: Vec<u64> = self.counters.cache_misses.clone();
+        let tlb_before = self.counters.tlb_misses;
+        self.access(addr, kind);
+        let t = &mut self.counters.per_tag[tag];
+        if !matches!(kind, AccessKind::Prefetch) {
+            t.accesses += 1;
+        }
+        for (i, b) in before.iter().enumerate() {
+            t.misses[i] += self.counters.cache_misses[i] - b;
+        }
+        t.tlb_misses += self.counters.tlb_misses - tlb_before;
+    }
+
+    /// Simulates one access to byte address `addr`.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) {
+        let is_prefetch = matches!(kind, AccessKind::Prefetch);
+        match kind {
+            AccessKind::Load => {
+                self.counters.loads += 1;
+                self.counters.cycles_x1000 += self.mem_issue_x1000;
+            }
+            AccessKind::Store => {
+                self.counters.stores += 1;
+                self.counters.cycles_x1000 += self.mem_issue_x1000;
+            }
+            AccessKind::Prefetch => {
+                self.counters.prefetches += 1;
+                self.counters.cycles_x1000 += self.prefetch_issue_x1000;
+            }
+        }
+        if !self.tlb.access(addr) {
+            self.counters.tlb_misses += 1;
+            self.counters.cycles_x1000 += self.tlb.miss_penalty_x1000;
+        }
+        let mut filled_from_memory = true;
+        for (i, cache) in self.caches.iter_mut().enumerate() {
+            let hit = cache.access(addr);
+            if !hit {
+                if is_prefetch {
+                    self.counters.prefetch_fills[i] += 1;
+                } else {
+                    self.counters.cache_misses[i] += 1;
+                    self.counters.cycles_x1000 += cache.miss_penalty_x1000;
+                }
+            }
+            if hit {
+                filled_from_memory = false;
+                break;
+            }
+        }
+        if filled_from_memory {
+            // The line came from main memory: bus occupancy is paid whether
+            // or not the latency was hidden.
+            self.counters.cycles_x1000 += self.bandwidth_per_line_x1000;
+        }
+    }
+
+    /// Adds `n` floating-point operations to the cost.
+    pub fn add_flops(&mut self, n: u64) {
+        self.counters.flops += n;
+        self.counters.cycles_x1000 += n * self.flop_x1000;
+    }
+
+    /// Adds `n` loop iterations' worth of control overhead.
+    pub fn add_loop_iterations(&mut self, n: u64) {
+        self.counters.loop_iterations += n;
+        self.counters.cycles_x1000 += n * self.loop_overhead_x1000;
+    }
+
+    /// The counters accumulated so far.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Consumes the hierarchy and returns its counters.
+    pub fn into_counters(self) -> Counters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_machine::CostModel;
+
+    fn tiny_machine() -> MachineDesc {
+        MachineDesc {
+            name: "tiny".into(),
+            clock_mhz: 100,
+            fp_registers: 32,
+            caches: vec![
+                CacheDesc {
+                    name: "L1".into(),
+                    capacity_bytes: 256, // 8 lines of 32B
+                    associativity: 2,
+                    line_bytes: 32,
+                    miss_penalty_cycles: 10,
+                },
+                CacheDesc {
+                    name: "L2".into(),
+                    capacity_bytes: 1024,
+                    associativity: 2,
+                    line_bytes: 64,
+                    miss_penalty_cycles: 80,
+                },
+            ],
+            tlb: TlbDesc {
+                entries: 4,
+                page_bytes: 256,
+                miss_penalty_cycles: 50,
+            },
+            cost: CostModel::default(),
+        }
+    }
+
+    #[test]
+    fn spatial_locality_hits_within_line() {
+        let mut h = MemoryHierarchy::new(&tiny_machine());
+        for off in 0..4 {
+            h.access(off * 8, AccessKind::Load);
+        }
+        assert_eq!(h.counters().loads, 4);
+        assert_eq!(h.counters().cache_misses[0], 1);
+        assert_eq!(h.counters().cache_misses[1], 1);
+        assert_eq!(h.counters().tlb_misses, 1);
+    }
+
+    #[test]
+    fn temporal_locality_within_capacity() {
+        let mut h = MemoryHierarchy::new(&tiny_machine());
+        // 8 distinct lines fill L1 exactly; second sweep all hits.
+        for rep in 0..2 {
+            for line in 0..8u64 {
+                h.access(line * 32, AccessKind::Load);
+            }
+            if rep == 0 {
+                assert_eq!(h.counters().cache_misses[0], 8);
+            }
+        }
+        assert_eq!(h.counters().cache_misses[0], 8, "second sweep hits");
+    }
+
+    #[test]
+    fn capacity_misses_beyond_cache() {
+        let mut h = MemoryHierarchy::new(&tiny_machine());
+        // 16 lines cycled twice thrash the 8-line LRU L1 completely.
+        for _ in 0..2 {
+            for line in 0..16u64 {
+                h.access(line * 32, AccessKind::Load);
+            }
+        }
+        assert_eq!(h.counters().cache_misses[0], 32);
+        // but the data (8 x 64B L2 lines) fits in the 16-line L2:
+        // only the first sweep's compulsory misses show up there.
+        assert_eq!(h.counters().cache_misses[1], 8);
+    }
+
+    #[test]
+    fn conflict_misses_in_same_set() {
+        let mut h = MemoryHierarchy::new(&tiny_machine());
+        // L1: 8 lines, 2-way => 4 sets, set stride = 128 B.
+        // Three lines mapping to set 0 thrash a 2-way set.
+        for _ in 0..10 {
+            for k in 0..3u64 {
+                h.access(k * 128, AccessKind::Load);
+            }
+        }
+        assert_eq!(h.counters().cache_misses[0], 30, "every access conflicts");
+    }
+
+    #[test]
+    fn two_way_avoids_conflict_that_direct_mapped_has() {
+        let mut dm = tiny_machine();
+        dm.caches[0].associativity = 1;
+        let mut h2 = MemoryHierarchy::new(&tiny_machine());
+        let mut h1 = MemoryHierarchy::new(&dm);
+        // Two lines 256 B apart: same set in both configs.
+        for _ in 0..10 {
+            for k in 0..2u64 {
+                h1.access(k * 256, AccessKind::Load);
+                h2.access(k * 256, AccessKind::Load);
+            }
+        }
+        assert_eq!(h1.counters().cache_misses[0], 20, "direct-mapped thrashes");
+        assert_eq!(h2.counters().cache_misses[0], 2, "2-way keeps both");
+    }
+
+    #[test]
+    fn store_is_write_allocate() {
+        let mut h = MemoryHierarchy::new(&tiny_machine());
+        h.access(0, AccessKind::Store);
+        h.access(8, AccessKind::Load);
+        assert_eq!(h.counters().stores, 1);
+        assert_eq!(h.counters().cache_misses[0], 1, "load hits allocated line");
+    }
+
+    #[test]
+    fn tlb_covers_four_pages() {
+        let mut h = MemoryHierarchy::new(&tiny_machine());
+        // 4 pages covered; a 5-page round-robin thrashes the LRU TLB.
+        for _ in 0..3 {
+            for p in 0..5u64 {
+                h.access(p * 256, AccessKind::Load);
+            }
+        }
+        assert_eq!(h.counters().tlb_misses, 15);
+    }
+
+    #[test]
+    fn prefetch_hides_stall_but_pays_bandwidth() {
+        let m = tiny_machine();
+        let mut with = MemoryHierarchy::new(&m);
+        let mut without = MemoryHierarchy::new(&m);
+        for line in 0..64u64 {
+            with.access(line * 64 + 32, AccessKind::Prefetch);
+            with.access(line * 64, AccessKind::Load);
+            without.access(line * 64, AccessKind::Load);
+        }
+        let cw = with.counters();
+        let cwo = without.counters();
+        assert_eq!(cw.cache_misses[1], 0, "demand misses eliminated at L2");
+        assert_eq!(cwo.cache_misses[1], 64);
+        assert!(cw.cycles() < cwo.cycles(), "prefetch must be a net win here");
+        assert_eq!(cw.prefetch_fills[1], 64);
+    }
+
+    #[test]
+    fn prefetch_counts_as_load_in_paper_metric() {
+        let mut h = MemoryHierarchy::new(&tiny_machine());
+        h.access(0, AccessKind::Load);
+        h.access(4096, AccessKind::Prefetch);
+        assert_eq!(h.counters().loads, 1);
+        assert_eq!(h.counters().loads_incl_prefetch(), 2);
+    }
+
+    #[test]
+    fn flops_and_mflops() {
+        let m = tiny_machine();
+        let mut h = MemoryHierarchy::new(&m);
+        h.add_flops(1000);
+        let c = h.into_counters();
+        assert_eq!(c.flops, 1000);
+        // 1000 flops at 0.5 cycles each = 500 cycles; 100 MHz clock.
+        assert_eq!(c.cycles(), 500);
+        assert!((c.mflops(100) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loop_overhead_accumulates() {
+        let mut h = MemoryHierarchy::new(&tiny_machine());
+        h.add_loop_iterations(10);
+        assert_eq!(h.counters().loop_iterations, 10);
+        assert_eq!(h.counters().cycles(), 10);
+    }
+
+    #[test]
+    fn empty_counters_mflops_is_zero() {
+        let c = Counters::default();
+        assert_eq!(c.mflops(1000), 0.0);
+    }
+
+    #[test]
+    fn tagged_accesses_attribute_misses() {
+        let mut h = MemoryHierarchy::new(&tiny_machine());
+        // tag 0: one line, hit after first access; tag 1: thrashing.
+        for i in 0..10u64 {
+            h.access_tagged(0, AccessKind::Load, 0);
+            h.access_tagged(4096 + i * 512, AccessKind::Load, 1);
+        }
+        let c = h.into_counters();
+        assert_eq!(c.per_tag.len(), 2);
+        assert_eq!(c.per_tag[0].accesses, 10);
+        assert_eq!(c.per_tag[0].misses[0], 1);
+        assert_eq!(c.per_tag[1].accesses, 10);
+        assert_eq!(c.per_tag[1].misses[0], 10);
+        // attribution is exhaustive
+        assert_eq!(
+            c.per_tag[0].misses[0] + c.per_tag[1].misses[0],
+            c.cache_misses[0]
+        );
+        assert_eq!(c.per_tag[0].tlb_misses + c.per_tag[1].tlb_misses, c.tlb_misses);
+    }
+}

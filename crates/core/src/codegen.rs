@@ -1,0 +1,152 @@
+//! Code generation: instantiating a [`Variant`](crate::Variant) with
+//! concrete parameter values, by composing the `eco-transform` passes.
+//!
+//! The pipeline follows §3.2 of the paper: tiling-related structure
+//! first (tile + permute via `tile_nest`), then the parameter-dependent
+//! transformations — unroll-and-jam, scalar replacement, copy-buffer
+//! insertion. Prefetch insertion is separate
+//! ([`eco_transform::insert_prefetch`]) because the search adds it one
+//! data structure at a time.
+
+use crate::variant::{ParamValues, Variant};
+use crate::EcoError;
+use eco_analysis::NestInfo;
+use eco_ir::{AffineExpr, Program, VarId};
+use eco_kernels::Kernel;
+use eco_machine::MachineDesc;
+use eco_transform::{
+    copy_in, scalar_replace, tile_nest, unroll_and_jam, CopyDim, CopySpec, LoopSel, TileSpec,
+};
+
+/// Generates the complete code for `variant` under `params`.
+///
+/// # Errors
+///
+/// Fails if a parameter is missing or zero, a constraint is violated,
+/// scalar replacement exceeds the register file
+/// ([`EcoError::Transform`] wrapping `RegisterPressure` — the search
+/// treats this point as infeasible), or any underlying pass fails.
+pub fn generate(
+    kernel: &Kernel,
+    nest: &NestInfo,
+    variant: &Variant,
+    params: &ParamValues,
+    machine: &MachineDesc,
+) -> Result<Program, EcoError> {
+    for name in variant.param_names() {
+        match params.get(&name) {
+            Some(0) | None => {
+                return Err(EcoError::BadParams(format!(
+                    "parameter {name} missing or zero"
+                )))
+            }
+            _ => {}
+        }
+    }
+    if !variant.feasible(params) {
+        return Err(EcoError::Infeasible);
+    }
+    let all_vars = nest.loop_vars();
+
+    // ---- tiling + permutation ----
+    let point_order = variant.point_order(&all_vars);
+    let tiles: Vec<TileSpec> = all_vars
+        .iter()
+        .filter_map(|&v| {
+            variant.tile_param(v).map(|nm| TileSpec {
+                var: v,
+                tile: params[nm],
+            })
+        })
+        .collect();
+    // Control-loop order (Figure 1(c): KK, JJ, II): the controls of data
+    // retained at *outer* memory levels go outermost — their tiles
+    // persist the longest, and the per-tile copy code must sit outside
+    // the controls of inner levels so a tile is copied exactly once.
+    // Ties break by subscript dimension, contiguous dimension first.
+    let level_dim_of = |v: VarId| -> (usize, usize) {
+        for (li, level) in variant.levels.iter().enumerate().rev() {
+            for &r in &level.retained {
+                let rf = &nest.refs[r];
+                for d in 0..rf.idx.len() {
+                    if rf.idx[d].uses(v) {
+                        return (li, d);
+                    }
+                }
+            }
+        }
+        (0, usize::MAX)
+    };
+    let mut tiled_vars: Vec<VarId> = tiles.iter().map(|t| t.var).collect();
+    tiled_vars.sort_by_key(|&v| {
+        let (level, dim) = level_dim_of(v);
+        (std::cmp::Reverse(level), dim)
+    });
+    let mut order: Vec<LoopSel> = tiled_vars.into_iter().map(LoopSel::Control).collect();
+    order.extend(point_order.iter().map(|&v| LoopSel::Point(v)));
+    let (mut program, control_vars) = tile_nest(&kernel.program, &tiles, &order)?;
+    let control_of = |v: VarId| -> Option<VarId> {
+        tiles
+            .iter()
+            .position(|t| t.var == v)
+            .map(|i| control_vars[i])
+    };
+
+    // ---- unroll-and-jam (register level) ----
+    for &(v, ref nm) in &variant.levels[0].unrolls {
+        let u = params[nm];
+        if u > 1 {
+            program = unroll_and_jam(&program, v, u)?;
+        }
+    }
+
+    // ---- scalar replacement ----
+    program = scalar_replace(
+        &program,
+        variant.register_carrier(),
+        Some(machine.fp_registers),
+    )?;
+
+    // ---- copy optimization ----
+    for level in &variant.levels[1..] {
+        let Some(plan) = &level.copy else { continue };
+        let rf = &nest.refs[level.retained[0]];
+        let mut region = Vec::with_capacity(plan.dim_loops.len());
+        for (d, &v) in plan.dim_loops.iter().enumerate() {
+            let ctl = control_of(v).ok_or_else(|| {
+                EcoError::BadParams(format!(
+                    "copy of {} needs loop {} tiled",
+                    kernel.program.array(plan.array).name,
+                    kernel.program.var(v).name
+                ))
+            })?;
+            let tile_nm = variant.tile_param(v).expect("tiled");
+            region.push(CopyDim {
+                lo: AffineExpr::var(ctl).shifted(rf.idx[d].constant_part()),
+                extent: params[tile_nm],
+            });
+        }
+        // Place the copy at the innermost control among the region's
+        // controls (last in the built order).
+        let at = order
+            .iter()
+            .filter_map(|s| match s {
+                LoopSel::Control(v) if plan.dim_loops.contains(v) => control_of(*v),
+                _ => None,
+            })
+            .next_back()
+            .expect("region has controls");
+        program = copy_in(
+            &program,
+            &CopySpec {
+                at,
+                array: plan.array,
+                region,
+                buffer_name: plan.buffer.clone(),
+            },
+        )?;
+    }
+
+    program.name = format!("{}_{}", kernel.name, variant.name);
+    Ok(program)
+}

@@ -1,0 +1,218 @@
+//! A purely static cost model for variants — the kind of analytical
+//! predictor the paper argues cannot replace empirical search.
+//!
+//! The estimate combines the classic ingredients (flop throughput, load
+//! issue, per-level tile-footprint misses) using the same footprint
+//! machinery Phase 1 uses for constraints. It deliberately ignores what
+//! static models of the era ignored — conflict misses at particular
+//! leading dimensions, TLB thrash patterns, prefetch/bandwidth
+//! interactions — so comparing its variant ranking against measured
+//! rankings (`repro modelrank`) demonstrates the paper's thesis: "the
+//! search space is difficult to model analytically since performance can
+//! vary dramatically with problem size and optimization parameters".
+
+use crate::variant::{ParamValues, Variant};
+use eco_analysis::footprint::{footprint_lines, Trips};
+use eco_analysis::NestInfo;
+use eco_ir::VarId;
+use eco_machine::{MachineDesc, MemoryLevel};
+
+/// A static (no-execution) cycle estimate for one variant at one
+/// problem size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEstimate {
+    /// Estimated total cycles.
+    pub cycles: f64,
+    /// Estimated demand misses per cache level.
+    pub misses: Vec<f64>,
+    /// Estimated loads issued.
+    pub loads: f64,
+    /// Flops executed.
+    pub flops: f64,
+}
+
+/// Statically estimates the cost of `variant` at parameter values
+/// `params` and problem size `n`.
+///
+/// The model assumes: perfect exploitation of each level's retained
+/// reuse (a tile is fetched exactly once per visit), no conflict
+/// misses, no TLB effects, and loads reduced by register tiling
+/// exactly as the unroll factors promise.
+pub fn estimate(
+    nest: &NestInfo,
+    variant: &Variant,
+    params: &ParamValues,
+    machine: &MachineDesc,
+    n: u64,
+) -> CostEstimate {
+    let vars = nest.loop_vars();
+    let tile_trip = |v: VarId| -> u64 {
+        variant
+            .tile_param(v)
+            .and_then(|nm| params.get(nm).copied())
+            .unwrap_or(n)
+            .min(n)
+            .max(1)
+    };
+    let unroll_of = |v: VarId| -> u64 {
+        variant
+            .unroll_param(v)
+            .and_then(|nm| params.get(nm).copied())
+            .unwrap_or(1)
+    };
+    let total_iters: f64 = vars.iter().map(|_| n as f64).product();
+
+    // Flops: body flops scale with total iterations.
+    let body_flops: u64 = nest.refs.iter().map(|r| u64::from(r.reads)).sum::<u64>()
+        .max(1); // ~1 flop per load is the dense-kernel shape
+    let flops = total_iters * body_flops as f64;
+
+    // Loads: register tiling divides each reference's traffic by the
+    // unroll product of the loops that do NOT index it (its exposed
+    // reuse), and the register carrier's trip for invariant refs.
+    let reg_carrier = variant.register_carrier();
+    let mut loads = 0.0;
+    for r in &nest.refs {
+        let mut per_iter = f64::from(r.accesses());
+        for &v in &vars {
+            if unroll_of(v) > 1 && !r.uses(v) {
+                per_iter /= unroll_of(v) as f64;
+            }
+        }
+        if !r.uses(reg_carrier) {
+            // invariant in the innermost loop: hoisted out of it
+            per_iter /= tile_trip(reg_carrier) as f64;
+        }
+        loads += per_iter * total_iters;
+    }
+
+    // Per-level misses: each level's retained tile is fetched once per
+    // visit; everything else streams. Misses(level) = lines(tile at
+    // level) * number of tile visits = lines * (total iters / iters
+    // covered by one tile residence).
+    let mut misses = Vec::with_capacity(machine.caches.len());
+    for (ci, cache) in machine.caches.iter().enumerate() {
+        let level = MemoryLevel::Cache(ci);
+        let Some(plan) = variant.levels.iter().find(|l| l.level == level) else {
+            misses.push(0.0);
+            continue;
+        };
+        let line_elems = (cache.line_bytes / 8) as u64;
+        // Tile region: tiled loops at their tile size, the carrier at 1
+        // (reuse is across the carrier), everything else full.
+        let mut trips = Trips::with_default(1);
+        for &v in &vars {
+            let t = if v == plan.carrier { 1 } else { tile_trip(v) };
+            trips = trips.set(v, t);
+        }
+        let tile_lines = footprint_lines(nest, &plan.retained, &trips, line_elems) as f64;
+        // Visits: the iteration space divided by what one residence
+        // covers (the tile's iterations times the carrier's trips).
+        let mut covered: f64 = plan.carrier_trip(n) as f64;
+        for &v in &vars {
+            if v != plan.carrier {
+                covered *= tile_trip(v) as f64;
+            }
+        }
+        let visits = (total_iters / covered.max(1.0)).max(1.0);
+        // Streaming traffic for the non-retained references.
+        let others: Vec<usize> = (0..nest.refs.len())
+            .filter(|r| !plan.retained.contains(r))
+            .collect();
+        let mut stream_trips = Trips::with_default(1);
+        for &v in &vars {
+            stream_trips = stream_trips.set(v, n);
+        }
+        let stream_lines = if ci + 1 == machine.caches.len() {
+            // last level: each distinct line once per sweep of reuse
+            footprint_lines(nest, &others, &stream_trips, line_elems) as f64
+        } else {
+            footprint_lines(nest, &others, &stream_trips, line_elems) as f64
+                * (n as f64 / tile_trip(plan.carrier).max(1) as f64).max(1.0)
+        };
+        misses.push(tile_lines * visits + stream_lines);
+    }
+
+    let cost = &machine.cost;
+    let mut cycles = flops * cost.flop_cycles_x1000 as f64 / 1000.0
+        + loads * cost.mem_issue_cycles_x1000 as f64 / 1000.0
+        + total_iters * cost.loop_overhead_cycles_x1000 as f64 / 1000.0 / 4.0;
+    for (ci, m) in misses.iter().enumerate() {
+        cycles += m * machine.caches[ci].miss_penalty_cycles as f64;
+    }
+    if let Some(last) = misses.last() {
+        cycles += last * cost.memory_bandwidth_cycles_per_line_x1000 as f64 / 1000.0;
+    }
+    CostEstimate {
+        cycles,
+        misses,
+        loads,
+        flops,
+    }
+}
+
+impl crate::variant::LevelPlan {
+    /// The carrier loop's trip count at problem size `n` (full size;
+    /// carriers are not themselves tiled by their own level).
+    fn carrier_trip(&self, n: u64) -> u64 {
+        let _ = self;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{derive_variants, Optimizer};
+    use eco_kernels::Kernel;
+
+    #[test]
+    fn estimate_is_finite_positive_and_size_monotone() {
+        let machine = MachineDesc::sgi_r10000().scaled(32);
+        let kernel = Kernel::matmul();
+        let nest = NestInfo::from_program(&kernel.program).expect("analyzable");
+        let variants = derive_variants(&nest, &machine, &kernel.program);
+        let opt = Optimizer::new(machine.clone());
+        for v in variants.iter().take(4) {
+            let params = opt.initial_params(v);
+            let small = estimate(&nest, v, &params, &machine, 32);
+            let large = estimate(&nest, v, &params, &machine, 128);
+            assert!(small.cycles.is_finite() && small.cycles > 0.0, "{}", v.name);
+            assert!(
+                large.cycles > small.cycles,
+                "{}: {} !> {}",
+                v.name,
+                large.cycles,
+                small.cycles
+            );
+            assert!(small.flops > 0.0);
+            assert_eq!(small.misses.len(), machine.caches.len());
+        }
+    }
+
+    #[test]
+    fn estimate_prefers_tiled_over_degenerate_tiles() {
+        // A 1x1 tile should look worse to the model than a balanced one.
+        let machine = MachineDesc::sgi_r10000().scaled(32);
+        let kernel = Kernel::matmul();
+        let nest = NestInfo::from_program(&kernel.program).expect("analyzable");
+        let variants = derive_variants(&nest, &machine, &kernel.program);
+        let opt = Optimizer::new(machine.clone());
+        let v = &variants[0];
+        let good = opt.initial_params(v);
+        let mut bad = good.clone();
+        for nm in v.param_names() {
+            if nm.starts_with('T') {
+                bad.insert(nm, 1);
+            }
+        }
+        let g = estimate(&nest, v, &good, &machine, 96);
+        let b = estimate(&nest, v, &bad, &machine, 96);
+        assert!(
+            g.cycles < b.cycles,
+            "balanced {} must beat degenerate {}",
+            g.cycles,
+            b.cycles
+        );
+    }
+}

@@ -1,0 +1,735 @@
+//! Phase 2 of the paper: the model-guided empirical search (§3.2).
+//!
+//! For each variant the search proceeds in stages:
+//!
+//! 1. **Tiling parameters** — stages group parameters that share a
+//!    constraint (the paper: a parameter associated with two levels puts
+//!    both levels in one stage). Within a stage, starting from
+//!    model-derived initial values (balanced shape at the constraint's
+//!    footprint), a *shape* search doubles one dimension while halving
+//!    another at constant footprint; when no shape move helps, the
+//!    footprint is halved and the shape search repeats; finally a linear
+//!    refinement nudges each parameter.
+//! 2. **Prefetching** — one data structure at a time: if a distance-1
+//!    prefetch helps, nearby distances are explored and the best kept,
+//!    otherwise the prefetch is dropped.
+//! 3. **Tile adjustment** — after prefetching, the innermost loop's
+//!    tile parameter is grown while it keeps helping.
+//!
+//! Every point is *executed* on the simulated machine (`eco-exec` +
+//! `eco-cachesim`), exactly as the paper executes candidates on real
+//! hardware; cycle counts decide.
+
+use crate::codegen::generate;
+use crate::variant::{derive_variants, ParamValues, Variant};
+use crate::EcoError;
+use eco_analysis::NestInfo;
+use eco_cachesim::Counters;
+use eco_exec::{measure, LayoutOptions, Params};
+use eco_ir::{ArrayId, Program};
+use eco_kernels::Kernel;
+use eco_machine::MachineDesc;
+use eco_transform::insert_prefetch;
+use std::collections::HashMap;
+
+/// How Phase 2 explores each variant's parameter space.
+///
+/// [`SearchStrategy::Guided`] is the paper's §3.2 algorithm; the others
+/// exist for the ablation the paper's related-work section anticipates
+/// ("we anticipate the kind of domain knowledge used in our approach
+/// could be effectively combined with such heuristic search
+/// techniques") and to quantify what the guidance buys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// The staged model-guided search of §3.2 (default).
+    Guided,
+    /// Exhaustive power-of-two grid over all parameters, capped.
+    Grid {
+        /// Maximum points to execute.
+        max_points: usize,
+    },
+    /// Uniform random sampling of feasible power-of-two points.
+    Random {
+        /// Points to execute.
+        points: usize,
+        /// Deterministic seed.
+        seed: u64,
+    },
+}
+
+/// Options controlling the empirical search.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Representative problem size at which candidates are executed.
+    pub search_n: i64,
+    /// Keep at most this many variants for the full search after the
+    /// initial screening pass (the models' job is to keep this small).
+    pub max_variants: usize,
+    /// Prefetch distances explored when distance 1 helps.
+    pub prefetch_distances: Vec<i64>,
+    /// Keep no-copy twins of copy variants (for ablation studies);
+    /// by default the models prefer the copy variant and prune the twin.
+    pub keep_copy_alternatives: bool,
+    /// Extra problem sizes measured alongside `search_n` for every
+    /// point: the paper tunes on "representative input data sets"
+    /// (plural), and adding one conflict-prone (power-of-two) size keeps
+    /// the search from selecting variants that collapse at pathological
+    /// leading dimensions. Empty = single-size tuning.
+    pub robustness_sizes: Vec<i64>,
+    /// Parameter-space exploration strategy.
+    pub strategy: SearchStrategy,
+    /// Prune variants whose per-level retained tiles exceed the TLB's
+    /// coverage at the initial parameter values (the paper's §4.2:
+    /// "taking the TLB behavior into account results in pruning more
+    /// variants"). Off by default so search statistics stay comparable
+    /// with and without it; `repro` and the tests exercise both.
+    pub tlb_prune: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            search_n: 48,
+            max_variants: 4,
+            prefetch_distances: vec![1, 2, 4, 8],
+            keep_copy_alternatives: false,
+            robustness_sizes: Vec::new(),
+            strategy: SearchStrategy::Guided,
+            tlb_prune: false,
+        }
+    }
+}
+
+/// Statistics of one optimization run (the paper's §4.3 search cost).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Code versions actually executed and measured.
+    pub points: usize,
+    /// Variants produced by Phase 1.
+    pub variants_derived: usize,
+    /// Variants fully searched after screening.
+    pub variants_searched: usize,
+}
+
+/// The result of optimizing a kernel.
+#[derive(Debug, Clone)]
+pub struct Tuned {
+    /// The winning variant.
+    pub variant: Variant,
+    /// Chosen parameter values.
+    pub params: ParamValues,
+    /// Chosen prefetches: `(array name, distance)`.
+    pub prefetches: Vec<(String, i64)>,
+    /// The final generated program.
+    pub program: Program,
+    /// Counters of the final program at the search size.
+    pub counters: Counters,
+    /// Search cost.
+    pub stats: SearchStats,
+}
+
+/// The ECO optimizer: Phase 1 variant derivation plus Phase 2
+/// model-guided empirical search.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    machine: MachineDesc,
+    /// Search options (public so callers can tune the budget).
+    pub opts: SearchOptions,
+}
+
+struct Evaluator<'a> {
+    kernel: &'a Kernel,
+    nest: &'a NestInfo,
+    machine: &'a MachineDesc,
+    sizes: Vec<i64>,
+    points: usize,
+    cache: HashMap<String, Option<u64>>,
+}
+
+impl Evaluator<'_> {
+    /// Total cycles over all tuning sizes.
+    fn run(&mut self, program: &Program) -> Result<u64, EcoError> {
+        let mut total = 0;
+        for &n in &self.sizes {
+            let params = Params::new().with(self.kernel.size, n);
+            let c = measure(program, &params, self.machine, &LayoutOptions::default())?;
+            total += c.cycles();
+        }
+        Ok(total)
+    }
+
+    /// Generates and measures one search point; `None` if infeasible.
+    fn eval(
+        &mut self,
+        variant: &Variant,
+        params: &ParamValues,
+        prefetches: &[(ArrayId, i64)],
+    ) -> Option<u64> {
+        let key = format!("{}|{params:?}|{prefetches:?}", variant.name);
+        if let Some(hit) = self.cache.get(&key) {
+            return *hit;
+        }
+        let result = (|| -> Option<u64> {
+            let mut program =
+                generate(self.kernel, self.nest, variant, params, self.machine).ok()?;
+            let carrier = variant.register_carrier();
+            for &(array, dist) in prefetches {
+                program = insert_prefetch(&program, carrier, array, dist).ok()?;
+            }
+            self.points += 1;
+            self.run(&program).ok()
+        })();
+        self.cache.insert(key, result);
+        result
+    }
+}
+
+impl Optimizer {
+    /// An optimizer for `machine` with default search options.
+    pub fn new(machine: MachineDesc) -> Self {
+        Optimizer {
+            machine,
+            opts: SearchOptions::default(),
+        }
+    }
+
+    /// The machine this optimizer targets.
+    pub fn machine(&self) -> &MachineDesc {
+        &self.machine
+    }
+
+    /// Runs the full two-phase optimization on `kernel`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the kernel is not analyzable or no variant could be
+    /// generated and measured.
+    pub fn optimize(&self, kernel: &Kernel) -> Result<Tuned, EcoError> {
+        let nest = NestInfo::from_program(&kernel.program)?;
+        let mut variants = derive_variants(&nest, &self.machine, &kernel.program);
+        let variants_derived = variants.len();
+        if !self.opts.keep_copy_alternatives {
+            variants = prune_copy_twins(variants);
+        }
+        if self.opts.tlb_prune {
+            let kept: Vec<Variant> = variants
+                .iter()
+                .filter(|v| {
+                    self.tlb_feasible(&nest, v, self.opts.search_n.unsigned_abs())
+                })
+                .cloned()
+                .collect();
+            // Best-effort: if the model rejects everything, fall back to
+            // the unpruned set rather than failing.
+            if !kept.is_empty() {
+                variants = kept;
+            }
+        }
+        if variants.is_empty() {
+            return Err(EcoError::NoVariants);
+        }
+        let mut sizes = vec![self.opts.search_n];
+        sizes.extend(self.opts.robustness_sizes.iter().copied());
+        let mut ev = Evaluator {
+            kernel,
+            nest: &nest,
+            machine: &self.machine,
+            sizes,
+            points: 0,
+            cache: HashMap::new(),
+        };
+
+        // ---- screening: one model-derived point per variant ----
+        // The register constraint is only an upper bound (rotating
+        // replacement needs a ring per reference group), so back off the
+        // unroll factors until the point generates — the paper's "the
+        // search detects the largest unroll factors that do not cause
+        // register pressure".
+        let mut screened: Vec<(Variant, ParamValues, u64)> = Vec::new();
+        for v in variants {
+            let mut init = self.initial_params(&v);
+            let mut first = None;
+            for _ in 0..8 {
+                if let Some(c) = ev.eval(&v, &init, &[]) {
+                    first = Some(c);
+                    break;
+                }
+                let Some((nm, val)) = init
+                    .iter()
+                    .filter(|(n, _)| n.starts_with('U'))
+                    .max_by_key(|&(_, v)| *v)
+                    .map(|(n, &v)| (n.clone(), v))
+                else {
+                    break;
+                };
+                if val < 2 {
+                    break;
+                }
+                init.insert(nm, val / 2);
+            }
+            if let Some(cycles) = first {
+                screened.push((v, init, cycles));
+            }
+        }
+        if screened.is_empty() {
+            return Err(EcoError::NoVariants);
+        }
+        screened.sort_by_key(|&(_, _, c)| c);
+        screened.truncate(self.opts.max_variants);
+        let variants_searched = screened.len();
+
+        // ---- full search per surviving variant ----
+        let mut best: Option<(Variant, ParamValues, Vec<(ArrayId, i64)>, u64)> = None;
+        for (variant, init, _) in screened {
+            let mut params = init;
+            match &self.opts.strategy {
+                SearchStrategy::Guided => {
+                    for stage in stages(&variant) {
+                        self.stage_search(&mut ev, &variant, &mut params, &stage);
+                    }
+                }
+                SearchStrategy::Grid { max_points } => {
+                    grid_search(&mut ev, &variant, &mut params, *max_points);
+                }
+                SearchStrategy::Random { points, seed } => {
+                    random_search(&mut ev, &variant, &mut params, *points, *seed);
+                }
+            }
+            let mut cycles = match ev.eval(&variant, &params, &[]) {
+                Some(c) => c,
+                None => continue,
+            };
+            // prefetch search, one data structure at a time
+            let mut plan: Vec<(ArrayId, i64)> = Vec::new();
+            for array in self.prefetch_candidates(&ev, &variant, &params) {
+                let mut cand: Vec<(ArrayId, i64)> = plan.clone();
+                cand.push((array, 1));
+                let Some(c1) = ev.eval(&variant, &params, &cand) else {
+                    continue;
+                };
+                if c1 >= cycles {
+                    continue; // no benefit: remove the prefetch
+                }
+                let mut best_d = (1, c1);
+                for &d in &self.opts.prefetch_distances[1..] {
+                    cand.last_mut().expect("candidate").1 = d;
+                    if let Some(c) = ev.eval(&variant, &params, &cand) {
+                        if c < best_d.1 {
+                            best_d = (d, c);
+                        }
+                    }
+                }
+                plan.push((array, best_d.0));
+                cycles = best_d.1;
+            }
+            // adjust tiling after prefetch: grow the innermost tile
+            if let Some(nm) = variant.tile_param(variant.register_carrier()) {
+                let nm = nm.to_string();
+                loop {
+                    let mut cand = params.clone();
+                    let v = cand[&nm] * 2;
+                    cand.insert(nm.clone(), v);
+                    match ev.eval(&variant, &cand, &plan) {
+                        Some(c) if c < cycles => {
+                            params = cand;
+                            cycles = c;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            if best.as_ref().is_none_or(|&(_, _, _, b)| cycles < b) {
+                best = Some((variant, params, plan, cycles));
+            }
+        }
+
+        let (variant, params, plan, _) = best.ok_or(EcoError::NoVariants)?;
+        let mut program = generate(kernel, &nest, &variant, &params, &self.machine)?;
+        let mut prefetches = Vec::new();
+        for &(array, d) in &plan {
+            program = insert_prefetch(&program, variant.register_carrier(), array, d)?;
+            prefetches.push((program.array(array).name.clone(), d));
+        }
+        let exec_params = Params::new().with(kernel.size, self.opts.search_n);
+        let counters = measure(&program, &exec_params, &self.machine, &LayoutOptions::default())?;
+        Ok(Tuned {
+            variant,
+            params,
+            prefetches,
+            program,
+            counters,
+            stats: SearchStats {
+                points: ev.points,
+                variants_derived,
+                variants_searched,
+            },
+        })
+    }
+
+    /// True if every cache level's retained tile can fit the TLB's page
+    /// coverage for *some* parameter setting — evaluated at the smallest
+    /// plausible tile values (4), so only variants that no tuning can
+    /// save are pruned. This is the §4.2 pruning model ("variants with
+    /// tiling for both L1 and L2 are pruned, as they would suffer cache
+    /// and TLB conflicts"); untiled loops count at their full trip,
+    /// which is exactly what dooms the pruned shapes. Public so
+    /// ablations can query it directly.
+    pub fn tlb_feasible(&self, nest: &NestInfo, variant: &Variant, n: u64) -> bool {
+        use eco_analysis::footprint::{footprint_pages, Trips};
+        let page_elems = (self.machine.tlb.page_bytes / 8) as u64;
+        let vars: Vec<eco_ir::VarId> = nest.loop_vars();
+        for level in &variant.levels[1..] {
+            if level.retained.is_empty() {
+                continue;
+            }
+            let mut trips = Trips::with_default(1);
+            for &v in &vars {
+                let t = if v == level.carrier {
+                    1
+                } else if variant.tile_param(v).is_some() {
+                    4.min(n)
+                } else {
+                    n
+                };
+                trips = trips.set(v, t);
+            }
+            let pages = footprint_pages(nest, &level.retained, &trips, page_elems, n);
+            if pages > self.machine.tlb.entries as u64 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Model-derived initial parameter values: each constraint's
+    /// footprint is spread evenly (power-of-two) across its parameters,
+    /// the tightest constraint winning.
+    pub fn initial_params(&self, variant: &Variant) -> ParamValues {
+        let mut values: ParamValues = ParamValues::new();
+        for name in variant.param_names() {
+            values.insert(name, 0);
+        }
+        for c in variant.constraints() {
+            if c.bound == u64::MAX || c.factors.is_empty() {
+                continue;
+            }
+            let share = nice_root(c.bound, c.factors.len() as u32);
+            for f in &c.factors {
+                let cur = values.get(f).copied().unwrap_or(0);
+                if cur == 0 || share < cur {
+                    values.insert(f.clone(), share);
+                }
+            }
+        }
+        for (_, v) in values.iter_mut() {
+            if *v == 0 {
+                *v = 32; // unconstrained parameter: a moderate default
+            }
+        }
+        values
+    }
+
+    /// One search stage: shape moves at constant footprint, footprint
+    /// halving, then linear refinement (§3.2).
+    fn stage_search(
+        &self,
+        ev: &mut Evaluator<'_>,
+        variant: &Variant,
+        params: &mut ParamValues,
+        stage: &[String],
+    ) {
+        let Some(mut best) = ev.eval(variant, params, &[]) else {
+            return;
+        };
+        let shape_pass = |ev: &mut Evaluator<'_>, params: &mut ParamValues, best: &mut u64| {
+            if stage.len() < 2 {
+                return;
+            }
+            loop {
+                let mut improved = false;
+                for i in 0..stage.len() {
+                    for j in 0..stage.len() {
+                        if i == j || params[&stage[j]] < 2 {
+                            continue;
+                        }
+                        let mut cand = params.clone();
+                        cand.insert(stage[i].clone(), params[&stage[i]] * 2);
+                        cand.insert(stage[j].clone(), params[&stage[j]] / 2);
+                        if let Some(c) = ev.eval(variant, &cand, &[]) {
+                            if c < *best {
+                                *best = c;
+                                *params = cand;
+                                improved = true;
+                            }
+                        }
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        };
+        shape_pass(ev, params, &mut best);
+        // footprint halving
+        loop {
+            let largest = stage
+                .iter()
+                .max_by_key(|nm| params[*nm])
+                .expect("stage nonempty")
+                .clone();
+            if params[&largest] < 2 {
+                break;
+            }
+            let saved = params.clone();
+            let saved_best = best;
+            params.insert(largest.clone(), params[&largest] / 2);
+            match ev.eval(variant, params, &[]) {
+                Some(c) if c < best => {
+                    best = c;
+                    shape_pass(ev, params, &mut best);
+                }
+                _ => {
+                    *params = saved;
+                    best = saved_best;
+                    break;
+                }
+            }
+        }
+        // linear refinement
+        for nm in stage {
+            loop {
+                let cur = params[nm];
+                let step = (cur / 4).max(1);
+                let mut moved = false;
+                for cand_v in [cur + step, cur.saturating_sub(step).max(1)] {
+                    if cand_v == cur {
+                        continue;
+                    }
+                    let mut cand = params.clone();
+                    cand.insert(nm.clone(), cand_v);
+                    if let Some(c) = ev.eval(variant, &cand, &[]) {
+                        if c < best {
+                            best = c;
+                            *params = cand;
+                            moved = true;
+                            break;
+                        }
+                    }
+                }
+                if !moved {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Arrays referenced in the generated innermost loop — the prefetch
+    /// candidates, tried one at a time.
+    fn prefetch_candidates(
+        &self,
+        ev: &Evaluator<'_>,
+        variant: &Variant,
+        params: &ParamValues,
+    ) -> Vec<ArrayId> {
+        let Ok(program) = generate(ev.kernel, ev.nest, variant, params, ev.machine) else {
+            return Vec::new();
+        };
+        let Some(inner) = program.find_loop(variant.register_carrier()) else {
+            return Vec::new();
+        };
+        let mut arrays = Vec::new();
+        for s in &inner.body {
+            s.for_each_ref(&mut |r, _| {
+                if !arrays.contains(&r.array) {
+                    arrays.push(r.array);
+                }
+            });
+        }
+        arrays
+    }
+}
+
+/// Groups a variant's parameters into search stages: parameters sharing
+/// a constraint search together (the paper's "same stage" rule for
+/// shared parameters like TK); the register-level unrolls always form
+/// the first stage.
+pub fn stages(variant: &Variant) -> Vec<Vec<String>> {
+    let mut out: Vec<Vec<String>> = Vec::new();
+    let reg: Vec<String> = variant.levels[0]
+        .unrolls
+        .iter()
+        .map(|(_, n)| n.clone())
+        .collect();
+    if !reg.is_empty() {
+        out.push(reg);
+    }
+    for level in &variant.levels[1..] {
+        let mut names: Vec<String> = level.tiles.iter().map(|(_, n)| n.clone()).collect();
+        // pull in shared parameters from this level's constraint
+        for f in &level.constraint.factors {
+            if f.starts_with('T') && !names.contains(f) {
+                names.push(f.clone());
+            }
+        }
+        names.retain(|n| !out.iter().any(|s| s.contains(n)));
+        if names.is_empty() {
+            continue;
+        }
+        // merge with an earlier stage if a constraint factor lives there
+        let linked = out.iter().position(|s| {
+            level
+                .constraint
+                .factors
+                .iter()
+                .any(|f| s.contains(f) && f.starts_with('T'))
+        });
+        match linked {
+            Some(i) => out[i].extend(names),
+            None => out.push(names),
+        }
+    }
+    out
+}
+
+/// Drops no-copy twins when a structurally-identical copy variant
+/// exists (the models prefer copying; §3.1.2).
+fn prune_copy_twins(variants: Vec<Variant>) -> Vec<Variant> {
+    let key = |v: &Variant| -> String {
+        v.levels
+            .iter()
+            .map(|l| {
+                format!(
+                    "{}:{:?}:{:?}:{:?};",
+                    l.level, l.carrier, l.tiles, l.unrolls
+                )
+            })
+            .collect()
+    };
+    let copies = |v: &Variant| v.levels.iter().filter(|l| l.copy.is_some()).count();
+    let mut best: Vec<Variant> = Vec::new();
+    for v in variants {
+        let k = key(&v);
+        match best.iter_mut().find(|b| key(b) == k) {
+            Some(b) => {
+                if copies(&v) > copies(b) {
+                    *b = v;
+                }
+            }
+            None => best.push(v),
+        }
+    }
+    best
+}
+
+/// Rounds `bound^(1/k)` down to a power of two (the search's favoured
+/// "nice" values: multiples compose well with unroll factors).
+fn nice_root(bound: u64, k: u32) -> u64 {
+    let root = (bound as f64).powf(1.0 / k as f64);
+    let mut v = 1u64;
+    while (v * 2) as f64 <= root {
+        v *= 2;
+    }
+    v.max(1)
+}
+
+/// The power-of-two candidate values a non-guided strategy considers
+/// for each parameter.
+fn pow2_candidates(variant: &Variant, name: &str) -> Vec<u64> {
+    // bound by the tightest constraint mentioning the parameter
+    let cap = variant
+        .constraints()
+        .iter()
+        .filter(|c| c.factors.iter().any(|f| f == name))
+        .map(|c| c.bound)
+        .min()
+        .unwrap_or(256)
+        .min(256);
+    let mut v = Vec::new();
+    let mut x = 1u64;
+    while x <= cap {
+        v.push(x);
+        x *= 2;
+    }
+    v
+}
+
+/// Exhaustive (capped) power-of-two grid search over all parameters.
+fn grid_search(
+    ev: &mut Evaluator<'_>,
+    variant: &Variant,
+    params: &mut ParamValues,
+    max_points: usize,
+) {
+    let names = variant.param_names();
+    let candidates: Vec<Vec<u64>> = names.iter().map(|n| pow2_candidates(variant, n)).collect();
+    let mut best = ev.eval(variant, params, &[]);
+    let mut idx = vec![0usize; names.len()];
+    let mut executed = 0usize;
+    'outer: loop {
+        let mut cand = params.clone();
+        for (i, n) in names.iter().enumerate() {
+            cand.insert(n.clone(), candidates[i][idx[i]]);
+        }
+        if variant.feasible(&cand) {
+            if let Some(c) = ev.eval(variant, &cand, &[]) {
+                executed += 1;
+                if best.is_none_or(|b| c < b) {
+                    best = Some(c);
+                    *params = cand;
+                }
+            }
+            if executed >= max_points {
+                break;
+            }
+        }
+        // odometer increment
+        for i in 0..names.len() {
+            idx[i] += 1;
+            if idx[i] < candidates[i].len() {
+                continue 'outer;
+            }
+            idx[i] = 0;
+        }
+        break;
+    }
+}
+
+/// Uniform random sampling of feasible power-of-two points (a simple
+/// deterministic LCG; no RNG dependency needed in the optimizer).
+fn random_search(
+    ev: &mut Evaluator<'_>,
+    variant: &Variant,
+    params: &mut ParamValues,
+    points: usize,
+    seed: u64,
+) {
+    let names = variant.param_names();
+    let candidates: Vec<Vec<u64>> = names.iter().map(|n| pow2_candidates(variant, n)).collect();
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move |m: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % m.max(1)
+    };
+    let mut best = ev.eval(variant, params, &[]);
+    let mut executed = 0usize;
+    let mut attempts = 0usize;
+    while executed < points && attempts < points * 20 {
+        attempts += 1;
+        let mut cand = params.clone();
+        for (i, n) in names.iter().enumerate() {
+            cand.insert(n.clone(), candidates[i][next(candidates[i].len())]);
+        }
+        if !variant.feasible(&cand) {
+            continue;
+        }
+        if let Some(c) = ev.eval(variant, &cand, &[]) {
+            executed += 1;
+            if best.is_none_or(|b| c < b) {
+                best = Some(c);
+                *params = cand;
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Execution errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while laying out or executing a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A declared parameter was not bound to a value.
+    UnboundParam(String),
+    /// An array extent evaluated to a non-positive value.
+    BadExtent {
+        /// Array name.
+        array: String,
+        /// The offending extent.
+        extent: i64,
+    },
+    /// A load or store fell outside its array. (Out-of-bounds
+    /// *prefetches* are legal and silently dropped.)
+    OutOfBounds {
+        /// Array name.
+        array: String,
+        /// The evaluated subscripts.
+        indices: Vec<i64>,
+        /// The array extents.
+        extents: Vec<i64>,
+    },
+    /// The program failed structural validation.
+    Invalid(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnboundParam(name) => write!(f, "parameter {name} is unbound"),
+            ExecError::BadExtent { array, extent } => {
+                write!(f, "array {array} has non-positive extent {extent}")
+            }
+            ExecError::OutOfBounds {
+                array,
+                indices,
+                extents,
+            } => write!(
+                f,
+                "access {array}{indices:?} outside extents {extents:?}"
+            ),
+            ExecError::Invalid(msg) => write!(f, "invalid program: {msg}"),
+        }
+    }
+}
+
+impl Error for ExecError {}

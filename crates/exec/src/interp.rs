@@ -1,0 +1,114 @@
+//! Numeric interpretation of IR programs.
+//!
+//! The interpreter executes a program over real `f64` storage. It is the
+//! *semantic oracle* of the reproduction: every transformation in
+//! `eco-transform` is checked by interpreting the original and the
+//! transformed program on identical inputs and comparing the outputs.
+
+use crate::error::ExecError;
+use crate::layout::{ArrayLayout, Params, Storage};
+use eco_ir::{Program, ScalarExpr, Stmt, VarId};
+
+struct Interp<'a> {
+    program: &'a Program,
+    layout: &'a ArrayLayout,
+    env: Vec<i64>,
+    temps: Vec<f64>,
+    storage: &'a mut Storage,
+}
+
+impl Interp<'_> {
+    fn eval(&mut self, e: &ScalarExpr) -> Result<f64, ExecError> {
+        match e {
+            ScalarExpr::Const(c) => Ok(*c),
+            ScalarExpr::Temp(t) => Ok(self.temps[t.index()]),
+            ScalarExpr::Load(r) => {
+                let flat = self
+                    .layout
+                    .flat_index(r, &self.env)
+                    .ok_or_else(|| self.oob(r))?;
+                Ok(self.storage.array(r.array)[flat])
+            }
+            ScalarExpr::Add(a, b) => Ok(self.eval(a)? + self.eval(b)?),
+            ScalarExpr::Sub(a, b) => Ok(self.eval(a)? - self.eval(b)?),
+            ScalarExpr::Mul(a, b) => Ok(self.eval(a)? * self.eval(b)?),
+        }
+    }
+
+    fn oob(&self, r: &eco_ir::ArrayRef) -> ExecError {
+        ExecError::OutOfBounds {
+            array: self.program.array(r.array).name.clone(),
+            indices: r
+                .idx
+                .iter()
+                .map(|e| e.eval(&|v: VarId| self.env[v.index()]))
+                .collect(),
+            extents: self.layout.extents(r.array).to_vec(),
+        }
+    }
+
+    fn run(&mut self, stmts: &[Stmt]) -> Result<(), ExecError> {
+        for s in stmts {
+            match s {
+                Stmt::For(l) => {
+                    let lookup = |v: VarId| self.env[v.index()];
+                    let lo = l.lo.eval(&lookup);
+                    let hi = l.hi.eval(&lookup);
+                    let mut i = lo;
+                    while i <= hi {
+                        self.env[l.var.index()] = i;
+                        self.run(&l.body)?;
+                        i += l.step;
+                    }
+                }
+                Stmt::If { cond, then } => {
+                    if cond.eval(&|v: VarId| self.env[v.index()]) {
+                        self.run(then)?;
+                    }
+                }
+                Stmt::Store { target, value } => {
+                    let val = self.eval(value)?;
+                    let flat = self
+                        .layout
+                        .flat_index(target, &self.env)
+                        .ok_or_else(|| self.oob(target))?;
+                    self.storage.array_mut(target.array)[flat] = val;
+                }
+                Stmt::SetTemp { temp, value } => {
+                    let val = self.eval(value)?;
+                    self.temps[temp.index()] = val;
+                }
+                // Prefetch has no numeric effect.
+                Stmt::Prefetch { .. } => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Interprets `program` over `storage` with the given parameter values.
+///
+/// `storage` must have been created from an [`ArrayLayout`] for the same
+/// program and parameters.
+///
+/// # Errors
+///
+/// Fails on unbound parameters, validation errors, or out-of-bounds
+/// loads/stores (out-of-bounds prefetches are ignored).
+pub fn interpret(
+    program: &Program,
+    params: &Params,
+    layout: &ArrayLayout,
+    storage: &mut Storage,
+) -> Result<(), ExecError> {
+    program.validate().map_err(ExecError::Invalid)?;
+    let env = params.env_for(program)?;
+    let mut interp = Interp {
+        program,
+        layout,
+        env,
+        temps: vec![0.0; program.temps.len()],
+        storage,
+    };
+    interp.run(&program.body)
+}

@@ -1,0 +1,250 @@
+//! Concrete memory layout and storage for a program instance.
+//!
+//! Arrays are column-major (leftmost subscript contiguous, as in the
+//! paper's Fortran kernels) and are laid out back-to-back in a flat
+//! address space, exactly like statically-declared Fortran arrays. That
+//! contiguity is deliberate: it is what makes pathological (power-of-two)
+//! leading dimensions produce cache conflicts for untransformed code.
+
+use crate::error::ExecError;
+use eco_ir::{ArrayId, ArrayRef, Program, VarId, VarKind};
+
+/// Values for the symbolic parameters of a program (e.g. `N = 512`).
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    pairs: Vec<(VarId, i64)>,
+}
+
+impl Params {
+    /// No parameters.
+    pub fn new() -> Self {
+        Params::default()
+    }
+
+    /// Binds parameter `v` to `value` (builder style).
+    #[must_use]
+    pub fn with(mut self, v: VarId, value: i64) -> Self {
+        self.pairs.push((v, value));
+        self
+    }
+
+    /// Binds a parameter by name, looked up in `program`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `name` is not a declared parameter of `program`.
+    pub fn with_named(
+        self,
+        program: &Program,
+        name: &str,
+        value: i64,
+    ) -> Result<Self, ExecError> {
+        let v = program
+            .var_by_name(name)
+            .filter(|&v| program.var(v).kind == VarKind::Param)
+            .ok_or_else(|| ExecError::UnboundParam(name.to_string()))?;
+        Ok(self.with(v, value))
+    }
+
+    /// The bound `(var, value)` pairs.
+    pub fn pairs(&self) -> &[(VarId, i64)] {
+        &self.pairs
+    }
+
+    /// Builds the initial variable environment for `program`, checking
+    /// that every declared parameter is bound.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a declared parameter has no binding.
+    pub fn env_for(&self, program: &Program) -> Result<Vec<i64>, ExecError> {
+        let mut env = vec![0i64; program.vars.len()];
+        let mut bound = vec![false; program.vars.len()];
+        for &(v, val) in &self.pairs {
+            env[v.index()] = val;
+            bound[v.index()] = true;
+        }
+        for p in program.params() {
+            if !bound[p.index()] {
+                return Err(ExecError::UnboundParam(program.var(p).name.clone()));
+            }
+        }
+        Ok(env)
+    }
+}
+
+/// Byte-level placement of every array of a program instance.
+#[derive(Debug, Clone)]
+pub struct ArrayLayout {
+    /// Evaluated extent of each dimension, per array.
+    extents: Vec<Vec<i64>>,
+    /// Base byte address per array.
+    bases: Vec<u64>,
+    total_bytes: u64,
+}
+
+/// Options controlling [`ArrayLayout::new`].
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct LayoutOptions {
+    /// Byte address of the first array.
+    pub base_addr: u64,
+    /// Extra bytes inserted between consecutive arrays (padding).
+    pub inter_array_pad_bytes: u64,
+}
+
+
+impl ArrayLayout {
+    /// Computes the layout of `program`'s arrays under `params`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a parameter is unbound or an extent evaluates to a
+    /// non-positive value.
+    pub fn new(
+        program: &Program,
+        params: &Params,
+        opts: &LayoutOptions,
+    ) -> Result<Self, ExecError> {
+        let env = params.env_for(program)?;
+        let lookup = |v: VarId| env[v.index()];
+        let mut extents = Vec::with_capacity(program.arrays.len());
+        let mut bases = Vec::with_capacity(program.arrays.len());
+        let mut addr = opts.base_addr;
+        for decl in &program.arrays {
+            let dims: Vec<i64> = decl.dims.iter().map(|e| e.eval(&lookup)).collect();
+            if let Some(&bad) = dims.iter().find(|&&d| d <= 0) {
+                return Err(ExecError::BadExtent {
+                    array: decl.name.clone(),
+                    extent: bad,
+                });
+            }
+            let elems: i64 = dims.iter().product();
+            bases.push(addr);
+            addr += elems as u64 * 8 + opts.inter_array_pad_bytes;
+            extents.push(dims);
+        }
+        Ok(ArrayLayout {
+            extents,
+            bases,
+            total_bytes: addr - opts.base_addr,
+        })
+    }
+
+    /// Evaluated dimension extents of array `a`.
+    pub fn extents(&self, a: ArrayId) -> &[i64] {
+        &self.extents[a.index()]
+    }
+
+    /// Number of elements in array `a`.
+    pub fn len(&self, a: ArrayId) -> usize {
+        self.extents[a.index()].iter().product::<i64>() as usize
+    }
+
+    /// True if the layout holds no arrays.
+    pub fn is_empty(&self) -> bool {
+        self.extents.is_empty()
+    }
+
+    /// Number of arrays.
+    pub fn num_arrays(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Base byte address of array `a`.
+    pub fn base(&self, a: ArrayId) -> u64 {
+        self.bases[a.index()]
+    }
+
+    /// Total bytes spanned by all arrays (including padding).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Column-major flat element index of `r` under variable environment
+    /// `env`, or `None` if any subscript is out of bounds.
+    #[inline]
+    pub fn flat_index(&self, r: &ArrayRef, env: &[i64]) -> Option<usize> {
+        let exts = &self.extents[r.array.index()];
+        let mut flat: i64 = 0;
+        // Column-major: walk dims right-to-left, Horner style.
+        for d in (0..exts.len()).rev() {
+            let i = r.idx[d].eval(&|v: VarId| env[v.index()]);
+            if i < 0 || i >= exts[d] {
+                return None;
+            }
+            flat = flat * exts[d] + i;
+        }
+        Some(flat as usize)
+    }
+
+    /// Byte address of `r` under `env`, or `None` if out of bounds.
+    #[inline]
+    pub fn address(&self, r: &ArrayRef, env: &[i64]) -> Option<u64> {
+        self.flat_index(r, env)
+            .map(|f| self.bases[r.array.index()] + f as u64 * 8)
+    }
+}
+
+/// Heap storage for all arrays of a program instance.
+#[derive(Debug, Clone)]
+pub struct Storage {
+    arrays: Vec<Vec<f64>>,
+}
+
+impl Storage {
+    /// Zero-initialized storage matching `layout`.
+    pub fn zeroed(layout: &ArrayLayout) -> Self {
+        Storage {
+            arrays: (0..layout.num_arrays())
+                .map(|i| vec![0.0; layout.len(ArrayId(i as u32))])
+                .collect(),
+        }
+    }
+
+    /// Deterministic pseudo-random initial data (a fixed LCG), so tests
+    /// comparing transformed against reference programs are reproducible
+    /// without pulling in an RNG dependency. Each array gets its own
+    /// stream (derived from `seed` and the array index), so adding,
+    /// removing or resizing one array leaves the others' data unchanged.
+    pub fn seeded(layout: &ArrayLayout, seed: u64) -> Self {
+        Storage {
+            arrays: (0..layout.num_arrays())
+                .map(|i| {
+                    let mut state = seed
+                        .wrapping_add(i as u64 + 1)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        | 1;
+                    let mut next = move || {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        // map to [-1, 1)
+                        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+                    };
+                    (0..layout.len(ArrayId(i as u32))).map(|_| next()).collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Read-only view of array `a`.
+    pub fn array(&self, a: ArrayId) -> &[f64] {
+        &self.arrays[a.index()]
+    }
+
+    /// Mutable view of array `a`.
+    pub fn array_mut(&mut self, a: ArrayId) -> &mut [f64] {
+        &mut self.arrays[a.index()]
+    }
+
+    /// Maximum absolute element-wise difference between the same array in
+    /// two storages (for equivalence testing).
+    pub fn max_abs_diff(&self, other: &Storage, a: ArrayId) -> f64 {
+        self.array(a)
+            .iter()
+            .zip(other.array(a))
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+}

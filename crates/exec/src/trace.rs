@@ -1,0 +1,154 @@
+//! Trace-driven measurement of IR programs.
+//!
+//! This walker executes the *control* of a program (loops and guards),
+//! skips the floating-point arithmetic, and feeds every memory access to
+//! the cache simulator, producing the PAPI-like counters the paper's
+//! empirical search consumes. Scalar temporaries model registers and
+//! generate no memory traffic.
+
+use crate::error::ExecError;
+use crate::layout::{ArrayLayout, LayoutOptions, Params};
+use eco_cachesim::{AccessKind, Counters, MemoryHierarchy};
+use eco_ir::{Program, ScalarExpr, Stmt, VarId};
+use eco_machine::MachineDesc;
+
+struct Tracer<'a> {
+    program: &'a Program,
+    layout: &'a ArrayLayout,
+    env: Vec<i64>,
+    hier: MemoryHierarchy,
+    /// Attribute misses per array id (slower; used by the analysis
+    /// tooling, not the search).
+    attribute: bool,
+}
+
+impl Tracer<'_> {
+    #[inline]
+    fn access(&mut self, r: &eco_ir::ArrayRef, kind: AccessKind) -> Result<(), ExecError> {
+        match self.layout.address(r, &self.env) {
+            Some(addr) => {
+                if self.attribute {
+                    self.hier.access_tagged(addr, kind, r.array.index());
+                } else {
+                    self.hier.access(addr, kind);
+                }
+                Ok(())
+            }
+            // Out-of-bounds prefetches are legal no-ops (the paper's
+            // prefetch code runs past tile edges); demand accesses are not.
+            None if matches!(kind, AccessKind::Prefetch) => Ok(()),
+            None => Err(ExecError::OutOfBounds {
+                array: self.program.array(r.array).name.clone(),
+                indices: r
+                    .idx
+                    .iter()
+                    .map(|e| e.eval(&|v: VarId| self.env[v.index()]))
+                    .collect(),
+                extents: self.layout.extents(r.array).to_vec(),
+            }),
+        }
+    }
+
+    fn trace_value(&mut self, e: &ScalarExpr) -> Result<(), ExecError> {
+        match e {
+            ScalarExpr::Const(_) | ScalarExpr::Temp(_) => Ok(()),
+            ScalarExpr::Load(r) => self.access(r, AccessKind::Load),
+            ScalarExpr::Add(a, b) | ScalarExpr::Sub(a, b) | ScalarExpr::Mul(a, b) => {
+                self.trace_value(a)?;
+                self.trace_value(b)
+            }
+        }
+    }
+
+    fn run(&mut self, stmts: &[Stmt]) -> Result<(), ExecError> {
+        for s in stmts {
+            match s {
+                Stmt::For(l) => {
+                    let lookup = |v: VarId| self.env[v.index()];
+                    let lo = l.lo.eval(&lookup);
+                    let hi = l.hi.eval(&lookup);
+                    if hi >= lo {
+                        let trips = (hi - lo) / l.step + 1;
+                        self.hier.add_loop_iterations(trips as u64);
+                    }
+                    let mut i = lo;
+                    while i <= hi {
+                        self.env[l.var.index()] = i;
+                        self.run(&l.body)?;
+                        i += l.step;
+                    }
+                }
+                Stmt::If { cond, then } => {
+                    if cond.eval(&|v: VarId| self.env[v.index()]) {
+                        self.run(then)?;
+                    }
+                }
+                Stmt::Store { target, value } => {
+                    self.trace_value(value)?;
+                    self.hier.add_flops(value.flops());
+                    self.access(target, AccessKind::Store)?;
+                }
+                Stmt::SetTemp { value, .. } => {
+                    self.trace_value(value)?;
+                    self.hier.add_flops(value.flops());
+                }
+                Stmt::Prefetch { target } => self.access(target, AccessKind::Prefetch)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Simulates `program` on `machine` and returns the measured counters.
+///
+/// This is the reproduction's stand-in for "compile the variant, run it
+/// on the real machine, and read PAPI".
+///
+/// # Errors
+///
+/// Fails on unbound parameters, validation errors, or out-of-bounds
+/// demand accesses.
+pub fn measure(
+    program: &Program,
+    params: &Params,
+    machine: &MachineDesc,
+    layout_opts: &LayoutOptions,
+) -> Result<Counters, ExecError> {
+    run_measurement(program, params, machine, layout_opts, false)
+}
+
+/// Like [`measure`], but additionally attributes demand misses to each
+/// array: `counters.per_tag[i]` corresponds to array id `i`.
+///
+/// # Errors
+///
+/// Same conditions as [`measure`].
+pub fn measure_attributed(
+    program: &Program,
+    params: &Params,
+    machine: &MachineDesc,
+    layout_opts: &LayoutOptions,
+) -> Result<Counters, ExecError> {
+    run_measurement(program, params, machine, layout_opts, true)
+}
+
+fn run_measurement(
+    program: &Program,
+    params: &Params,
+    machine: &MachineDesc,
+    layout_opts: &LayoutOptions,
+    attribute: bool,
+) -> Result<Counters, ExecError> {
+    program.validate().map_err(ExecError::Invalid)?;
+    let layout = ArrayLayout::new(program, params, layout_opts)?;
+    let env = params.env_for(program)?;
+    let mut tracer = Tracer {
+        program,
+        layout: &layout,
+        env,
+        hier: MemoryHierarchy::new(machine),
+        attribute,
+    };
+    tracer.run(&program.body)?;
+    Ok(tracer.hier.into_counters())
+}

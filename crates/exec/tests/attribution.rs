@@ -1,0 +1,47 @@
+//! Attribution-mode measurement: per-array counters must partition the
+//! global ones exactly.
+
+use eco_exec::{measure, measure_attributed, LayoutOptions, Params};
+use eco_kernels::Kernel;
+use eco_machine::MachineDesc;
+
+#[test]
+fn attribution_partitions_global_counters() {
+    let kernel = Kernel::matmul();
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let params = Params::new().with(kernel.size, 48);
+    let plain = measure(&kernel.program, &params, &machine, &LayoutOptions::default())
+        .expect("measure");
+    let tagged = measure_attributed(&kernel.program, &params, &machine, &LayoutOptions::default())
+        .expect("measure attributed");
+    // Attribution must not change the simulation itself.
+    assert_eq!(plain.loads, tagged.loads);
+    assert_eq!(plain.cache_misses, tagged.cache_misses);
+    assert_eq!(plain.cycles_x1000, tagged.cycles_x1000);
+    // ... and must partition accesses and misses exactly.
+    assert_eq!(tagged.per_tag.len(), kernel.program.arrays.len());
+    let acc: u64 = tagged.per_tag.iter().map(|t| t.accesses).sum();
+    assert_eq!(acc, tagged.loads + tagged.stores);
+    for level in 0..machine.caches.len() {
+        let m: u64 = tagged.per_tag.iter().map(|t| t.misses[level]).sum();
+        assert_eq!(m, tagged.cache_misses[level], "level {level}");
+    }
+    let tlb: u64 = tagged.per_tag.iter().map(|t| t.tlb_misses).sum();
+    assert_eq!(tlb, tagged.tlb_misses);
+}
+
+#[test]
+fn attribution_reflects_access_patterns() {
+    // In the KJI kernel, C (the accumulator) is touched twice per
+    // iteration; A and B once each.
+    let kernel = Kernel::matmul();
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let params = Params::new().with(kernel.size, 16);
+    let c = measure_attributed(&kernel.program, &params, &machine, &LayoutOptions::default())
+        .expect("measure");
+    let n3 = 16u64 * 16 * 16;
+    let a = kernel.program.array_by_name("A").expect("A").index();
+    let cc = kernel.program.array_by_name("C").expect("C").index();
+    assert_eq!(c.per_tag[a].accesses, n3);
+    assert_eq!(c.per_tag[cc].accesses, 2 * n3);
+}

@@ -1,0 +1,466 @@
+//! Affine integer expressions over loop variables and symbolic parameters.
+//!
+//! Every subscript, loop bound and prefetch target in the IR is an
+//! [`AffineExpr`]: an integer constant plus a sum of `coefficient * var`
+//! terms. Loop upper bounds produced by tiling additionally need
+//! `min(...)` forms, which [`Bound`] provides.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Identifier of an integer variable (loop index or symbolic parameter).
+///
+/// `VarId`s index into [`crate::Program::vars`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The index of this variable in its program's variable table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An affine integer expression: `c0 + sum(ci * vi)`.
+///
+/// Terms are kept sorted by variable and free of zero coefficients, so
+/// structural equality coincides with mathematical equality.
+///
+/// # Examples
+///
+/// ```
+/// use eco_ir::{AffineExpr, VarId};
+/// let i = VarId(0);
+/// let e = AffineExpr::var(i) * 2 + AffineExpr::constant(3);
+/// assert_eq!(e.coeff(i), 2);
+/// assert_eq!(e.eval(&|_| 5), 13);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AffineExpr {
+    constant: i64,
+    /// Sorted `(var, coeff)` pairs with nonzero coefficients.
+    terms: Vec<(VarId, i64)>,
+}
+
+impl AffineExpr {
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> Self {
+        AffineExpr {
+            constant: c,
+            terms: Vec::new(),
+        }
+    }
+
+    /// The expression `v`.
+    pub fn var(v: VarId) -> Self {
+        AffineExpr {
+            constant: 0,
+            terms: vec![(v, 1)],
+        }
+    }
+
+    /// Builds `c0 + sum(ci * vi)` from parts.
+    pub fn new(constant: i64, terms: impl IntoIterator<Item = (VarId, i64)>) -> Self {
+        let mut map: BTreeMap<VarId, i64> = BTreeMap::new();
+        for (v, c) in terms {
+            *map.entry(v).or_insert(0) += c;
+        }
+        AffineExpr {
+            constant,
+            terms: map.into_iter().filter(|&(_, c)| c != 0).collect(),
+        }
+    }
+
+    /// The constant part `c0`.
+    pub fn constant_part(&self) -> i64 {
+        self.constant
+    }
+
+    /// The coefficient of `v` (0 if absent).
+    pub fn coeff(&self, v: VarId) -> i64 {
+        self.terms
+            .binary_search_by_key(&v, |&(w, _)| w)
+            .map(|i| self.terms[i].1)
+            .unwrap_or(0)
+    }
+
+    /// The `(var, coeff)` terms, sorted by variable.
+    pub fn terms(&self) -> &[(VarId, i64)] {
+        &self.terms
+    }
+
+    /// True if the expression has no variable terms.
+    pub fn is_const(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns `Some(c)` if the expression is the constant `c`.
+    pub fn as_const(&self) -> Option<i64> {
+        self.is_const().then_some(self.constant)
+    }
+
+    /// True if `v` appears with a nonzero coefficient.
+    pub fn uses(&self, v: VarId) -> bool {
+        self.coeff(v) != 0
+    }
+
+    /// The set of variables appearing in the expression.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.terms.iter().map(|&(v, _)| v)
+    }
+
+    /// Evaluates under an environment mapping variables to values.
+    pub fn eval(&self, env: &impl Fn(VarId) -> i64) -> i64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|&(v, c)| c * env(v))
+                .sum::<i64>()
+    }
+
+    /// Substitutes `replacement` for `v`, i.e. computes
+    /// `self[v := replacement]`.
+    ///
+    /// ```
+    /// use eco_ir::{AffineExpr, VarId};
+    /// let (i, ii) = (VarId(0), VarId(1));
+    /// // i + 1 with i := ii + 4  ==>  ii + 5
+    /// let e = AffineExpr::var(i) + AffineExpr::constant(1);
+    /// let r = e.subst(i, &(AffineExpr::var(ii) + AffineExpr::constant(4)));
+    /// assert_eq!(r, AffineExpr::var(ii) + AffineExpr::constant(5));
+    /// ```
+    pub fn subst(&self, v: VarId, replacement: &AffineExpr) -> AffineExpr {
+        let c = self.coeff(v);
+        if c == 0 {
+            return self.clone();
+        }
+        let mut out = AffineExpr {
+            constant: self.constant,
+            terms: self.terms.iter().copied().filter(|&(w, _)| w != v).collect(),
+        };
+        out = out + replacement.clone() * c;
+        out
+    }
+
+    /// Adds `delta` to the constant part.
+    pub fn shifted(&self, delta: i64) -> AffineExpr {
+        let mut e = self.clone();
+        e.constant += delta;
+        e
+    }
+}
+
+impl Add for AffineExpr {
+    type Output = AffineExpr;
+    fn add(self, rhs: AffineExpr) -> AffineExpr {
+        let mut map: BTreeMap<VarId, i64> = self.terms.into_iter().collect();
+        for (v, c) in rhs.terms {
+            *map.entry(v).or_insert(0) += c;
+        }
+        AffineExpr {
+            constant: self.constant + rhs.constant,
+            terms: map.into_iter().filter(|&(_, c)| c != 0).collect(),
+        }
+    }
+}
+
+impl Sub for AffineExpr {
+    type Output = AffineExpr;
+    fn sub(self, rhs: AffineExpr) -> AffineExpr {
+        self + (-rhs)
+    }
+}
+
+impl Neg for AffineExpr {
+    type Output = AffineExpr;
+    fn neg(self) -> AffineExpr {
+        self * -1
+    }
+}
+
+impl Mul<i64> for AffineExpr {
+    type Output = AffineExpr;
+    fn mul(self, k: i64) -> AffineExpr {
+        if k == 0 {
+            return AffineExpr::constant(0);
+        }
+        AffineExpr {
+            constant: self.constant * k,
+            terms: self.terms.into_iter().map(|(v, c)| (v, c * k)).collect(),
+        }
+    }
+}
+
+impl From<i64> for AffineExpr {
+    fn from(c: i64) -> Self {
+        AffineExpr::constant(c)
+    }
+}
+
+impl From<VarId> for AffineExpr {
+    fn from(v: VarId) -> Self {
+        AffineExpr::var(v)
+    }
+}
+
+/// A loop bound: a single affine expression, or the min/max of several
+/// (tiled loops have `min(JJ + TJ - 1, N - 1)` upper bounds).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// A plain affine bound.
+    Affine(AffineExpr),
+    /// `min` of the alternatives (used for upper bounds of tile tails).
+    Min(Vec<AffineExpr>),
+    /// `max` of the alternatives (used for lower bounds, if ever needed).
+    Max(Vec<AffineExpr>),
+}
+
+impl Bound {
+    /// A constant bound.
+    pub fn constant(c: i64) -> Self {
+        Bound::Affine(AffineExpr::constant(c))
+    }
+
+    /// A single-variable bound.
+    pub fn var(v: VarId) -> Self {
+        Bound::Affine(AffineExpr::var(v))
+    }
+
+    /// `min` of the given expressions; collapses to `Affine` for one.
+    /// Duplicates are dropped; insertion order is otherwise preserved.
+    pub fn min_of(exprs: Vec<AffineExpr>) -> Self {
+        let mut seen: Vec<AffineExpr> = Vec::new();
+        for e in exprs {
+            if !seen.contains(&e) {
+                seen.push(e);
+            }
+        }
+        let mut exprs = seen;
+        if exprs.len() == 1 {
+            Bound::Affine(exprs.pop().expect("one element"))
+        } else {
+            Bound::Min(exprs)
+        }
+    }
+
+    /// Evaluates the bound under `env`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Min`/`Max` bound has no alternatives.
+    pub fn eval(&self, env: &impl Fn(VarId) -> i64) -> i64 {
+        match self {
+            Bound::Affine(e) => e.eval(env),
+            Bound::Min(es) => es.iter().map(|e| e.eval(env)).min().expect("nonempty min"),
+            Bound::Max(es) => es.iter().map(|e| e.eval(env)).max().expect("nonempty max"),
+        }
+    }
+
+    /// Substitutes `replacement` for `v` in every alternative.
+    pub fn subst(&self, v: VarId, replacement: &AffineExpr) -> Bound {
+        match self {
+            Bound::Affine(e) => Bound::Affine(e.subst(v, replacement)),
+            Bound::Min(es) => Bound::Min(es.iter().map(|e| e.subst(v, replacement)).collect()),
+            Bound::Max(es) => Bound::Max(es.iter().map(|e| e.subst(v, replacement)).collect()),
+        }
+    }
+
+    /// Adds `delta` to every alternative.
+    pub fn shifted(&self, delta: i64) -> Bound {
+        match self {
+            Bound::Affine(e) => Bound::Affine(e.shifted(delta)),
+            Bound::Min(es) => Bound::Min(es.iter().map(|e| e.shifted(delta)).collect()),
+            Bound::Max(es) => Bound::Max(es.iter().map(|e| e.shifted(delta)).collect()),
+        }
+    }
+
+    /// The affine expression if the bound is a plain one.
+    pub fn as_affine(&self) -> Option<&AffineExpr> {
+        match self {
+            Bound::Affine(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// All affine alternatives of the bound.
+    pub fn alternatives(&self) -> &[AffineExpr] {
+        match self {
+            Bound::Affine(e) => std::slice::from_ref(e),
+            Bound::Min(es) | Bound::Max(es) => es,
+        }
+    }
+
+    /// True if `v` appears anywhere in the bound.
+    pub fn uses(&self, v: VarId) -> bool {
+        self.alternatives().iter().any(|e| e.uses(v))
+    }
+}
+
+impl From<AffineExpr> for Bound {
+    fn from(e: AffineExpr) -> Self {
+        Bound::Affine(e)
+    }
+}
+
+impl From<i64> for Bound {
+    fn from(c: i64) -> Self {
+        Bound::constant(c)
+    }
+}
+
+impl From<VarId> for Bound {
+    fn from(v: VarId) -> Self {
+        Bound::var(v)
+    }
+}
+
+/// A guard condition `lhs <= rhs` used by unroll cleanup code.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cond {
+    /// Left-hand side.
+    pub lhs: AffineExpr,
+    /// Right-hand side (may be a `min`/`max` bound).
+    pub rhs: Bound,
+}
+
+impl Cond {
+    /// The condition `lhs <= rhs`.
+    pub fn le(lhs: AffineExpr, rhs: impl Into<Bound>) -> Self {
+        Cond {
+            lhs,
+            rhs: rhs.into(),
+        }
+    }
+
+    /// Evaluates the condition under `env`.
+    pub fn eval(&self, env: &impl Fn(VarId) -> i64) -> bool {
+        self.lhs.eval(env) <= self.rhs.eval(env)
+    }
+
+    /// Substitutes `replacement` for `v` on both sides.
+    pub fn subst(&self, v: VarId, replacement: &AffineExpr) -> Cond {
+        Cond {
+            lhs: self.lhs.subst(v, replacement),
+            rhs: self.rhs.subst(v, replacement),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} <= {:?}", self.lhs, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn construction_normalizes() {
+        let e = AffineExpr::new(1, vec![(v(1), 2), (v(0), 3), (v(1), -2)]);
+        assert_eq!(e.coeff(v(1)), 0);
+        assert_eq!(e.coeff(v(0)), 3);
+        assert_eq!(e.constant_part(), 1);
+        assert_eq!(e.terms().len(), 1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = AffineExpr::var(v(0)) * 2 + AffineExpr::constant(5);
+        let b = AffineExpr::var(v(0)) - AffineExpr::constant(1);
+        let s = a.clone() + b.clone();
+        assert_eq!(s.coeff(v(0)), 3);
+        assert_eq!(s.constant_part(), 4);
+        let d = a - b;
+        assert_eq!(d.coeff(v(0)), 1);
+        assert_eq!(d.constant_part(), 6);
+    }
+
+    #[test]
+    fn mul_by_zero_clears() {
+        let a = AffineExpr::var(v(0)) + AffineExpr::constant(7);
+        assert_eq!(a * 0, AffineExpr::constant(0));
+    }
+
+    #[test]
+    fn eval_and_subst() {
+        // e = 2*i + 3*j + 1
+        let e = AffineExpr::new(1, vec![(v(0), 2), (v(1), 3)]);
+        assert_eq!(e.eval(&|x| if x == v(0) { 10 } else { 100 }), 321);
+        // i := k + 4  =>  2k + 3j + 9
+        let r = e.subst(v(0), &(AffineExpr::var(v(2)) + AffineExpr::constant(4)));
+        assert_eq!(r.coeff(v(2)), 2);
+        assert_eq!(r.coeff(v(1)), 3);
+        assert_eq!(r.constant_part(), 9);
+        // substituting an absent var is identity
+        assert_eq!(e.subst(v(5), &AffineExpr::constant(9)), e);
+    }
+
+    #[test]
+    fn subst_self_referential() {
+        // i := i + 1 (loop shift)
+        let e = AffineExpr::var(v(0)) * 3;
+        let r = e.subst(v(0), &(AffineExpr::var(v(0)) + AffineExpr::constant(1)));
+        assert_eq!(r.coeff(v(0)), 3);
+        assert_eq!(r.constant_part(), 3);
+    }
+
+    #[test]
+    fn bounds_eval() {
+        let b = Bound::min_of(vec![
+            AffineExpr::var(v(0)) + AffineExpr::constant(15),
+            AffineExpr::var(v(1)),
+        ]);
+        let env = |x: VarId| if x == v(0) { 0 } else { 10 };
+        assert_eq!(b.eval(&env), 10);
+        let env2 = |x: VarId| if x == v(0) { 0 } else { 100 };
+        assert_eq!(b.eval(&env2), 15);
+    }
+
+    #[test]
+    fn min_of_one_collapses() {
+        let b = Bound::min_of(vec![AffineExpr::constant(4)]);
+        assert!(matches!(b, Bound::Affine(_)));
+        let b2 = Bound::min_of(vec![AffineExpr::constant(4), AffineExpr::constant(4)]);
+        assert!(matches!(b2, Bound::Affine(_)));
+    }
+
+    #[test]
+    fn bound_uses_and_subst() {
+        let b = Bound::min_of(vec![
+            AffineExpr::var(v(0)) + AffineExpr::constant(15),
+            AffineExpr::var(v(1)),
+        ]);
+        assert!(b.uses(v(0)));
+        assert!(!b.uses(v(7)));
+        let s = b.subst(v(0), &AffineExpr::constant(1));
+        assert!(!s.uses(v(0)));
+        assert_eq!(s.eval(&|_| 99), 16);
+    }
+
+    #[test]
+    fn cond_eval() {
+        let c = Cond::le(AffineExpr::var(v(0)), AffineExpr::constant(5));
+        assert!(c.eval(&|_| 5));
+        assert!(!c.eval(&|_| 6));
+        let c2 = c.subst(v(0), &AffineExpr::constant(3));
+        assert!(c2.eval(&|_| 1000));
+    }
+
+    #[test]
+    fn conversions() {
+        let _: AffineExpr = 4i64.into();
+        let _: AffineExpr = v(3).into();
+        let _: Bound = 4i64.into();
+        let _: Bound = v(3).into();
+        let b: Bound = AffineExpr::constant(2).into();
+        assert_eq!(b.eval(&|_| 0), 2);
+    }
+}

@@ -1,0 +1,281 @@
+//! Loop-nest intermediate representation for the ECO reproduction.
+//!
+//! This crate plays the role SUIF played in the paper: an explicit,
+//! transformable representation of dense-matrix loop nests. It provides:
+//!
+//! * [`AffineExpr`] / [`Bound`] — affine subscripts and (min/max) loop
+//!   bounds;
+//! * [`Program`] — declarations plus a statement tree of counted loops
+//!   ([`Loop`]), guards, array stores, register assignments and software
+//!   prefetches;
+//! * a Fortran-flavoured pretty printer ([`pretty`]) mirroring the
+//!   paper's Figures 1–2.
+//!
+//! Programs are built through the builder methods on [`Program`];
+//! `eco-kernels` constructs Matrix Multiply and Jacobi, `eco-transform`
+//! rewrites them, `eco-exec` interprets them (both numerically, for
+//! correctness checking, and as an address-trace generator feeding the
+//! cache simulator).
+//!
+//! # Examples
+//!
+//! Build `DO I = 0, N-1: A[I] = A[I] + 1` and print it:
+//!
+//! ```
+//! use eco_ir::{AffineExpr, Program, Stmt, Loop, ArrayRef, ScalarExpr};
+//!
+//! let mut p = Program::new("incr");
+//! let n = p.add_param("N");
+//! let i = p.add_loop_var("I");
+//! let a = p.add_array("A", vec![AffineExpr::var(n)]);
+//! let elem = ArrayRef::new(a, vec![AffineExpr::var(i)]);
+//! p.body.push(Stmt::For(Loop {
+//!     var: i,
+//!     lo: 0.into(),
+//!     hi: (AffineExpr::var(n) - AffineExpr::constant(1)).into(),
+//!     step: 1,
+//!     body: vec![Stmt::Store {
+//!         target: elem.clone(),
+//!         value: ScalarExpr::add(ScalarExpr::Load(elem), ScalarExpr::Const(1.0)),
+//!     }],
+//! }));
+//! assert!(p.validate().is_ok());
+//! assert!(p.to_string().contains("DO I = 0, N - 1"));
+//! ```
+
+mod expr;
+mod program;
+pub mod pretty;
+
+pub use expr::{AffineExpr, Bound, Cond, VarId};
+pub use program::{
+    ArrayDecl, ArrayId, ArrayKind, ArrayRef, Loop, NestLoop, Program, ScalarExpr, Stmt, TempId,
+    VarDecl, VarKind,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the naive matrix-multiply nest of Figure 1(a) for tests.
+    fn mm() -> Program {
+        let mut p = Program::new("mm");
+        let n = p.add_param("N");
+        let (k, j, i) = (p.add_loop_var("K"), p.add_loop_var("J"), p.add_loop_var("I"));
+        let a = p.add_array("A", vec![AffineExpr::var(n), AffineExpr::var(n)]);
+        let b = p.add_array("B", vec![AffineExpr::var(n), AffineExpr::var(n)]);
+        let c = p.add_array("C", vec![AffineExpr::var(n), AffineExpr::var(n)]);
+        let c_ref = ArrayRef::new(c, vec![AffineExpr::var(i), AffineExpr::var(j)]);
+        let hi = AffineExpr::var(n) - AffineExpr::constant(1);
+        let body = Stmt::Store {
+            target: c_ref.clone(),
+            value: ScalarExpr::add(
+                ScalarExpr::Load(c_ref),
+                ScalarExpr::mul(
+                    ScalarExpr::Load(ArrayRef::new(
+                        a,
+                        vec![AffineExpr::var(i), AffineExpr::var(k)],
+                    )),
+                    ScalarExpr::Load(ArrayRef::new(
+                        b,
+                        vec![AffineExpr::var(k), AffineExpr::var(j)],
+                    )),
+                ),
+            ),
+        };
+        let mk = |var, inner: Vec<Stmt>| {
+            Stmt::For(Loop {
+                var,
+                lo: 0.into(),
+                hi: hi.clone().into(),
+                step: 1,
+                body: inner,
+            })
+        };
+        let nest = mk(k, vec![mk(j, vec![mk(i, vec![body])])]);
+        p.body.push(nest);
+        p
+    }
+
+    #[test]
+    fn mm_validates() {
+        assert!(mm().validate().is_ok());
+    }
+
+    #[test]
+    fn mm_is_perfect_nest() {
+        let p = mm();
+        let (loops, body) = p.perfect_nest().expect("perfect");
+        assert_eq!(loops.len(), 3);
+        assert_eq!(p.var(loops[0].var).name, "K");
+        assert_eq!(p.var(loops[2].var).name, "I");
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn mm_prints_like_figure_1a() {
+        let s = mm().to_string();
+        assert!(s.contains("DO K = 0, N - 1"), "{s}");
+        assert!(s.contains("C[I,J] = C[I,J] + A[I,K]*B[K,J]"), "{s}");
+    }
+
+    #[test]
+    fn find_loop_by_var() {
+        let p = mm();
+        let j = p.var_by_name("J").expect("J exists");
+        let l = p.find_loop(j).expect("loop found");
+        assert_eq!(l.var, j);
+        assert_eq!(l.body.len(), 1);
+        let n = p.var_by_name("N").expect("N exists");
+        assert!(p.find_loop(n).is_none());
+    }
+
+    #[test]
+    fn ref_counting() {
+        let p = mm();
+        let mut reads = 0;
+        let mut writes = 0;
+        p.for_each_ref(&mut |_, w| {
+            if w {
+                writes += 1;
+            } else {
+                reads += 1;
+            }
+        });
+        assert_eq!(reads, 3);
+        assert_eq!(writes, 1);
+    }
+
+    #[test]
+    fn flop_count_of_mm_body() {
+        let p = mm();
+        let (_, body) = p.perfect_nest().expect("perfect");
+        match &body[0] {
+            Stmt::Store { value, .. } => assert_eq!(value.flops(), 2),
+            other => panic!("expected store, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_rank_mismatch() {
+        let mut p = Program::new("bad");
+        let n = p.add_param("N");
+        let a = p.add_array("A", vec![AffineExpr::var(n), AffineExpr::var(n)]);
+        p.body.push(Stmt::Store {
+            target: ArrayRef::new(a, vec![AffineExpr::constant(0)]),
+            value: ScalarExpr::Const(0.0),
+        });
+        let err = p.validate().expect_err("should fail");
+        assert!(err.contains("rank"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_rebound_loop_var() {
+        let mut p = Program::new("bad");
+        let i = p.add_loop_var("I");
+        let inner = Stmt::For(Loop {
+            var: i,
+            lo: 0.into(),
+            hi: 1.into(),
+            step: 1,
+            body: vec![],
+        });
+        p.body.push(Stmt::For(Loop {
+            var: i,
+            lo: 0.into(),
+            hi: 1.into(),
+            step: 1,
+            body: vec![inner],
+        }));
+        let err = p.validate().expect_err("should fail");
+        assert!(err.contains("bound twice"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_step() {
+        let mut p = Program::new("bad");
+        let i = p.add_loop_var("I");
+        p.body.push(Stmt::For(Loop {
+            var: i,
+            lo: 0.into(),
+            hi: 1.into(),
+            step: 0,
+            body: vec![],
+        }));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn fresh_names_are_unique() {
+        let mut p = Program::new("t");
+        p.add_loop_var("I");
+        let v2 = p.fresh_loop_var("I");
+        assert_eq!(p.var(v2).name, "I2");
+        p.add_temp("r");
+        let t2 = p.add_temp("r");
+        assert_eq!(p.temps[t2.index()], "r_2");
+    }
+
+    #[test]
+    fn subst_var_shadows_rebinding_loop() {
+        // Substituting for a var does not descend into a loop that
+        // rebinds it.
+        let mut p = Program::new("t");
+        let i = p.add_loop_var("I");
+        let a = p.add_array("A", vec![AffineExpr::constant(10)]);
+        let mut outer = Stmt::For(Loop {
+            var: i,
+            lo: 0.into(),
+            hi: AffineExpr::var(i).into(), // bound mentions i (weird but legal for the test)
+            step: 1,
+            body: vec![Stmt::Store {
+                target: ArrayRef::new(a, vec![AffineExpr::var(i)]),
+                value: ScalarExpr::Const(0.0),
+            }],
+        });
+        outer.subst_var(i, &AffineExpr::constant(7));
+        match &outer {
+            Stmt::For(l) => {
+                assert_eq!(l.hi, Bound::constant(7)); // bound rewritten
+                match &l.body[0] {
+                    Stmt::Store { target, .. } => {
+                        assert!(target.uses(i), "body shadowed, ref untouched")
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pretty_prints_min_bound_and_prefetch() {
+        let mut p = Program::new("t");
+        let n = p.add_param("N");
+        let jj = p.add_loop_var("JJ");
+        let j = p.add_loop_var("J");
+        let a = p.add_array("A", vec![AffineExpr::var(n)]);
+        p.body.push(Stmt::For(Loop {
+            var: jj,
+            lo: 0.into(),
+            hi: (AffineExpr::var(n) - AffineExpr::constant(1)).into(),
+            step: 16,
+            body: vec![Stmt::For(Loop {
+                var: j,
+                lo: AffineExpr::var(jj).into(),
+                hi: Bound::min_of(vec![
+                    AffineExpr::var(jj) + AffineExpr::constant(15),
+                    AffineExpr::var(n) - AffineExpr::constant(1),
+                ]),
+                step: 1,
+                body: vec![Stmt::Prefetch {
+                    target: ArrayRef::new(a, vec![AffineExpr::var(j) + AffineExpr::constant(8)]),
+                }],
+            })],
+        }));
+        let s = p.to_string();
+        assert!(s.contains("DO JJ = 0, N - 1, 16"), "{s}");
+        assert!(s.contains("min(JJ + 15, N - 1)"), "{s}");
+        assert!(s.contains("PREFETCH A[J + 8]"), "{s}");
+    }
+}

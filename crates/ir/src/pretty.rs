@@ -1,0 +1,207 @@
+//! Fortran-flavoured pretty-printing of IR programs.
+//!
+//! The output mirrors the style of the paper's Figures 1 and 2:
+//!
+//! ```text
+//! PROGRAM mm
+//!   PARAM N
+//!   REAL A[N,N], B[N,N], C[N,N]
+//!   DO K = 0, N-1
+//!     DO J = 0, N-1
+//!       DO I = 0, N-1
+//!         C[I,J] = C[I,J] + A[I,K]*B[K,J]
+//! ```
+
+use crate::expr::{AffineExpr, Bound};
+use crate::program::{ArrayRef, Program, ScalarExpr, Stmt};
+use std::fmt::Write as _;
+
+/// Renders an affine expression using the program's variable names.
+pub fn affine_to_string(p: &Program, e: &AffineExpr) -> String {
+    let mut out = String::new();
+    let mut first = true;
+    for &(v, c) in e.terms() {
+        let name = &p.var(v).name;
+        if first {
+            match c {
+                1 => out.push_str(name),
+                -1 => {
+                    let _ = write!(out, "-{name}");
+                }
+                _ => {
+                    let _ = write!(out, "{c}*{name}");
+                }
+            }
+            first = false;
+        } else {
+            let (sign, mag) = if c < 0 { ('-', -c) } else { ('+', c) };
+            if mag == 1 {
+                let _ = write!(out, " {sign} {name}");
+            } else {
+                let _ = write!(out, " {sign} {mag}*{name}");
+            }
+        }
+    }
+    let c0 = e.constant_part();
+    if first {
+        let _ = write!(out, "{c0}");
+    } else if c0 > 0 {
+        let _ = write!(out, " + {c0}");
+    } else if c0 < 0 {
+        let _ = write!(out, " - {}", -c0);
+    }
+    out
+}
+
+/// Renders a bound, using `min(...)`/`max(...)` where needed.
+pub fn bound_to_string(p: &Program, b: &Bound) -> String {
+    match b {
+        Bound::Affine(e) => affine_to_string(p, e),
+        Bound::Min(es) => format!(
+            "min({})",
+            es.iter()
+                .map(|e| affine_to_string(p, e))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Bound::Max(es) => format!(
+            "max({})",
+            es.iter()
+                .map(|e| affine_to_string(p, e))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    }
+}
+
+/// Renders an array reference `A[i,j]`.
+pub fn ref_to_string(p: &Program, r: &ArrayRef) -> String {
+    format!(
+        "{}[{}]",
+        p.array(r.array).name,
+        r.idx
+            .iter()
+            .map(|e| affine_to_string(p, e))
+            .collect::<Vec<_>>()
+            .join(",")
+    )
+}
+
+fn scalar_to_string(p: &Program, e: &ScalarExpr, parent_prec: u8) -> String {
+    let (s, prec) = match e {
+        ScalarExpr::Const(c) => (format!("{c}"), 3),
+        ScalarExpr::Load(r) => (ref_to_string(p, r), 3),
+        ScalarExpr::Temp(t) => (p.temps[t.index()].clone(), 3),
+        ScalarExpr::Add(a, b) => (
+            format!(
+                "{} + {}",
+                scalar_to_string(p, a, 1),
+                scalar_to_string(p, b, 1)
+            ),
+            1,
+        ),
+        ScalarExpr::Sub(a, b) => (
+            format!(
+                "{} - {}",
+                scalar_to_string(p, a, 1),
+                scalar_to_string(p, b, 2)
+            ),
+            1,
+        ),
+        ScalarExpr::Mul(a, b) => (
+            format!(
+                "{}*{}",
+                scalar_to_string(p, a, 2),
+                scalar_to_string(p, b, 2)
+            ),
+            2,
+        ),
+    };
+    if prec < parent_prec {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+fn print_stmts(p: &Program, stmts: &[Stmt], indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    for s in stmts {
+        match s {
+            Stmt::For(l) => {
+                let _ = writeln!(
+                    out,
+                    "{pad}DO {} = {}, {}{}",
+                    p.var(l.var).name,
+                    bound_to_string(p, &l.lo),
+                    bound_to_string(p, &l.hi),
+                    if l.step != 1 {
+                        format!(", {}", l.step)
+                    } else {
+                        String::new()
+                    }
+                );
+                print_stmts(p, &l.body, indent + 1, out);
+            }
+            Stmt::If { cond, then } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}IF ({} <= {}) THEN",
+                    affine_to_string(p, &cond.lhs),
+                    bound_to_string(p, &cond.rhs),
+                );
+                print_stmts(p, then, indent + 1, out);
+            }
+            Stmt::Store { target, value } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = {}",
+                    ref_to_string(p, target),
+                    scalar_to_string(p, value, 0)
+                );
+            }
+            Stmt::SetTemp { temp, value } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = {}",
+                    p.temps[temp.index()],
+                    scalar_to_string(p, value, 0)
+                );
+            }
+            Stmt::Prefetch { target } => {
+                let _ = writeln!(out, "{pad}PREFETCH {}", ref_to_string(p, target));
+            }
+        }
+    }
+}
+
+/// Renders a whole program in the paper's pseudo-Fortran style.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "PROGRAM {}", p.name);
+    let params: Vec<_> = p.params().map(|v| p.var(v).name.clone()).collect();
+    if !params.is_empty() {
+        let _ = writeln!(out, "  PARAM {}", params.join(", "));
+    }
+    for a in &p.arrays {
+        let dims = a
+            .dims
+            .iter()
+            .map(|e| affine_to_string(p, e))
+            .collect::<Vec<_>>()
+            .join(",");
+        let kw = match a.kind {
+            crate::program::ArrayKind::Data => "REAL",
+            crate::program::ArrayKind::CopyBuffer => "NEW",
+        };
+        let _ = writeln!(out, "  {kw} {}[{dims}]", a.name);
+    }
+    print_stmts(p, &p.body, 1, &mut out);
+    out
+}
+
+impl std::fmt::Display for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&program_to_string(self))
+    }
+}

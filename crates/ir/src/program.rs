@@ -1,0 +1,622 @@
+//! The loop-nest program IR.
+//!
+//! A [`Program`] declares integer variables (loop indices and symbolic
+//! parameters such as the problem size `N`), column-major `f64` arrays,
+//! scalar temporaries (the registers produced by scalar replacement), and
+//! a body of statements: counted loops, guarded blocks, array stores,
+//! temporary assignments, and software prefetches.
+//!
+//! The IR is deliberately close to the pseudo-Fortran of the paper's
+//! Figures 1 and 2; the pretty-printer in [`crate::pretty`] renders it in
+//! that style.
+
+use crate::expr::{AffineExpr, Bound, Cond, VarId};
+
+/// Identifier of an array; indexes [`Program::arrays`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(pub u32);
+
+impl ArrayId {
+    /// Index into the program's array table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a scalar temporary; indexes [`Program::temps`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TempId(pub u32);
+
+impl TempId {
+    /// Index into the program's temporary table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What kind of integer variable a [`VarId`] names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// A loop index, bound by some `For` in the body.
+    Loop,
+    /// A symbolic parameter (problem size), bound by the execution
+    /// environment.
+    Param,
+}
+
+/// Declaration of an integer variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VarDecl {
+    /// Source-level name (`"I"`, `"N"`, ...).
+    pub name: String,
+    /// Loop index or parameter.
+    pub kind: VarKind,
+}
+
+/// What kind of storage an array is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrayKind {
+    /// Original program data.
+    Data,
+    /// A compiler-introduced contiguous copy buffer (the `P`/`Q` arrays
+    /// of the paper's Figure 1).
+    CopyBuffer,
+}
+
+/// Declaration of a column-major `f64` array.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArrayDecl {
+    /// Source-level name.
+    pub name: String,
+    /// Extent of each dimension, leftmost dimension contiguous
+    /// (Fortran layout). May reference parameters.
+    pub dims: Vec<AffineExpr>,
+    /// Data or copy buffer.
+    pub kind: ArrayKind,
+}
+
+/// A subscripted reference `A[e1, e2, ...]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArrayRef {
+    /// The array referenced.
+    pub array: ArrayId,
+    /// One affine subscript per dimension, 0-based.
+    pub idx: Vec<AffineExpr>,
+}
+
+impl ArrayRef {
+    /// Builds a reference from subscript expressions.
+    pub fn new(array: ArrayId, idx: Vec<AffineExpr>) -> Self {
+        ArrayRef { array, idx }
+    }
+
+    /// Substitutes `replacement` for `v` in every subscript.
+    pub fn subst(&self, v: VarId, replacement: &AffineExpr) -> ArrayRef {
+        ArrayRef {
+            array: self.array,
+            idx: self.idx.iter().map(|e| e.subst(v, replacement)).collect(),
+        }
+    }
+
+    /// True if `v` appears in any subscript.
+    pub fn uses(&self, v: VarId) -> bool {
+        self.idx.iter().any(|e| e.uses(v))
+    }
+}
+
+/// A floating-point value expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// A literal constant.
+    Const(f64),
+    /// A load from an array element.
+    Load(ArrayRef),
+    /// A read of a scalar temporary (register).
+    Temp(TempId),
+    /// Addition (1 flop).
+    Add(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Subtraction (1 flop).
+    Sub(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Multiplication (1 flop).
+    Mul(Box<ScalarExpr>, Box<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// `lhs + rhs`.
+    ///
+    /// A static constructor by design (builds a tree node; `self` would
+    /// be misleading for a non-arithmetic type), hence the lint allow.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(lhs: ScalarExpr, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Add(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `lhs - rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(lhs: ScalarExpr, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Sub(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `lhs * rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(lhs: ScalarExpr, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Mul(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Number of floating-point operations in the expression.
+    pub fn flops(&self) -> u64 {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::Load(_) | ScalarExpr::Temp(_) => 0,
+            ScalarExpr::Add(a, b) | ScalarExpr::Sub(a, b) | ScalarExpr::Mul(a, b) => {
+                1 + a.flops() + b.flops()
+            }
+        }
+    }
+
+    /// Visits every array load in evaluation order.
+    pub fn for_each_load(&self, f: &mut impl FnMut(&ArrayRef)) {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::Temp(_) => {}
+            ScalarExpr::Load(r) => f(r),
+            ScalarExpr::Add(a, b) | ScalarExpr::Sub(a, b) | ScalarExpr::Mul(a, b) => {
+                a.for_each_load(f);
+                b.for_each_load(f);
+            }
+        }
+    }
+
+    /// Rewrites every array load with `f`; `None` keeps the load.
+    pub fn map_loads(&mut self, f: &mut impl FnMut(&ArrayRef) -> Option<ScalarExpr>) {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::Temp(_) => {}
+            ScalarExpr::Load(r) => {
+                if let Some(repl) = f(r) {
+                    *self = repl;
+                }
+            }
+            ScalarExpr::Add(a, b) | ScalarExpr::Sub(a, b) | ScalarExpr::Mul(a, b) => {
+                a.map_loads(f);
+                b.map_loads(f);
+            }
+        }
+    }
+
+    /// Substitutes `replacement` for `v` in every subscript expression.
+    pub fn subst_var(&mut self, v: VarId, replacement: &AffineExpr) {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::Temp(_) => {}
+            ScalarExpr::Load(r) => *r = r.subst(v, replacement),
+            ScalarExpr::Add(a, b) | ScalarExpr::Sub(a, b) | ScalarExpr::Mul(a, b) => {
+                a.subst_var(v, replacement);
+                b.subst_var(v, replacement);
+            }
+        }
+    }
+}
+
+/// A counted loop `DO var = lo, hi, step` (inclusive bounds, positive
+/// step, Fortran-style).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loop {
+    /// The loop index variable.
+    pub var: VarId,
+    /// Lower bound.
+    pub lo: Bound,
+    /// Upper bound (inclusive).
+    pub hi: Bound,
+    /// Step; must be positive.
+    pub step: i64,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A counted loop.
+    For(Loop),
+    /// A guarded block `IF cond THEN body` (produced by unroll cleanup).
+    If {
+        /// The guard condition.
+        cond: Cond,
+        /// Statements executed when the guard holds.
+        then: Vec<Stmt>,
+    },
+    /// An array store `target = value`.
+    Store {
+        /// The element stored to.
+        target: ArrayRef,
+        /// The value stored.
+        value: ScalarExpr,
+    },
+    /// A register assignment `temp = value`.
+    SetTemp {
+        /// The temporary written.
+        temp: TempId,
+        /// The value assigned.
+        value: ScalarExpr,
+    },
+    /// A software prefetch of the line containing `target`.
+    Prefetch {
+        /// The element whose line is prefetched. Out-of-bounds prefetches
+        /// are legal and ignored at execution time.
+        target: ArrayRef,
+    },
+}
+
+impl Stmt {
+    /// Substitutes `replacement` for `v` everywhere in the statement
+    /// (bounds, guards, subscripts). Loops that *bind* `v` shadow it, so
+    /// their bodies are left alone (bounds are still rewritten).
+    pub fn subst_var(&mut self, v: VarId, replacement: &AffineExpr) {
+        match self {
+            Stmt::For(l) => {
+                l.lo = l.lo.subst(v, replacement);
+                l.hi = l.hi.subst(v, replacement);
+                if l.var != v {
+                    for s in &mut l.body {
+                        s.subst_var(v, replacement);
+                    }
+                }
+            }
+            Stmt::If { cond, then } => {
+                *cond = cond.subst(v, replacement);
+                for s in then {
+                    s.subst_var(v, replacement);
+                }
+            }
+            Stmt::Store { target, value } => {
+                *target = target.subst(v, replacement);
+                value.subst_var(v, replacement);
+            }
+            Stmt::SetTemp { value, .. } => value.subst_var(v, replacement),
+            Stmt::Prefetch { target } => *target = target.subst(v, replacement),
+        }
+    }
+
+    /// Visits every array reference in the statement tree.
+    /// The flag passed to `f` is `true` for writes.
+    pub fn for_each_ref(&self, f: &mut impl FnMut(&ArrayRef, bool)) {
+        match self {
+            Stmt::For(l) => {
+                for s in &l.body {
+                    s.for_each_ref(f);
+                }
+            }
+            Stmt::If { then, .. } => {
+                for s in then {
+                    s.for_each_ref(f);
+                }
+            }
+            Stmt::Store { target, value } => {
+                value.for_each_load(&mut |r| f(r, false));
+                f(target, true);
+            }
+            Stmt::SetTemp { value, .. } => value.for_each_load(&mut |r| f(r, false)),
+            Stmt::Prefetch { target } => f(target, false),
+        }
+    }
+
+    /// Visits every statement in the tree, depth-first, including `self`.
+    pub fn for_each_stmt(&self, f: &mut impl FnMut(&Stmt)) {
+        f(self);
+        match self {
+            Stmt::For(l) => {
+                for s in &l.body {
+                    s.for_each_stmt(f);
+                }
+            }
+            Stmt::If { then, .. } => {
+                for s in then {
+                    s.for_each_stmt(f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A whole program: declarations plus a statement body.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Program name (used by the pretty-printer).
+    pub name: String,
+    /// Integer variable declarations, indexed by [`VarId`].
+    pub vars: Vec<VarDecl>,
+    /// Array declarations, indexed by [`ArrayId`].
+    pub arrays: Vec<ArrayDecl>,
+    /// Scalar temporary names, indexed by [`TempId`].
+    pub temps: Vec<String>,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+/// One level of a perfect loop nest, as returned by
+/// [`Program::perfect_nest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NestLoop {
+    /// Loop variable.
+    pub var: VarId,
+    /// Lower bound.
+    pub lo: Bound,
+    /// Upper bound (inclusive).
+    pub hi: Bound,
+    /// Step.
+    pub step: i64,
+}
+
+impl Program {
+    /// An empty program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Declares a symbolic parameter and returns its id.
+    pub fn add_param(&mut self, name: impl Into<String>) -> VarId {
+        self.vars.push(VarDecl {
+            name: name.into(),
+            kind: VarKind::Param,
+        });
+        VarId(self.vars.len() as u32 - 1)
+    }
+
+    /// Declares a loop variable and returns its id.
+    pub fn add_loop_var(&mut self, name: impl Into<String>) -> VarId {
+        self.vars.push(VarDecl {
+            name: name.into(),
+            kind: VarKind::Loop,
+        });
+        VarId(self.vars.len() as u32 - 1)
+    }
+
+    /// Declares a loop variable with a name not already in use
+    /// (`hint`, `hint2`, `hint3`, ...).
+    pub fn fresh_loop_var(&mut self, hint: &str) -> VarId {
+        let mut name = hint.to_string();
+        let mut n = 1;
+        while self.vars.iter().any(|v| v.name == name) {
+            n += 1;
+            name = format!("{hint}{n}");
+        }
+        self.add_loop_var(name)
+    }
+
+    /// Declares a data array and returns its id.
+    pub fn add_array(&mut self, name: impl Into<String>, dims: Vec<AffineExpr>) -> ArrayId {
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            dims,
+            kind: ArrayKind::Data,
+        });
+        ArrayId(self.arrays.len() as u32 - 1)
+    }
+
+    /// Declares a compiler-introduced copy buffer and returns its id.
+    pub fn add_copy_buffer(
+        &mut self,
+        name: impl Into<String>,
+        dims: Vec<AffineExpr>,
+    ) -> ArrayId {
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            dims,
+            kind: ArrayKind::CopyBuffer,
+        });
+        ArrayId(self.arrays.len() as u32 - 1)
+    }
+
+    /// Declares a scalar temporary with a unique name based on `hint`.
+    pub fn add_temp(&mut self, hint: &str) -> TempId {
+        let mut name = hint.to_string();
+        let mut n = 1;
+        while self.temps.iter().any(|t| t == &name) {
+            n += 1;
+            name = format!("{hint}_{n}");
+        }
+        self.temps.push(name);
+        TempId(self.temps.len() as u32 - 1)
+    }
+
+    /// The declaration of variable `v`.
+    pub fn var(&self, v: VarId) -> &VarDecl {
+        &self.vars[v.index()]
+    }
+
+    /// The declaration of array `a`.
+    pub fn array(&self, a: ArrayId) -> &ArrayDecl {
+        &self.arrays[a.index()]
+    }
+
+    /// Looks up an array by name.
+    pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
+        self.arrays
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| ArrayId(i as u32))
+    }
+
+    /// Looks up a variable by name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// All parameter ids, in declaration order.
+    pub fn params(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind == VarKind::Param)
+            .map(|(i, _)| VarId(i as u32))
+    }
+
+    /// Visits every statement in the program, depth-first.
+    pub fn for_each_stmt(&self, f: &mut impl FnMut(&Stmt)) {
+        for s in &self.body {
+            s.for_each_stmt(f);
+        }
+    }
+
+    /// Visits every array reference in the program.
+    /// The flag passed to `f` is `true` for writes.
+    pub fn for_each_ref(&self, f: &mut impl FnMut(&ArrayRef, bool)) {
+        for s in &self.body {
+            s.for_each_ref(f);
+        }
+    }
+
+    /// If the whole body is one perfect loop nest (each loop's body is a
+    /// single loop, down to an innermost loop whose body contains no
+    /// loops), returns the nest levels outermost-first and the innermost
+    /// body.
+    pub fn perfect_nest(&self) -> Option<(Vec<NestLoop>, &[Stmt])> {
+        let mut loops = Vec::new();
+        let mut stmts: &[Stmt] = &self.body;
+        loop {
+            match stmts {
+                [Stmt::For(l)] => {
+                    loops.push(NestLoop {
+                        var: l.var,
+                        lo: l.lo.clone(),
+                        hi: l.hi.clone(),
+                        step: l.step,
+                    });
+                    if l.body.iter().any(|s| matches!(s, Stmt::For(_))) {
+                        stmts = &l.body;
+                    } else {
+                        return Some((loops, &l.body));
+                    }
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Finds the (unique) loop with index variable `v`, if any.
+    pub fn find_loop(&self, v: VarId) -> Option<&Loop> {
+        fn search(stmts: &[Stmt], v: VarId) -> Option<&Loop> {
+            for s in stmts {
+                match s {
+                    Stmt::For(l) => {
+                        if l.var == v {
+                            return Some(l);
+                        }
+                        if let Some(found) = search(&l.body, v) {
+                            return Some(found);
+                        }
+                    }
+                    Stmt::If { then, .. } => {
+                        if let Some(found) = search(then, v) {
+                            return Some(found);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        search(&self.body, v)
+    }
+
+    /// Checks structural well-formedness: all ids in range, subscript
+    /// ranks match declarations, loop steps positive, each loop variable
+    /// is declared as [`VarKind::Loop`] and binds at most one loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen_loop_vars = Vec::new();
+        let mut check_ref = |r: &ArrayRef| -> Result<(), String> {
+            let decl = self
+                .arrays
+                .get(r.array.index())
+                .ok_or_else(|| format!("array id {:?} out of range", r.array))?;
+            if r.idx.len() != decl.dims.len() {
+                return Err(format!(
+                    "reference to {} has {} subscripts, array has rank {}",
+                    decl.name,
+                    r.idx.len(),
+                    decl.dims.len()
+                ));
+            }
+            for e in &r.idx {
+                for v in e.vars() {
+                    if v.index() >= self.vars.len() {
+                        return Err(format!("variable id {v:?} out of range"));
+                    }
+                }
+            }
+            Ok(())
+        };
+        fn walk(
+            p: &Program,
+            stmts: &[Stmt],
+            seen: &mut Vec<VarId>,
+            check_ref: &mut impl FnMut(&ArrayRef) -> Result<(), String>,
+        ) -> Result<(), String> {
+            for s in stmts {
+                match s {
+                    Stmt::For(l) => {
+                        if l.step <= 0 {
+                            return Err(format!(
+                                "loop {} has non-positive step {}",
+                                p.var(l.var).name,
+                                l.step
+                            ));
+                        }
+                        if p.var(l.var).kind != VarKind::Loop {
+                            return Err(format!(
+                                "loop binds {} which is not a loop variable",
+                                p.var(l.var).name
+                            ));
+                        }
+                        if seen.contains(&l.var) {
+                            return Err(format!(
+                                "loop variable {} bound twice",
+                                p.var(l.var).name
+                            ));
+                        }
+                        seen.push(l.var);
+                        walk(p, &l.body, seen, check_ref)?;
+                    }
+                    Stmt::If { then, .. } => walk(p, then, seen, check_ref)?,
+                    Stmt::Store { target, value } => {
+                        check_ref(target)?;
+                        let mut err = None;
+                        value.for_each_load(&mut |r| {
+                            if err.is_none() {
+                                err = check_ref(r).err();
+                            }
+                        });
+                        if let Some(e) = err {
+                            return Err(e);
+                        }
+                    }
+                    Stmt::SetTemp { temp, value } => {
+                        if temp.index() >= p.temps.len() {
+                            return Err(format!("temp id {temp:?} out of range"));
+                        }
+                        let mut err = None;
+                        value.for_each_load(&mut |r| {
+                            if err.is_none() {
+                                err = check_ref(r).err();
+                            }
+                        });
+                        if let Some(e) = err {
+                            return Err(e);
+                        }
+                    }
+                    Stmt::Prefetch { target } => check_ref(target)?,
+                }
+            }
+            Ok(())
+        }
+        walk(self, &self.body, &mut seen_loop_vars, &mut check_ref)
+    }
+}

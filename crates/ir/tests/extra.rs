@@ -1,0 +1,115 @@
+//! Supplementary IR tests: printer precedence, bound edge cases,
+//! traversal helpers.
+
+use eco_ir::{
+    pretty, AffineExpr, ArrayRef, Bound, Cond, Loop, Program, ScalarExpr, Stmt, VarId,
+};
+
+fn v(i: u32) -> VarId {
+    VarId(i)
+}
+
+#[test]
+fn max_bound_evaluates() {
+    let b = Bound::Max(vec![AffineExpr::constant(3), AffineExpr::var(v(0))]);
+    assert_eq!(b.eval(&|_| 1), 3);
+    assert_eq!(b.eval(&|_| 9), 9);
+    let s = b.subst(v(0), &AffineExpr::constant(5));
+    assert_eq!(s.eval(&|_| 0), 5);
+    assert_eq!(b.shifted(2).eval(&|_| 1), 5);
+}
+
+#[test]
+fn bound_alternatives_cover_all_shapes() {
+    let a = Bound::Affine(AffineExpr::constant(1));
+    assert_eq!(a.alternatives().len(), 1);
+    let m = Bound::Min(vec![AffineExpr::constant(1), AffineExpr::constant(2)]);
+    assert_eq!(m.alternatives().len(), 2);
+    assert!(a.as_affine().is_some());
+    assert!(m.as_affine().is_none());
+}
+
+#[test]
+fn printer_parenthesizes_by_precedence() {
+    let mut p = Program::new("prec");
+    let a = p.add_array("A", vec![AffineExpr::constant(4)]);
+    let e0 = || ScalarExpr::Load(ArrayRef::new(a, vec![AffineExpr::constant(0)]));
+    // (x + x) * x needs parens; x + x*x does not.
+    p.body.push(Stmt::Store {
+        target: ArrayRef::new(a, vec![AffineExpr::constant(1)]),
+        value: ScalarExpr::mul(ScalarExpr::add(e0(), e0()), e0()),
+    });
+    p.body.push(Stmt::Store {
+        target: ArrayRef::new(a, vec![AffineExpr::constant(2)]),
+        value: ScalarExpr::add(e0(), ScalarExpr::mul(e0(), e0())),
+    });
+    // x - (x - x) needs parens on the right.
+    p.body.push(Stmt::Store {
+        target: ArrayRef::new(a, vec![AffineExpr::constant(3)]),
+        value: ScalarExpr::sub(e0(), ScalarExpr::sub(e0(), e0())),
+    });
+    let s = p.to_string();
+    assert!(s.contains("(A[0] + A[0])*A[0]"), "{s}");
+    assert!(s.contains("A[2] = A[0] + A[0]*A[0]"), "{s}");
+    assert!(s.contains("A[3] = A[0] - (A[0] - A[0])"), "{s}");
+}
+
+#[test]
+fn affine_display_signs() {
+    let mut p = Program::new("t");
+    let n = p.add_param("N");
+    let i = p.add_loop_var("I");
+    let e = AffineExpr::var(i) * -2 + AffineExpr::var(n) - AffineExpr::constant(3);
+    let s = pretty::affine_to_string(&p, &e);
+    assert_eq!(s, "N - 2*I - 3");
+    let neg = AffineExpr::var(i) * -1;
+    assert_eq!(pretty::affine_to_string(&p, &neg), "-I");
+    assert_eq!(pretty::affine_to_string(&p, &AffineExpr::constant(0)), "0");
+}
+
+#[test]
+fn for_each_stmt_visits_nested_structure() {
+    let mut p = Program::new("t");
+    let i = p.add_loop_var("I");
+    let a = p.add_array("A", vec![AffineExpr::constant(8)]);
+    p.body.push(Stmt::For(Loop {
+        var: i,
+        lo: 0.into(),
+        hi: 7.into(),
+        step: 1,
+        body: vec![Stmt::If {
+            cond: Cond::le(AffineExpr::var(i), AffineExpr::constant(3)),
+            then: vec![Stmt::Store {
+                target: ArrayRef::new(a, vec![AffineExpr::var(i)]),
+                value: ScalarExpr::Const(0.0),
+            }],
+        }],
+    }));
+    let mut kinds = Vec::new();
+    p.for_each_stmt(&mut |s| {
+        kinds.push(match s {
+            Stmt::For(_) => "for",
+            Stmt::If { .. } => "if",
+            Stmt::Store { .. } => "store",
+            Stmt::SetTemp { .. } => "settemp",
+            Stmt::Prefetch { .. } => "prefetch",
+        });
+    });
+    assert_eq!(kinds, vec!["for", "if", "store"]);
+}
+
+#[test]
+fn cond_display_is_nonempty() {
+    let c = Cond::le(AffineExpr::constant(1), AffineExpr::constant(2));
+    assert!(!c.to_string().is_empty());
+}
+
+#[test]
+fn validate_rejects_out_of_range_temp() {
+    let mut p = Program::new("t");
+    p.body.push(Stmt::SetTemp {
+        temp: eco_ir::TempId(0),
+        value: ScalarExpr::Const(1.0),
+    });
+    assert!(p.validate().is_err());
+}

@@ -1,0 +1,475 @@
+//! The dense-matrix kernels studied by the paper, built as IR programs.
+//!
+//! * [`Kernel::matmul`] — Matrix Multiply, Figure 1(a): the KJI loop
+//!   order over `C[I,J] += A[I,K] * B[K,J]`.
+//! * [`Kernel::jacobi3d`] — 3-D Jacobi relaxation, Figure 2(a):
+//!   a 6-point stencil from `B` into `A`.
+//!
+//! Two extension kernels exercise the optimizer beyond the paper's case
+//! studies:
+//!
+//! * [`Kernel::matvec`] — dense matrix-vector multiply (`y += A*x`);
+//! * [`Kernel::stencil5`] — 2-D 4-point Jacobi stencil;
+//! * [`Kernel::syrk`] — symmetric rank-k update (`C += A*Aᵀ`);
+//! * [`Kernel::matmul_transposed`] — `C += Aᵀ*B`.
+//!
+//! All kernels use 0-based loops, column-major arrays, and a single
+//! problem-size parameter `N`.
+//!
+//! # Examples
+//!
+//! ```
+//! let k = eco_kernels::Kernel::matmul();
+//! assert_eq!(k.name, "mm");
+//! assert_eq!(k.flops(100), 2 * 100 * 100 * 100);
+//! assert!(k.program.to_string().contains("C[I,J] = C[I,J] + A[I,K]*B[K,J]"));
+//! ```
+
+use eco_ir::{AffineExpr, ArrayId, ArrayRef, Bound, Loop, Program, ScalarExpr, Stmt, VarId};
+
+/// How many flops one run of a kernel performs, as a function of `N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FlopFormula {
+    /// `2 N^3` (matrix multiply).
+    TwoNCubed,
+    /// `6 (N-2)^3` (3-D Jacobi: 5 adds + 1 multiply per point).
+    SixNMinus2Cubed,
+    /// `2 N^2` (matrix-vector).
+    TwoNSquared,
+    /// `4 (N-2)^2` (2-D stencil: 3 adds + 1 multiply per point).
+    FourNMinus2Squared,
+}
+
+impl FlopFormula {
+    /// All formulas (for exhaustive tests).
+    pub const ALL: [FlopFormula; 4] = [
+        FlopFormula::TwoNCubed,
+        FlopFormula::SixNMinus2Cubed,
+        FlopFormula::TwoNSquared,
+        FlopFormula::FourNMinus2Squared,
+    ];
+}
+
+impl FlopFormula {
+    /// Evaluates the formula at problem size `n`.
+    pub fn eval(self, n: u64) -> u64 {
+        match self {
+            FlopFormula::TwoNCubed => 2 * n * n * n,
+            FlopFormula::SixNMinus2Cubed => 6 * (n - 2) * (n - 2) * (n - 2),
+            FlopFormula::TwoNSquared => 2 * n * n,
+            FlopFormula::FourNMinus2Squared => 4 * (n - 2) * (n - 2),
+        }
+    }
+}
+
+/// A computational kernel: an IR program plus the metadata the
+/// optimizer and benchmarks need.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Short name (`"mm"`, `"jacobi"`, ...).
+    pub name: String,
+    /// The untransformed reference program (a perfect loop nest).
+    pub program: Program,
+    /// The problem-size parameter.
+    pub size: VarId,
+    /// The arrays whose final contents define the kernel's result.
+    pub outputs: Vec<ArrayId>,
+    /// Flop count formula.
+    pub flop_formula: FlopFormula,
+}
+
+impl Kernel {
+    /// Flops for one run at problem size `n`.
+    pub fn flops(&self, n: u64) -> u64 {
+        self.flop_formula.eval(n)
+    }
+
+    /// Matrix Multiply in the KJI order of the paper's Figure 1(a).
+    pub fn matmul() -> Kernel {
+        let mut p = Program::new("mm");
+        let n = p.add_param("N");
+        let (k, j, i) = (p.add_loop_var("K"), p.add_loop_var("J"), p.add_loop_var("I"));
+        let nn = vec![AffineExpr::var(n), AffineExpr::var(n)];
+        let a = p.add_array("A", nn.clone());
+        let b = p.add_array("B", nn.clone());
+        let c = p.add_array("C", nn);
+        let c_ref = ArrayRef::new(c, vec![AffineExpr::var(i), AffineExpr::var(j)]);
+        let store = Stmt::Store {
+            target: c_ref.clone(),
+            value: ScalarExpr::add(
+                ScalarExpr::Load(c_ref),
+                ScalarExpr::mul(
+                    ScalarExpr::Load(ArrayRef::new(
+                        a,
+                        vec![AffineExpr::var(i), AffineExpr::var(k)],
+                    )),
+                    ScalarExpr::Load(ArrayRef::new(
+                        b,
+                        vec![AffineExpr::var(k), AffineExpr::var(j)],
+                    )),
+                ),
+            ),
+        };
+        let hi: Bound = (AffineExpr::var(n) - AffineExpr::constant(1)).into();
+        let mk = |var, body| {
+            Stmt::For(Loop {
+                var,
+                lo: 0.into(),
+                hi: hi.clone(),
+                step: 1,
+                body,
+            })
+        };
+        p.body.push(mk(k, vec![mk(j, vec![mk(i, vec![store])])]));
+        Kernel {
+            name: "mm".into(),
+            program: p,
+            size: n,
+            outputs: vec![c],
+            flop_formula: FlopFormula::TwoNCubed,
+        }
+    }
+
+    /// 3-D Jacobi relaxation, the paper's Figure 2(a):
+    /// `A[I,J,K] = c*(B[I-1,J,K]+B[I+1,J,K]+B[I,J-1,K]+B[I,J+1,K]+B[I,J,K-1]+B[I,J,K+1])`.
+    pub fn jacobi3d() -> Kernel {
+        let mut p = Program::new("jacobi");
+        let n = p.add_param("N");
+        let (k, j, i) = (p.add_loop_var("K"), p.add_loop_var("J"), p.add_loop_var("I"));
+        let dims = vec![AffineExpr::var(n), AffineExpr::var(n), AffineExpr::var(n)];
+        let a = p.add_array("A", dims.clone());
+        let b = p.add_array("B", dims);
+        let idx = |di: i64, dj: i64, dk: i64| {
+            ArrayRef::new(
+                b,
+                vec![
+                    AffineExpr::var(i) + AffineExpr::constant(di),
+                    AffineExpr::var(j) + AffineExpr::constant(dj),
+                    AffineExpr::var(k) + AffineExpr::constant(dk),
+                ],
+            )
+        };
+        let sum = [
+            idx(-1, 0, 0),
+            idx(1, 0, 0),
+            idx(0, -1, 0),
+            idx(0, 1, 0),
+            idx(0, 0, -1),
+            idx(0, 0, 1),
+        ]
+        .into_iter()
+        .map(ScalarExpr::Load)
+        .reduce(ScalarExpr::add)
+        .expect("six refs");
+        let store = Stmt::Store {
+            target: ArrayRef::new(
+                a,
+                vec![AffineExpr::var(i), AffineExpr::var(j), AffineExpr::var(k)],
+            ),
+            value: ScalarExpr::mul(ScalarExpr::Const(1.0 / 6.0), sum),
+        };
+        // DO K = 1, N-2 (0-based analogue of the paper's 2..N-1)
+        let hi: Bound = (AffineExpr::var(n) - AffineExpr::constant(2)).into();
+        let mk = |var, body| {
+            Stmt::For(Loop {
+                var,
+                lo: 1.into(),
+                hi: hi.clone(),
+                step: 1,
+                body,
+            })
+        };
+        p.body.push(mk(k, vec![mk(j, vec![mk(i, vec![store])])]));
+        Kernel {
+            name: "jacobi".into(),
+            program: p,
+            size: n,
+            outputs: vec![a],
+            flop_formula: FlopFormula::SixNMinus2Cubed,
+        }
+    }
+
+    /// Dense matrix-vector multiply `Y[I] += A[I,J] * X[J]` (extension
+    /// kernel; exercises register reuse of `Y` and cache reuse of `X`).
+    pub fn matvec() -> Kernel {
+        let mut p = Program::new("mv");
+        let n = p.add_param("N");
+        let (j, i) = (p.add_loop_var("J"), p.add_loop_var("I"));
+        let a = p.add_array("A", vec![AffineExpr::var(n), AffineExpr::var(n)]);
+        let x = p.add_array("X", vec![AffineExpr::var(n)]);
+        let y = p.add_array("Y", vec![AffineExpr::var(n)]);
+        let y_ref = ArrayRef::new(y, vec![AffineExpr::var(i)]);
+        let store = Stmt::Store {
+            target: y_ref.clone(),
+            value: ScalarExpr::add(
+                ScalarExpr::Load(y_ref),
+                ScalarExpr::mul(
+                    ScalarExpr::Load(ArrayRef::new(
+                        a,
+                        vec![AffineExpr::var(i), AffineExpr::var(j)],
+                    )),
+                    ScalarExpr::Load(ArrayRef::new(x, vec![AffineExpr::var(j)])),
+                ),
+            ),
+        };
+        let hi: Bound = (AffineExpr::var(n) - AffineExpr::constant(1)).into();
+        let mk = |var, body| {
+            Stmt::For(Loop {
+                var,
+                lo: 0.into(),
+                hi: hi.clone(),
+                step: 1,
+                body,
+            })
+        };
+        p.body.push(mk(j, vec![mk(i, vec![store])]));
+        Kernel {
+            name: "mv".into(),
+            program: p,
+            size: n,
+            outputs: vec![y],
+            flop_formula: FlopFormula::TwoNSquared,
+        }
+    }
+
+    /// 2-D 4-point Jacobi stencil
+    /// `A[I,J] = 0.25*(B[I-1,J]+B[I+1,J]+B[I,J-1]+B[I,J+1])`
+    /// (extension kernel).
+    pub fn stencil5() -> Kernel {
+        let mut p = Program::new("stencil5");
+        let n = p.add_param("N");
+        let (j, i) = (p.add_loop_var("J"), p.add_loop_var("I"));
+        let dims = vec![AffineExpr::var(n), AffineExpr::var(n)];
+        let a = p.add_array("A", dims.clone());
+        let b = p.add_array("B", dims);
+        let idx = |di: i64, dj: i64| {
+            ArrayRef::new(
+                b,
+                vec![
+                    AffineExpr::var(i) + AffineExpr::constant(di),
+                    AffineExpr::var(j) + AffineExpr::constant(dj),
+                ],
+            )
+        };
+        let sum = [idx(-1, 0), idx(1, 0), idx(0, -1), idx(0, 1)]
+            .into_iter()
+            .map(ScalarExpr::Load)
+            .reduce(ScalarExpr::add)
+            .expect("four refs");
+        let store = Stmt::Store {
+            target: ArrayRef::new(a, vec![AffineExpr::var(i), AffineExpr::var(j)]),
+            value: ScalarExpr::mul(ScalarExpr::Const(0.25), sum),
+        };
+        let hi: Bound = (AffineExpr::var(n) - AffineExpr::constant(2)).into();
+        let mk = |var, body| {
+            Stmt::For(Loop {
+                var,
+                lo: 1.into(),
+                hi: hi.clone(),
+                step: 1,
+                body,
+            })
+        };
+        p.body.push(mk(j, vec![mk(i, vec![store])]));
+        Kernel {
+            name: "stencil5".into(),
+            program: p,
+            size: n,
+            outputs: vec![a],
+            flop_formula: FlopFormula::FourNMinus2Squared,
+        }
+    }
+
+    /// Symmetric rank-k update on the full square,
+    /// `C[I,J] += A[I,K] * A[J,K]` (extension kernel; one array read
+    /// through two different access functions).
+    pub fn syrk() -> Kernel {
+        let mut p = Program::new("syrk");
+        let n = p.add_param("N");
+        let (k, j, i) = (p.add_loop_var("K"), p.add_loop_var("J"), p.add_loop_var("I"));
+        let nn = vec![AffineExpr::var(n), AffineExpr::var(n)];
+        let a = p.add_array("A", nn.clone());
+        let c = p.add_array("C", nn);
+        let c_ref = ArrayRef::new(c, vec![AffineExpr::var(i), AffineExpr::var(j)]);
+        let store = Stmt::Store {
+            target: c_ref.clone(),
+            value: ScalarExpr::add(
+                ScalarExpr::Load(c_ref),
+                ScalarExpr::mul(
+                    ScalarExpr::Load(ArrayRef::new(
+                        a,
+                        vec![AffineExpr::var(i), AffineExpr::var(k)],
+                    )),
+                    ScalarExpr::Load(ArrayRef::new(
+                        a,
+                        vec![AffineExpr::var(j), AffineExpr::var(k)],
+                    )),
+                ),
+            ),
+        };
+        let hi: Bound = (AffineExpr::var(n) - AffineExpr::constant(1)).into();
+        let mk = |var, body| {
+            Stmt::For(Loop {
+                var,
+                lo: 0.into(),
+                hi: hi.clone(),
+                step: 1,
+                body,
+            })
+        };
+        p.body.push(mk(k, vec![mk(j, vec![mk(i, vec![store])])]));
+        Kernel {
+            name: "syrk".into(),
+            program: p,
+            size: n,
+            outputs: vec![c],
+            flop_formula: FlopFormula::TwoNCubed,
+        }
+    }
+
+    /// Transposed matrix multiply `C[I,J] += A[K,I] * B[K,J]`
+    /// (extension kernel; both operands walked along the contiguous
+    /// dimension by the reduction loop).
+    pub fn matmul_transposed() -> Kernel {
+        let mut p = Program::new("tmm");
+        let n = p.add_param("N");
+        let (k, j, i) = (p.add_loop_var("K"), p.add_loop_var("J"), p.add_loop_var("I"));
+        let nn = vec![AffineExpr::var(n), AffineExpr::var(n)];
+        let a = p.add_array("A", nn.clone());
+        let b = p.add_array("B", nn.clone());
+        let c = p.add_array("C", nn);
+        let c_ref = ArrayRef::new(c, vec![AffineExpr::var(i), AffineExpr::var(j)]);
+        let store = Stmt::Store {
+            target: c_ref.clone(),
+            value: ScalarExpr::add(
+                ScalarExpr::Load(c_ref),
+                ScalarExpr::mul(
+                    ScalarExpr::Load(ArrayRef::new(
+                        a,
+                        vec![AffineExpr::var(k), AffineExpr::var(i)],
+                    )),
+                    ScalarExpr::Load(ArrayRef::new(
+                        b,
+                        vec![AffineExpr::var(k), AffineExpr::var(j)],
+                    )),
+                ),
+            ),
+        };
+        let hi: Bound = (AffineExpr::var(n) - AffineExpr::constant(1)).into();
+        let mk = |var, body| {
+            Stmt::For(Loop {
+                var,
+                lo: 0.into(),
+                hi: hi.clone(),
+                step: 1,
+                body,
+            })
+        };
+        p.body.push(mk(k, vec![mk(j, vec![mk(i, vec![store])])]));
+        Kernel {
+            name: "tmm".into(),
+            program: p,
+            size: n,
+            outputs: vec![c],
+            flop_formula: FlopFormula::TwoNCubed,
+        }
+    }
+
+    /// All built-in kernels.
+    pub fn all() -> Vec<Kernel> {
+        vec![
+            Kernel::matmul(),
+            Kernel::jacobi3d(),
+            Kernel::matvec(),
+            Kernel::stencil5(),
+            Kernel::syrk(),
+            Kernel::matmul_transposed(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_validate_and_are_perfect_nests() {
+        for k in Kernel::all() {
+            k.program
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let (loops, body) = k
+                .program
+                .perfect_nest()
+                .unwrap_or_else(|| panic!("{} not a perfect nest", k.name));
+            assert!(!loops.is_empty());
+            assert_eq!(body.len(), 1, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn matmul_prints_like_figure_1a() {
+        let s = Kernel::matmul().program.to_string();
+        assert!(s.contains("DO K = 0, N - 1"), "{s}");
+        assert!(s.contains("DO J = 0, N - 1"), "{s}");
+        assert!(s.contains("DO I = 0, N - 1"), "{s}");
+        assert!(s.contains("C[I,J] = C[I,J] + A[I,K]*B[K,J]"), "{s}");
+    }
+
+    #[test]
+    fn jacobi_prints_like_figure_2a() {
+        let s = Kernel::jacobi3d().program.to_string();
+        assert!(s.contains("DO K = 1, N - 2"), "{s}");
+        assert!(s.contains("B[I - 1,J,K]"), "{s}");
+        assert!(s.contains("B[I,J,K + 1]"), "{s}");
+    }
+
+    #[test]
+    fn flop_formulas() {
+        assert_eq!(Kernel::matmul().flops(10), 2000);
+        assert_eq!(Kernel::jacobi3d().flops(10), 6 * 512);
+        assert_eq!(Kernel::matvec().flops(10), 200);
+        assert_eq!(Kernel::stencil5().flops(10), 4 * 64);
+    }
+
+    #[test]
+    fn kernels_have_distinct_names() {
+        let names: Vec<_> = Kernel::all().into_iter().map(|k| k.name).collect();
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn outputs_are_declared_arrays() {
+        for k in Kernel::all() {
+            for &o in &k.outputs {
+                assert!(o.index() < k.program.arrays.len(), "{}", k.name);
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_reads_one_array_two_ways() {
+        let k = Kernel::syrk();
+        let s = k.program.to_string();
+        assert!(s.contains("A[I,K]*A[J,K]"), "{s}");
+        assert_eq!(k.flops(10), 2000);
+    }
+
+    #[test]
+    fn tmm_walks_both_operands_by_k() {
+        let k = Kernel::matmul_transposed();
+        let s = k.program.to_string();
+        assert!(s.contains("A[K,I]*B[K,J]"), "{s}");
+    }
+
+    #[test]
+    fn flop_formula_all_is_exhaustive_and_positive() {
+        for f in FlopFormula::ALL {
+            assert!(f.eval(10) > 0);
+        }
+    }
+}

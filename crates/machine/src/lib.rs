@@ -1,0 +1,451 @@
+//! Machine descriptions for the ECO memory-hierarchy autotuner.
+//!
+//! This crate models the architectural information the paper's compiler
+//! consumes (Table 2 of the paper): the register file, each cache level's
+//! capacity / associativity / line size, the TLB, and a simple cycle cost
+//! model used by the simulator in `eco-cachesim` to stand in for the
+//! hardware performance counters (PAPI) used in the paper.
+//!
+//! Two presets reproduce the paper's platforms:
+//!
+//! * [`MachineDesc::sgi_r10000`] — SGI Octane R10000, 195 MHz, 32 FP
+//!   registers, 32 KB 2-way L1, 1 MB 2-way L2, 64-entry TLB.
+//! * [`MachineDesc::ultrasparc_iie`] — Sun UltraSparc IIe, 500 MHz, 32 FP
+//!   registers, 16 KB direct-mapped L1, 256 KB 4-way L2, 64-entry TLB.
+//!
+//! Because simulating the paper's full problem sizes (up to N = 3500) is
+//! infeasible, [`MachineDesc::scaled`] produces a geometry-preserving
+//! shrunken machine: capacities and page size divide by the factor while
+//! associativities, line sizes and the register file stay fixed, so every
+//! working-set regime (fits-in-L1, fits-in-L2, TLB-coverage exceeded,
+//! power-of-two conflict alignment) appears at proportionally smaller
+//! problem sizes. See DESIGN.md §2.
+//!
+//! # Examples
+//!
+//! ```
+//! use eco_machine::MachineDesc;
+//!
+//! let sgi = MachineDesc::sgi_r10000();
+//! assert_eq!(sgi.caches.len(), 2);
+//! assert_eq!(sgi.caches[0].capacity_bytes, 32 * 1024);
+//!
+//! let small = sgi.scaled(32);
+//! assert_eq!(small.caches[0].capacity_bytes, 1024);
+//! assert_eq!(small.caches[0].associativity, 2);
+//! ```
+
+use std::fmt;
+
+/// Description of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheDesc {
+    /// Human-readable name, e.g. `"L1"`.
+    pub name: String,
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Set associativity (1 = direct mapped).
+    pub associativity: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Extra cycles paid when an access misses this level and hits the
+    /// next one (or memory, for the last level).
+    pub miss_penalty_cycles: u64,
+}
+
+impl CacheDesc {
+    /// Number of lines in the cache.
+    ///
+    /// ```
+    /// use eco_machine::CacheDesc;
+    /// let l1 = CacheDesc { name: "L1".into(), capacity_bytes: 1024,
+    ///     associativity: 2, line_bytes: 32, miss_penalty_cycles: 10 };
+    /// assert_eq!(l1.num_lines(), 32);
+    /// assert_eq!(l1.num_sets(), 16);
+    /// ```
+    pub fn num_lines(&self) -> usize {
+        self.capacity_bytes / self.line_bytes
+    }
+
+    /// Number of sets (`lines / associativity`).
+    pub fn num_sets(&self) -> usize {
+        self.num_lines() / self.associativity
+    }
+
+    /// Capacity in 8-byte double-precision words, the unit the paper's
+    /// footprint constraints are expressed in.
+    pub fn capacity_doubles(&self) -> usize {
+        self.capacity_bytes / 8
+    }
+
+    /// The "effective" capacity used by the paper's conflict-avoidance
+    /// heuristic (§3.1.1): full capacity for a direct-mapped cache, and
+    /// `(n-1)/n` of capacity for an n-way set-associative cache.
+    pub fn effective_capacity_bytes(&self) -> usize {
+        if self.associativity <= 1 {
+            self.capacity_bytes
+        } else {
+            self.capacity_bytes * (self.associativity - 1) / self.associativity
+        }
+    }
+}
+
+/// Description of the translation lookaside buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TlbDesc {
+    /// Number of entries (modelled fully associative, as on the R10000).
+    pub entries: usize,
+    /// Page size in bytes.
+    pub page_bytes: usize,
+    /// Extra cycles per TLB miss (software/hardware refill cost).
+    pub miss_penalty_cycles: u64,
+}
+
+impl TlbDesc {
+    /// Bytes of memory covered by a full TLB.
+    pub fn coverage_bytes(&self) -> usize {
+        self.entries * self.page_bytes
+    }
+}
+
+/// Cycle cost model for the non-memory parts of execution.
+///
+/// The simulator charges `flop_cycles_x1000 / 1000` cycles per floating
+/// point operation (fixed-point to keep the type `Eq`/hashable),
+/// `mem_issue_cycles_x1000` per load or store issued, and
+/// `prefetch_issue_cycles_x1000` per software prefetch instruction; memory
+/// stalls come from the cache model on top of this.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CostModel {
+    /// Milli-cycles per floating-point operation (500 = 2 flops/cycle).
+    pub flop_cycles_x1000: u64,
+    /// Issue cost per load or store, in milli-cycles.
+    pub mem_issue_cycles_x1000: u64,
+    /// Issue cost per software-prefetch instruction, in milli-cycles.
+    pub prefetch_issue_cycles_x1000: u64,
+    /// Per-iteration loop overhead (branch + index update), milli-cycles.
+    pub loop_overhead_cycles_x1000: u64,
+    /// Bus occupancy per line fetched from main memory, in milli-cycles.
+    /// Charged whether or not the latency was hidden by prefetch — this is
+    /// the bandwidth limit that makes Jacobi memory-bound in §4.2.
+    pub memory_bandwidth_cycles_per_line_x1000: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Calibrated to a ~2-flop/cycle superscalar FPU that overlaps
+        // load issue with computation (R10000-like).
+        CostModel {
+            flop_cycles_x1000: 500,
+            mem_issue_cycles_x1000: 250,
+            prefetch_issue_cycles_x1000: 250,
+            loop_overhead_cycles_x1000: 1000,
+            memory_bandwidth_cycles_per_line_x1000: 40_000,
+        }
+    }
+}
+
+/// A level of the memory hierarchy, ordered from the fastest (registers)
+/// outward. The variant-derivation algorithm of the paper (Fig. 3) walks
+/// these levels in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemoryLevel {
+    /// The floating-point register file (level 0 in the paper).
+    Register,
+    /// A cache level, by index into [`MachineDesc::caches`] (0 = L1).
+    Cache(usize),
+}
+
+impl fmt::Display for MemoryLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryLevel::Register => write!(f, "Reg"),
+            MemoryLevel::Cache(i) => write!(f, "L{}", i + 1),
+        }
+    }
+}
+
+/// Full description of a target machine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MachineDesc {
+    /// Human-readable name, e.g. `"SGI R10000"`.
+    pub name: String,
+    /// Clock rate in MHz, used to convert cycles to MFLOPS.
+    pub clock_mhz: u64,
+    /// Number of floating-point registers usable for scalar replacement.
+    pub fp_registers: usize,
+    /// Cache levels, innermost (L1) first.
+    pub caches: Vec<CacheDesc>,
+    /// The TLB.
+    pub tlb: TlbDesc,
+    /// Cost-model parameters.
+    pub cost: CostModel,
+}
+
+impl MachineDesc {
+    /// The SGI Octane R10000 configuration of the paper's Table 2.
+    ///
+    /// ```
+    /// let m = eco_machine::MachineDesc::sgi_r10000();
+    /// assert_eq!(m.clock_mhz, 195);
+    /// assert_eq!(m.fp_registers, 32);
+    /// ```
+    pub fn sgi_r10000() -> Self {
+        MachineDesc {
+            name: "SGI R10000".to_string(),
+            clock_mhz: 195,
+            fp_registers: 32,
+            caches: vec![
+                CacheDesc {
+                    name: "L1".to_string(),
+                    capacity_bytes: 32 * 1024,
+                    associativity: 2,
+                    line_bytes: 32,
+                    miss_penalty_cycles: 10,
+                },
+                CacheDesc {
+                    name: "L2".to_string(),
+                    capacity_bytes: 1024 * 1024,
+                    associativity: 2,
+                    line_bytes: 128,
+                    miss_penalty_cycles: 80,
+                },
+            ],
+            tlb: TlbDesc {
+                entries: 64,
+                page_bytes: 4096,
+                miss_penalty_cycles: 60,
+            },
+            cost: CostModel::default(),
+        }
+    }
+
+    /// The Sun UltraSparc IIe configuration of the paper's Table 2.
+    ///
+    /// ```
+    /// let m = eco_machine::MachineDesc::ultrasparc_iie();
+    /// assert_eq!(m.caches[0].associativity, 1); // direct-mapped L1
+    /// assert_eq!(m.caches[1].associativity, 4);
+    /// ```
+    pub fn ultrasparc_iie() -> Self {
+        MachineDesc {
+            name: "Sun UltraSparc IIe".to_string(),
+            clock_mhz: 500,
+            fp_registers: 32,
+            caches: vec![
+                CacheDesc {
+                    name: "L1".to_string(),
+                    capacity_bytes: 16 * 1024,
+                    associativity: 1,
+                    line_bytes: 32,
+                    miss_penalty_cycles: 8,
+                },
+                CacheDesc {
+                    name: "L2".to_string(),
+                    capacity_bytes: 256 * 1024,
+                    associativity: 4,
+                    line_bytes: 64,
+                    miss_penalty_cycles: 100,
+                },
+            ],
+            tlb: TlbDesc {
+                entries: 64,
+                page_bytes: 4096,
+                miss_penalty_cycles: 50,
+            },
+            cost: CostModel::default(),
+        }
+    }
+
+    /// A geometry-preserving scaled-down machine: cache capacities and the
+    /// page size divide by `factor`; associativity, line sizes, penalties
+    /// and the register file are unchanged. Working-set regime boundaries
+    /// move to problem sizes smaller by `sqrt(factor)` for 2-D data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is 0, or so large that a cache would drop below
+    /// one line per set or the page below one cache line.
+    pub fn scaled(&self, factor: usize) -> Self {
+        assert!(factor > 0, "scale factor must be positive");
+        let mut m = self.clone();
+        m.name = format!("{} (1/{} scale)", self.name, factor);
+        for c in &mut m.caches {
+            assert!(
+                c.capacity_bytes / factor >= c.line_bytes * c.associativity,
+                "scale factor {factor} leaves {} with less than one set",
+                c.name
+            );
+            c.capacity_bytes /= factor;
+        }
+        assert!(
+            m.tlb.page_bytes / factor >= m.caches[0].line_bytes,
+            "scale factor {factor} shrinks pages below a cache line"
+        );
+        m.tlb.page_bytes /= factor;
+        m
+    }
+
+    /// Capacity, in double-precision words, of a memory level
+    /// (`Register` → number of FP registers).
+    pub fn capacity_doubles(&self, level: MemoryLevel) -> usize {
+        match level {
+            MemoryLevel::Register => self.fp_registers,
+            MemoryLevel::Cache(i) => self.caches[i].capacity_doubles(),
+        }
+    }
+
+    /// All memory levels of this machine in the order the paper's
+    /// algorithm visits them: registers first, then each cache.
+    pub fn levels(&self) -> Vec<MemoryLevel> {
+        let mut v = vec![MemoryLevel::Register];
+        v.extend((0..self.caches.len()).map(MemoryLevel::Cache));
+        v
+    }
+
+    /// Theoretical peak MFLOPS implied by the cost model
+    /// (`clock / flop_cost`).
+    pub fn peak_mflops(&self) -> f64 {
+        self.clock_mhz as f64 * 1000.0 / self.cost.flop_cycles_x1000 as f64
+    }
+}
+
+impl fmt::Display for MachineDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {} MHz: {} FP regs",
+            self.name, self.clock_mhz, self.fp_registers
+        )?;
+        for c in &self.caches {
+            let size = if c.capacity_bytes >= 1024 && c.capacity_bytes % 1024 == 0 {
+                format!("{}KB", c.capacity_bytes / 1024)
+            } else {
+                format!("{}B", c.capacity_bytes)
+            };
+            write!(
+                f,
+                ", {} {size} {}-way/{}B",
+                c.name, c.associativity, c.line_bytes
+            )?;
+        }
+        write!(f, ", TLB {}x{}B", self.tlb.entries, self.tlb.page_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgi_matches_table2() {
+        let m = MachineDesc::sgi_r10000();
+        assert_eq!(m.clock_mhz, 195);
+        assert_eq!(m.fp_registers, 32);
+        assert_eq!(m.caches[0].capacity_bytes, 32 * 1024);
+        assert_eq!(m.caches[0].associativity, 2);
+        assert_eq!(m.caches[1].capacity_bytes, 1024 * 1024);
+        assert_eq!(m.caches[1].associativity, 2);
+        assert_eq!(m.tlb.entries, 64);
+    }
+
+    #[test]
+    fn sun_matches_table2() {
+        let m = MachineDesc::ultrasparc_iie();
+        assert_eq!(m.clock_mhz, 500);
+        assert_eq!(m.caches[0].capacity_bytes, 16 * 1024);
+        assert_eq!(m.caches[0].associativity, 1);
+        assert_eq!(m.caches[1].capacity_bytes, 256 * 1024);
+        assert_eq!(m.caches[1].associativity, 4);
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let c = CacheDesc {
+            name: "L1".into(),
+            capacity_bytes: 32 * 1024,
+            associativity: 2,
+            line_bytes: 32,
+            miss_penalty_cycles: 10,
+        };
+        assert_eq!(c.num_lines(), 1024);
+        assert_eq!(c.num_sets(), 512);
+        assert_eq!(c.capacity_doubles(), 4096);
+        assert_eq!(c.effective_capacity_bytes(), 16 * 1024);
+    }
+
+    #[test]
+    fn direct_mapped_effective_capacity_is_full() {
+        let m = MachineDesc::ultrasparc_iie();
+        assert_eq!(
+            m.caches[0].effective_capacity_bytes(),
+            m.caches[0].capacity_bytes
+        );
+        // 4-way L2 keeps 3/4.
+        assert_eq!(
+            m.caches[1].effective_capacity_bytes(),
+            m.caches[1].capacity_bytes * 3 / 4
+        );
+    }
+
+    #[test]
+    fn scaling_preserves_shape() {
+        let m = MachineDesc::sgi_r10000();
+        let s = m.scaled(32);
+        assert_eq!(s.caches[0].capacity_bytes, 1024);
+        assert_eq!(s.caches[0].associativity, 2);
+        assert_eq!(s.caches[0].line_bytes, 32);
+        assert_eq!(s.caches[1].capacity_bytes, 32 * 1024);
+        assert_eq!(s.tlb.page_bytes, 128);
+        assert_eq!(s.tlb.entries, 64);
+        assert_eq!(s.fp_registers, 32);
+        // coverage ratio TLB/L2 preserved
+        assert_eq!(
+            m.tlb.coverage_bytes() * s.caches[1].capacity_bytes,
+            s.tlb.coverage_bytes() * m.caches[1].capacity_bytes
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "less than one set")]
+    fn overscaling_panics() {
+        MachineDesc::sgi_r10000().scaled(1 << 20);
+    }
+
+    #[test]
+    fn levels_order() {
+        let m = MachineDesc::sgi_r10000();
+        assert_eq!(
+            m.levels(),
+            vec![
+                MemoryLevel::Register,
+                MemoryLevel::Cache(0),
+                MemoryLevel::Cache(1)
+            ]
+        );
+        assert!(MemoryLevel::Register < MemoryLevel::Cache(0));
+    }
+
+    #[test]
+    fn capacity_doubles_by_level() {
+        let m = MachineDesc::sgi_r10000();
+        assert_eq!(m.capacity_doubles(MemoryLevel::Register), 32);
+        assert_eq!(m.capacity_doubles(MemoryLevel::Cache(0)), 4096);
+    }
+
+    #[test]
+    fn peak_mflops_sgi() {
+        // 195 MHz * 2 flops/cycle = 390 MFLOPS, as quoted in §4.1.
+        let m = MachineDesc::sgi_r10000();
+        assert!((m.peak_mflops() - 390.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = MachineDesc::sgi_r10000().to_string();
+        assert!(s.contains("SGI"));
+        assert!(s.contains("TLB"));
+        assert!(MemoryLevel::Register.to_string() == "Reg");
+        assert_eq!(MemoryLevel::Cache(1).to_string(), "L2");
+    }
+}

@@ -1,0 +1,176 @@
+//! Copy optimization: copying a reused data tile into a contiguous
+//! buffer to eliminate cache conflict misses (the `P`/`Q` arrays of the
+//! paper's Figure 1(b,c)).
+
+use crate::error::TransformError;
+use eco_ir::{AffineExpr, ArrayId, ArrayRef, Bound, Loop, Program, ScalarExpr, Stmt, VarId};
+
+/// One dimension of the copied region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CopyDim {
+    /// Lower corner of the region in this dimension (an expression over
+    /// the loop variables in scope at the copy point, e.g. `KK`).
+    pub lo: AffineExpr,
+    /// Region extent (the tile size); the buffer dimension.
+    pub extent: u64,
+}
+
+/// A copy-optimization request: copy
+/// `array[lo0 .. lo0+e0-1, lo1 .. lo1+e1-1, ...]` into a fresh
+/// contiguous buffer at the top of the body of loop `at`, and retarget
+/// all references to `array` inside that loop to the buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CopySpec {
+    /// The loop whose body receives the copy code (a tile-controlling
+    /// loop: the copy re-executes per tile).
+    pub at: VarId,
+    /// The array to copy from.
+    pub array: ArrayId,
+    /// The region, one entry per array dimension.
+    pub region: Vec<CopyDim>,
+    /// Name for the buffer (`"P"`, `"Q"`, ...).
+    pub buffer_name: String,
+}
+
+/// Applies a copy optimization.
+///
+/// The copy loops clip at the array edges (`min` bounds), matching the
+/// paper's partial edge tiles. References are retargeted by subtracting
+/// the region's lower corner from each subscript; the caller must ensure
+/// every reference to `array` inside loop `at` stays within the region
+/// (the ECO driver derives regions from the footprint of the retained
+/// references, which guarantees it; the numeric-equivalence test suite
+/// verifies it).
+///
+/// # Errors
+///
+/// Fails if the loop is missing, the region rank does not match the
+/// array, or an extent is zero.
+pub fn copy_in(program: &Program, spec: &CopySpec) -> Result<Program, TransformError> {
+    let mut out = program.clone();
+    let decl = out.arrays.get(spec.array.index()).ok_or_else(|| {
+        TransformError::Invalid(format!("array id {:?} out of range", spec.array))
+    })?;
+    if decl.dims.len() != spec.region.len() {
+        return Err(TransformError::Invalid(format!(
+            "region rank {} does not match array {} rank {}",
+            spec.region.len(),
+            decl.name,
+            decl.dims.len()
+        )));
+    }
+    if spec.region.iter().any(|d| d.extent == 0) {
+        return Err(TransformError::BadParameter("copy extent 0".into()));
+    }
+    let array_dims = decl.dims.clone();
+    let buffer = out.add_copy_buffer(
+        spec.buffer_name.clone(),
+        spec.region
+            .iter()
+            .map(|d| AffineExpr::constant(d.extent as i64))
+            .collect(),
+    );
+
+    // Copy loops: DO c_d = 0, min(extent-1, dim_hi - lo_d)
+    let cvars: Vec<VarId> = (0..spec.region.len())
+        .map(|d| out.fresh_loop_var(&format!("{}{}", spec.buffer_name.to_lowercase(), d)))
+        .collect();
+    let src = ArrayRef::new(
+        spec.array,
+        spec.region
+            .iter()
+            .zip(&cvars)
+            .map(|(dim, &cv)| dim.lo.clone() + AffineExpr::var(cv))
+            .collect(),
+    );
+    let dst = ArrayRef::new(buffer, cvars.iter().map(|&cv| AffineExpr::var(cv)).collect());
+    let mut copy_stmt = Stmt::Store {
+        target: dst,
+        value: ScalarExpr::Load(src),
+    };
+    for d in (0..spec.region.len()).rev() {
+        let clip = array_dims[d].clone() - AffineExpr::constant(1) - spec.region[d].lo.clone();
+        copy_stmt = Stmt::For(Loop {
+            var: cvars[d],
+            lo: 0.into(),
+            hi: Bound::min_of(vec![AffineExpr::constant(spec.region[d].extent as i64 - 1), clip]),
+            step: 1,
+            body: vec![copy_stmt],
+        });
+    }
+
+    // Find the target loop, prepend the copy, retarget inner references.
+    let found = locate_and_rewrite(&mut out.body, spec, copy_stmt, buffer);
+    if !found {
+        return Err(TransformError::LoopNotFound(
+            program.var(spec.at).name.clone(),
+        ));
+    }
+    Ok(out)
+}
+
+fn locate_and_rewrite(
+    stmts: &mut Vec<Stmt>,
+    spec: &CopySpec,
+    copy_stmt: Stmt,
+    buffer: ArrayId,
+) -> bool {
+    for s in stmts.iter_mut() {
+        match s {
+            Stmt::For(l) if l.var == spec.at => {
+                retarget(&mut l.body, spec, buffer);
+                l.body.insert(0, copy_stmt);
+                return true;
+            }
+            Stmt::For(l) => {
+                if locate_and_rewrite(&mut l.body, spec, copy_stmt.clone(), buffer) {
+                    return true;
+                }
+            }
+            Stmt::If { then, .. } => {
+                if locate_and_rewrite(then, spec, copy_stmt.clone(), buffer) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+fn retarget(stmts: &mut [Stmt], spec: &CopySpec, buffer: ArrayId) {
+    let translate = |r: &ArrayRef| -> ArrayRef {
+        ArrayRef::new(
+            buffer,
+            r.idx
+                .iter()
+                .zip(&spec.region)
+                .map(|(e, dim)| e.clone() - dim.lo.clone())
+                .collect(),
+        )
+    };
+    for s in stmts {
+        match s {
+            Stmt::For(l) => retarget(&mut l.body, spec, buffer),
+            Stmt::If { then, .. } => retarget(then, spec, buffer),
+            Stmt::Store { target, value } => {
+                value.map_loads(&mut |r| {
+                    (r.array == spec.array).then(|| ScalarExpr::Load(translate(r)))
+                });
+                if target.array == spec.array {
+                    *target = translate(target);
+                }
+            }
+            Stmt::SetTemp { value, .. } => {
+                value.map_loads(&mut |r| {
+                    (r.array == spec.array).then(|| ScalarExpr::Load(translate(r)))
+                });
+            }
+            Stmt::Prefetch { target } => {
+                if target.array == spec.array {
+                    *target = translate(target);
+                }
+            }
+        }
+    }
+}

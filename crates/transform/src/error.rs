@@ -1,0 +1,55 @@
+//! Transformation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the transformation passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// The program body is not the expected perfect loop nest.
+    NotPerfectNest,
+    /// The requested loop order violates a data dependence.
+    IllegalOrder(String),
+    /// A named loop does not exist in the program.
+    LoopNotFound(String),
+    /// The pass requires a unit-step loop.
+    UnsupportedStep {
+        /// The loop's name.
+        loop_name: String,
+        /// Its actual step.
+        step: i64,
+    },
+    /// Scalar replacement would need more registers than available.
+    RegisterPressure {
+        /// Registers the replacement would need.
+        needed: usize,
+        /// Registers available.
+        available: usize,
+    },
+    /// A tile size or unroll factor is invalid (zero).
+    BadParameter(String),
+    /// Anything else (with a human-readable reason).
+    Invalid(String),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::NotPerfectNest => {
+                write!(f, "program is not a single perfect loop nest")
+            }
+            TransformError::IllegalOrder(why) => write!(f, "illegal loop order: {why}"),
+            TransformError::LoopNotFound(name) => write!(f, "no loop named {name}"),
+            TransformError::UnsupportedStep { loop_name, step } => {
+                write!(f, "loop {loop_name} has unsupported step {step}")
+            }
+            TransformError::RegisterPressure { needed, available } => {
+                write!(f, "needs {needed} registers, only {available} available")
+            }
+            TransformError::BadParameter(why) => write!(f, "bad parameter: {why}"),
+            TransformError::Invalid(why) => write!(f, "invalid transformation: {why}"),
+        }
+    }
+}
+
+impl Error for TransformError {}

@@ -1,0 +1,592 @@
+//! Loop-transformation engine for the ECO reproduction.
+//!
+//! Every transformation the paper's Phase 1/Phase 2 pipeline applies is
+//! implemented as a pass over `eco-ir` programs:
+//!
+//! * [`tile_nest`] / [`permute`] — loop permutation and tiling
+//!   (strip-mine + interchange), dependence-checked;
+//! * [`unroll_and_jam`] — register tiling with residue guards;
+//! * [`scalar_replace`] — invariant and rotating (Carr–Kennedy) register
+//!   promotion, with register-pressure detection;
+//! * [`copy_in`] — copying reused data tiles to contiguous buffers;
+//! * [`insert_prefetch`] / [`remove_prefetch`] — software prefetching;
+//! * [`pad_leading_dimension`] — array padding (the stabilizing
+//!   experiment of the paper's §4.2).
+//!
+//! All passes are *semantics-preserving*; the test suite verifies each
+//! (and their composition into the paper's Figure 1(c) code shape) by
+//! interpreting original and transformed programs on identical inputs.
+//!
+//! # Examples
+//!
+//! Tile Matrix Multiply's `K` and `J` loops (the v1 shape of Table 4):
+//!
+//! ```
+//! use eco_kernels::Kernel;
+//! use eco_transform::{tile_nest, LoopSel, TileSpec};
+//!
+//! # fn main() -> Result<(), eco_transform::TransformError> {
+//! let k = Kernel::matmul();
+//! let p = &k.program;
+//! let (kv, jv, iv) = (
+//!     p.var_by_name("K").unwrap(),
+//!     p.var_by_name("J").unwrap(),
+//!     p.var_by_name("I").unwrap(),
+//! );
+//! let (tiled, controls) = tile_nest(
+//!     p,
+//!     &[TileSpec { var: kv, tile: 64 }, TileSpec { var: jv, tile: 32 }],
+//!     &[
+//!         LoopSel::Control(kv),
+//!         LoopSel::Control(jv),
+//!         LoopSel::Point(iv),
+//!         LoopSel::Point(jv),
+//!         LoopSel::Point(kv),
+//!     ],
+//! )?;
+//! assert_eq!(controls.len(), 2);
+//! assert!(tiled.to_string().contains("DO KK = 0, N - 1, 64"));
+//! # Ok(())
+//! # }
+//! ```
+
+mod copy;
+mod error;
+mod pad;
+mod prefetch;
+mod scalar;
+mod tiling;
+mod unroll;
+
+pub use copy::{copy_in, CopyDim, CopySpec};
+pub use error::TransformError;
+pub use pad::{pad_all_arrays, pad_leading_dimension};
+pub use prefetch::{insert_prefetch, remove_prefetch};
+pub use scalar::scalar_replace;
+pub use tiling::{permute, tile_nest, LoopSel, TileSpec};
+pub use unroll::unroll_and_jam;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_exec::{interpret, measure, ArrayLayout, LayoutOptions, Params, Storage};
+    use eco_ir::{AffineExpr, ArrayRef, Loop, Program, ScalarExpr, Stmt, VarId};
+    use eco_kernels::Kernel;
+    use eco_machine::MachineDesc;
+
+    /// Interprets `reference` and `transformed` on identical seeded data
+    /// and asserts the output arrays match.
+    fn assert_equiv(reference: &Program, transformed: &Program, n: i64, outputs: &[&str]) {
+        let run = |p: &Program| -> Storage {
+            let params = Params::new().with_named(p, "N", n).expect("N");
+            let layout = ArrayLayout::new(p, &params, &LayoutOptions::default()).expect("layout");
+            let mut st = Storage::seeded(&layout, 12345);
+            // Copy buffers must start zeroed but shared data arrays get
+            // identical seeds because declaration order of the original
+            // arrays is preserved by every pass.
+            interpret(p, &params, &layout, &mut st)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            st
+        };
+        let want = run(reference);
+        let got = run(transformed);
+        for name in outputs {
+            let a = reference.array_by_name(name).expect("output array");
+            let diff = want.max_abs_diff(&got, a);
+            assert!(
+                diff < 1e-9,
+                "output {name} differs by {diff} at N={n}\n--- transformed:\n{transformed}"
+            );
+        }
+    }
+
+    fn mm_vars(p: &Program) -> (VarId, VarId, VarId) {
+        (
+            p.var_by_name("K").expect("K"),
+            p.var_by_name("J").expect("J"),
+            p.var_by_name("I").expect("I"),
+        )
+    }
+
+    #[test]
+    fn permute_all_mm_orders_are_equivalent() {
+        let kern = Kernel::matmul();
+        let p = &kern.program;
+        let (k, j, i) = mm_vars(p);
+        for order in [
+            [i, j, k],
+            [i, k, j],
+            [j, i, k],
+            [j, k, i],
+            [k, i, j],
+            [k, j, i],
+        ] {
+            let permuted = permute(p, &order).expect("legal");
+            assert_equiv(p, &permuted, 9, &["C"]);
+        }
+    }
+
+    #[test]
+    fn permute_rejects_dependence_violation() {
+        // A[I,J] = A[I-1,J] + 1: flow dep distance (J:0, I:1) in (J,I)
+        // order; swapping to (I,J) keeps it legal (0 stays leading)...
+        // so use A[I,J] = A[I-1,J+1]: distance J:-1,I:1 -> (I,J) order
+        // leading +1 legal; (J,I) order leading -1 illegal.
+        let mut p = Program::new("skew");
+        let n = p.add_param("N");
+        let j = p.add_loop_var("J");
+        let i = p.add_loop_var("I");
+        let a = p.add_array("A", vec![AffineExpr::var(n), AffineExpr::var(n)]);
+        let hi = AffineExpr::var(n) - AffineExpr::constant(2);
+        p.body.push(Stmt::For(Loop {
+            var: i,
+            lo: 1.into(),
+            hi: hi.clone().into(),
+            step: 1,
+            body: vec![Stmt::For(Loop {
+                var: j,
+                lo: 1.into(),
+                hi: hi.into(),
+                step: 1,
+                body: vec![Stmt::Store {
+                    target: ArrayRef::new(a, vec![AffineExpr::var(i), AffineExpr::var(j)]),
+                    value: ScalarExpr::add(
+                        ScalarExpr::Load(ArrayRef::new(
+                            a,
+                            vec![
+                                AffineExpr::var(i) - AffineExpr::constant(1),
+                                AffineExpr::var(j) + AffineExpr::constant(1),
+                            ],
+                        )),
+                        ScalarExpr::Const(1.0),
+                    ),
+                }],
+            })],
+        }));
+        assert!(permute(&p, &[i, j]).is_ok(), "identity must stay legal");
+        let err = permute(&p, &[j, i]).expect_err("must be illegal");
+        assert!(matches!(err, TransformError::IllegalOrder(_)), "{err}");
+    }
+
+    #[test]
+    fn tile_mm_like_v1_is_equivalent() {
+        // Figure 1(b) loop structure: KK, JJ, I, J, K.
+        let kern = Kernel::matmul();
+        let p = &kern.program;
+        let (k, j, i) = mm_vars(p);
+        let (tiled, _) = tile_nest(
+            p,
+            &[TileSpec { var: k, tile: 5 }, TileSpec { var: j, tile: 3 }],
+            &[
+                LoopSel::Control(k),
+                LoopSel::Control(j),
+                LoopSel::Point(i),
+                LoopSel::Point(j),
+                LoopSel::Point(k),
+            ],
+        )
+        .expect("tile");
+        // 11 not divisible by 5 or 3: edge tiles exercised.
+        assert_equiv(p, &tiled, 11, &["C"]);
+        let s = tiled.to_string();
+        assert!(s.contains("DO KK = 0, N - 1, 5"), "{s}");
+        assert!(s.contains("min(KK + 4, N - 1)"), "{s}");
+    }
+
+    #[test]
+    fn tile_mm_like_v2_is_equivalent() {
+        // Figure 1(c): KK, JJ, II, J, I, K with all three loops tiled.
+        let kern = Kernel::matmul();
+        let p = &kern.program;
+        let (k, j, i) = mm_vars(p);
+        let (tiled, controls) = tile_nest(
+            p,
+            &[
+                TileSpec { var: k, tile: 4 },
+                TileSpec { var: j, tile: 6 },
+                TileSpec { var: i, tile: 5 },
+            ],
+            &[
+                LoopSel::Control(k),
+                LoopSel::Control(j),
+                LoopSel::Control(i),
+                LoopSel::Point(j),
+                LoopSel::Point(i),
+                LoopSel::Point(k),
+            ],
+        )
+        .expect("tile");
+        assert_eq!(controls.len(), 3);
+        assert_equiv(p, &tiled, 13, &["C"]);
+    }
+
+    #[test]
+    fn tile_rejects_malformed_orders() {
+        let kern = Kernel::matmul();
+        let p = &kern.program;
+        let (k, j, i) = mm_vars(p);
+        // missing point loop
+        assert!(tile_nest(p, &[], &[LoopSel::Point(i), LoopSel::Point(j)]).is_err());
+        // control after point
+        assert!(tile_nest(
+            p,
+            &[TileSpec { var: k, tile: 4 }],
+            &[
+                LoopSel::Point(k),
+                LoopSel::Control(k),
+                LoopSel::Point(j),
+                LoopSel::Point(i)
+            ]
+        )
+        .is_err());
+        // control without tile spec
+        assert!(tile_nest(
+            p,
+            &[],
+            &[
+                LoopSel::Control(k),
+                LoopSel::Point(k),
+                LoopSel::Point(j),
+                LoopSel::Point(i)
+            ]
+        )
+        .is_err());
+        // zero tile
+        assert!(tile_nest(
+            p,
+            &[TileSpec { var: k, tile: 0 }],
+            &[
+                LoopSel::Control(k),
+                LoopSel::Point(k),
+                LoopSel::Point(j),
+                LoopSel::Point(i)
+            ]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn unroll_and_jam_is_equivalent_with_and_without_residues() {
+        let kern = Kernel::matmul();
+        let p = &kern.program;
+        let (_, j, i) = mm_vars(p);
+        for factor in [2u64, 3, 4] {
+            let u = unroll_and_jam(p, i, factor).expect("uaj i");
+            let u = unroll_and_jam(&u, j, 2).expect("uaj j");
+            // N=7: neither 2, 3 nor 4 divides; N=8: 2 and 4 divide.
+            assert_equiv(p, &u, 7, &["C"]);
+            assert_equiv(p, &u, 8, &["C"]);
+        }
+    }
+
+    #[test]
+    fn unroll_and_jam_jams_copies_into_innermost() {
+        let kern = Kernel::matmul();
+        let p = &kern.program;
+        let (_, _, i) = mm_vars(p);
+        let u = unroll_and_jam(p, i, 2).expect("uaj");
+        // The I loop now steps by 2 and the K..J..I nest still exists
+        // with the two copies inside the I..no: copies are inside the
+        // innermost loop body (I is outermost of none -- I is innermost
+        // in kernel order K,J,I, so copies sit directly in I's body).
+        let s = u.to_string();
+        assert!(s.contains("DO I = 0, N - 1, 2"), "{s}");
+        assert!(s.contains("C[I + 1,J]"), "{s}");
+        assert!(s.contains("IF (I + 1 <= N - 1)"), "{s}");
+    }
+
+    #[test]
+    fn scalar_replace_hoists_invariant_accumulator() {
+        // Put K innermost (IJK order) so C[I,J] is invariant.
+        let kern = Kernel::matmul();
+        let p = &kern.program;
+        let (k, j, i) = mm_vars(p);
+        let reordered = permute(p, &[i, j, k]).expect("legal");
+        let sr = scalar_replace(&reordered, k, Some(32)).expect("replace");
+        assert_equiv(p, &sr, 9, &["C"]);
+        // C traffic drops from 2 per iteration to 2 per (I,J).
+        let params9 = |prog: &Program| Params::new().with_named(prog, "N", 9).expect("N");
+        let machine = MachineDesc::sgi_r10000();
+        let before = measure(&reordered, &params9(&reordered), &machine, &LayoutOptions::default())
+            .expect("measure");
+        let after =
+            measure(&sr, &params9(&sr), &machine, &LayoutOptions::default()).expect("measure");
+        let n3 = 9u64 * 9 * 9;
+        let n2 = 9u64 * 9;
+        assert_eq!(before.loads, 3 * n3);
+        assert_eq!(before.stores, n3);
+        assert_eq!(after.loads, 2 * n3 + n2);
+        assert_eq!(after.stores, n2);
+    }
+
+    #[test]
+    fn scalar_replace_after_unroll_and_jam() {
+        let kern = Kernel::matmul();
+        let p = &kern.program;
+        let (k, j, i) = mm_vars(p);
+        let reordered = permute(p, &[i, j, k]).expect("legal");
+        let u = unroll_and_jam(&reordered, i, 4).expect("uaj i");
+        let u = unroll_and_jam(&u, j, 2).expect("uaj j");
+        let sr = scalar_replace(&u, k, Some(32)).expect("replace");
+        // 8 accumulators C[i..i+3, j..j+1] hoisted, guards respected.
+        assert_equiv(p, &sr, 10, &["C"]); // 10 % 4 != 0: guarded copies live
+        assert_equiv(p, &sr, 8, &["C"]);
+        assert!(sr.temps.len() >= 8, "temps: {:?}", sr.temps);
+    }
+
+    #[test]
+    fn scalar_replace_register_pressure_detected() {
+        let kern = Kernel::matmul();
+        let p = &kern.program;
+        let (k, j, i) = mm_vars(p);
+        let reordered = permute(p, &[i, j, k]).expect("legal");
+        let u = unroll_and_jam(&reordered, i, 8).expect("uaj i");
+        let u = unroll_and_jam(&u, j, 8).expect("uaj j");
+        let err = scalar_replace(&u, k, Some(32)).expect_err("64 > 32");
+        match err {
+            TransformError::RegisterPressure { needed, available } => {
+                assert_eq!(needed, 64);
+                assert_eq!(available, 32);
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn scalar_replace_rotates_jacobi_stencil() {
+        let kern = Kernel::jacobi3d();
+        let p = &kern.program;
+        let i = p.var_by_name("I").expect("I");
+        let sr = scalar_replace(p, i, Some(32)).expect("replace");
+        assert_equiv(p, &sr, 9, &["A"]);
+        // The +-1 I-offsets of B share a 3-register ring: loads per point
+        // drop from 6 to 5 (B[I+1] plus the four J/K neighbours).
+        let params = |prog: &Program| Params::new().with_named(prog, "N", 10).expect("N");
+        let machine = MachineDesc::sgi_r10000();
+        let before =
+            measure(p, &params(p), &machine, &LayoutOptions::default()).expect("measure");
+        let after =
+            measure(&sr, &params(&sr), &machine, &LayoutOptions::default()).expect("measure");
+        assert!(
+            after.loads < before.loads * 9 / 10,
+            "rotation must cut loads: {} -> {}",
+            before.loads,
+            after.loads
+        );
+    }
+
+    #[test]
+    fn copy_optimization_is_equivalent() {
+        // Tile K,J; copy the B tile (TK x TJ) at the JJ loop, like
+        // Figure 1(b).
+        let kern = Kernel::matmul();
+        let p = &kern.program;
+        let (k, j, i) = mm_vars(p);
+        let (tiled, controls) = tile_nest(
+            p,
+            &[TileSpec { var: k, tile: 4 }, TileSpec { var: j, tile: 3 }],
+            &[
+                LoopSel::Control(k),
+                LoopSel::Control(j),
+                LoopSel::Point(i),
+                LoopSel::Point(j),
+                LoopSel::Point(k),
+            ],
+        )
+        .expect("tile");
+        let (kk, jj) = (controls[0], controls[1]);
+        let b = tiled.array_by_name("B").expect("B");
+        let copied = copy_in(
+            &tiled,
+            &CopySpec {
+                at: jj,
+                array: b,
+                region: vec![
+                    CopyDim {
+                        lo: AffineExpr::var(kk),
+                        extent: 4,
+                    },
+                    CopyDim {
+                        lo: AffineExpr::var(jj),
+                        extent: 3,
+                    },
+                ],
+                buffer_name: "P".into(),
+            },
+        )
+        .expect("copy");
+        assert_equiv(p, &copied, 11, &["C"]);
+        let s = copied.to_string();
+        assert!(s.contains("NEW P[4,3]"), "{s}");
+        assert!(s.contains("P[p0,p1] = B[KK + p0,JJ + p1]"), "{s}");
+        assert!(s.contains("P[K - KK,J - JJ]"), "{s}");
+    }
+
+    #[test]
+    fn prefetch_insertion_preserves_semantics_and_counts() {
+        let kern = Kernel::matmul();
+        let p = &kern.program;
+        let (_, _, i) = mm_vars(p);
+        let a = p.array_by_name("A").expect("A");
+        let pf = insert_prefetch(p, i, a, 8).expect("prefetch");
+        assert_equiv(p, &pf, 9, &["C"]);
+        let params = Params::new().with_named(&pf, "N", 16).expect("N");
+        let machine = MachineDesc::sgi_r10000();
+        let c = measure(&pf, &params, &machine, &LayoutOptions::default()).expect("measure");
+        // one prefetch per in-bounds iteration: (16-8) per I sweep
+        assert_eq!(c.prefetches, 16 * 16 * 8);
+        // removing them restores the original program
+        let stripped = remove_prefetch(&pf, a);
+        assert_eq!(&stripped, p);
+    }
+
+    #[test]
+    fn prefetch_dedupes_line_groups() {
+        let kern = Kernel::jacobi3d();
+        let p = &kern.program;
+        let i = p.var_by_name("I").expect("I");
+        let b = p.array_by_name("B").expect("B");
+        let pf = insert_prefetch(p, i, b, 4).expect("prefetch");
+        let mut count = 0;
+        pf.for_each_stmt(&mut |s| {
+            if matches!(s, Stmt::Prefetch { .. }) {
+                count += 1;
+            }
+        });
+        // 6 B refs, but B[I-1],B[I],B[I+1]-style leading-dim offsets fold:
+        // groups are {I+-1,J,K}, {I,J-1,K}, {I,J+1,K}, {I,J,K-1}, {I,J,K+1}.
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn full_v2_pipeline_is_equivalent() {
+        // The complete Figure 1(c) construction: tile all three loops,
+        // unroll-and-jam I and J, scalar-replace C, copy B (at JJ) and
+        // A (at II), prefetch the copied P.
+        let kern = Kernel::matmul();
+        let p = &kern.program;
+        let (k, j, i) = mm_vars(p);
+        let (tiled, controls) = tile_nest(
+            p,
+            &[
+                TileSpec { var: k, tile: 8 },
+                TileSpec { var: j, tile: 6 },
+                TileSpec { var: i, tile: 4 },
+            ],
+            &[
+                LoopSel::Control(k),
+                LoopSel::Control(j),
+                LoopSel::Control(i),
+                LoopSel::Point(j),
+                LoopSel::Point(i),
+                LoopSel::Point(k),
+            ],
+        )
+        .expect("tile");
+        let (kk, jj, ii) = (controls[0], controls[1], controls[2]);
+        let u = unroll_and_jam(&tiled, j, 2).expect("uaj j");
+        let u = unroll_and_jam(&u, i, 2).expect("uaj i");
+        let sr = scalar_replace(&u, k, Some(32)).expect("scalar");
+        let b = sr.array_by_name("B").expect("B");
+        let with_b = copy_in(
+            &sr,
+            &CopySpec {
+                at: jj,
+                array: b,
+                region: vec![
+                    CopyDim {
+                        lo: AffineExpr::var(kk),
+                        extent: 8,
+                    },
+                    CopyDim {
+                        lo: AffineExpr::var(jj),
+                        extent: 6,
+                    },
+                ],
+                buffer_name: "P".into(),
+            },
+        )
+        .expect("copy B");
+        let a = with_b.array_by_name("A").expect("A");
+        let with_a = copy_in(
+            &with_b,
+            &CopySpec {
+                at: ii,
+                array: a,
+                region: vec![
+                    CopyDim {
+                        lo: AffineExpr::var(ii),
+                        extent: 4,
+                    },
+                    CopyDim {
+                        lo: AffineExpr::var(kk),
+                        extent: 8,
+                    },
+                ],
+                buffer_name: "Q".into(),
+            },
+        )
+        .expect("copy A");
+        let pbuf = with_a.array_by_name("P").expect("P");
+        let final_p = insert_prefetch(&with_a, k, pbuf, 2).expect("prefetch");
+        final_p.validate().expect("valid");
+        // Edge-tile-heavy sizes and a divisible size.
+        for n in [7, 13, 24] {
+            assert_equiv(p, &final_p, n, &["C"]);
+        }
+    }
+
+    #[test]
+    fn padding_preserves_semantics_and_moves_columns() {
+        // Padding changes array extents, so outputs are compared
+        // element-by-element through each program's own layout.
+        let kern = Kernel::jacobi3d();
+        let p = &kern.program;
+        let a = p.array_by_name("A").expect("A");
+        let n = 9i64;
+        // Pad only the output array: flat seeding assigns inputs by flat
+        // index, so padding an input would change the logical input data
+        // (not a semantics question). pad_all_arrays is exercised below
+        // for structural validity.
+        let padded = pad_leading_dimension(p, a, 3).expect("pad");
+        let run = |prog: &Program| {
+            let params = Params::new().with_named(prog, "N", n).expect("N");
+            let layout =
+                ArrayLayout::new(prog, &params, &LayoutOptions::default()).expect("layout");
+            let mut st = Storage::seeded(&layout, 12345);
+            interpret(prog, &params, &layout, &mut st).expect("run");
+            (layout, st)
+        };
+        let (l0, s0) = run(p);
+        let (l1, s1) = run(&padded);
+        assert!(l1.total_bytes() > l0.total_bytes(), "padding grows the layout");
+        let idx = |layout: &ArrayLayout, i: i64, j: i64, k: i64| {
+            let r = ArrayRef::new(
+                a,
+                vec![
+                    AffineExpr::constant(i),
+                    AffineExpr::constant(j),
+                    AffineExpr::constant(k),
+                ],
+            );
+            layout.flat_index(&r, &[]).expect("in bounds")
+        };
+        for k in 1..n - 1 {
+            for j in 1..n - 1 {
+                for i in 1..n - 1 {
+                    let want = s0.array(a)[idx(&l0, i, j, k)];
+                    let got = s1.array(a)[idx(&l1, i, j, k)];
+                    assert!(
+                        (want - got).abs() < 1e-12,
+                        "A[{i},{j},{k}]: {want} vs {got}"
+                    );
+                }
+            }
+        }
+        let all = pad_all_arrays(p, 5).expect("pad all");
+        all.validate().expect("padded program valid");
+        let params = Params::new().with_named(&all, "N", n).expect("N");
+        measure(&all, &params, &MachineDesc::sgi_r10000(), &LayoutOptions::default())
+            .expect("padded program executes");
+    }
+}

@@ -1,0 +1,131 @@
+//! Software-prefetch insertion.
+//!
+//! The search phase adds prefetches one data structure at a time
+//! (§3.2): [`insert_prefetch`] prefetches, `distance` iterations of the
+//! innermost loop ahead, one representative reference per *line group*
+//! (references that differ only by small constants in the contiguous
+//! dimension share a cache line and need a single prefetch).
+
+use crate::error::TransformError;
+use eco_ir::{AffineExpr, ArrayId, ArrayRef, Program, Stmt, VarId};
+
+/// Inserts prefetches for `array` into the body of the loop binding
+/// `innermost`, `distance` iterations ahead.
+///
+/// Only references whose subscripts use the innermost variable are
+/// prefetched (an invariant reference is already resident). One prefetch
+/// is emitted per line group, at the top of the loop body; out-of-range
+/// prefetch targets are dropped at execution time, so no edge guards are
+/// needed.
+///
+/// # Errors
+///
+/// Fails if the loop is missing, `distance` is zero, or the array has no
+/// prefetchable references in the loop.
+pub fn insert_prefetch(
+    program: &Program,
+    innermost: VarId,
+    array: ArrayId,
+    distance: i64,
+) -> Result<Program, TransformError> {
+    if distance <= 0 {
+        return Err(TransformError::BadParameter(format!(
+            "prefetch distance {distance} must be positive"
+        )));
+    }
+    let mut out = program.clone();
+    let loop_ref = out
+        .find_loop(innermost)
+        .ok_or_else(|| TransformError::LoopNotFound(program.var(innermost).name.clone()))?;
+
+    // Gather distinct refs to `array` in the body that vary with the loop.
+    let mut refs: Vec<ArrayRef> = Vec::new();
+    for s in &loop_ref.body {
+        s.for_each_ref(&mut |r, _| {
+            if r.array == array && r.uses(innermost) && !refs.contains(r) {
+                refs.push(r.clone());
+            }
+        });
+    }
+    if refs.is_empty() {
+        return Err(TransformError::Invalid(format!(
+            "array {} has no prefetchable references in loop {}",
+            program.array(array).name,
+            program.var(innermost).name
+        )));
+    }
+
+    // Line groups: same subscripts once the leading-dimension constant is
+    // dropped; prefetch the smallest-offset member of each group.
+    let mut groups: Vec<ArrayRef> = Vec::new();
+    let key = |r: &ArrayRef| -> Vec<AffineExpr> {
+        let mut k: Vec<AffineExpr> = r.idx.clone();
+        if !k.is_empty() {
+            let c = k[0].constant_part();
+            k[0] = k[0].clone().shifted(-c);
+        }
+        k
+    };
+    refs.sort_by_key(|r| r.idx.first().map_or(0, |e| e.constant_part()));
+    for r in refs {
+        if !groups.iter().any(|g| key(g) == key(&r)) {
+            groups.push(r);
+        }
+    }
+
+    // Shift each representative `distance` iterations ahead and prepend.
+    let ahead = AffineExpr::var(innermost) + AffineExpr::constant(distance * loop_ref.step);
+    let mut prefetches: Vec<Stmt> = groups
+        .into_iter()
+        .map(|r| Stmt::Prefetch {
+            target: r.subst(innermost, &ahead),
+        })
+        .collect();
+
+    // Re-find mutably and splice.
+    fn prepend(stmts: &mut [Stmt], target: VarId, add: &mut Vec<Stmt>) -> bool {
+        for s in stmts {
+            match s {
+                Stmt::For(l) if l.var == target => {
+                    for (i, p) in add.drain(..).enumerate() {
+                        l.body.insert(i, p);
+                    }
+                    return true;
+                }
+                Stmt::For(l) => {
+                    if prepend(&mut l.body, target, add) {
+                        return true;
+                    }
+                }
+                Stmt::If { then, .. } => {
+                    if prepend(then, target, add) {
+                        return true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+    let ok = prepend(&mut out.body, innermost, &mut prefetches);
+    debug_assert!(ok);
+    Ok(out)
+}
+
+/// Removes every prefetch of `array` from the program (the search backs
+/// out prefetching when it does not pay off).
+pub fn remove_prefetch(program: &Program, array: ArrayId) -> Program {
+    fn strip(stmts: &mut Vec<Stmt>, array: ArrayId) {
+        stmts.retain(|s| !matches!(s, Stmt::Prefetch { target } if target.array == array));
+        for s in stmts {
+            match s {
+                Stmt::For(l) => strip(&mut l.body, array),
+                Stmt::If { then, .. } => strip(then, array),
+                _ => {}
+            }
+        }
+    }
+    let mut out = program.clone();
+    strip(&mut out.body, array);
+    out
+}

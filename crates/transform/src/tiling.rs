@@ -1,0 +1,223 @@
+//! Loop permutation and tiling (strip-mine + interchange), expressed as
+//! one nest-rebuilding pass.
+//!
+//! The paper's Phase 1 decides, per variant, a `LoopOrder` that mixes
+//! *tile controlling loops* (`KK`, `JJ`, `II` in Figure 1) with *point
+//! loops*; [`tile_nest`] takes that order and reconstructs the nest,
+//! after checking data-dependence legality of the underlying point-loop
+//! permutation and the structural sanity of the control placement.
+
+use crate::error::TransformError;
+use eco_analysis::dependence::{dependences, permutation_is_legal};
+use eco_analysis::NestInfo;
+use eco_ir::{AffineExpr, Bound, Loop, Program, Stmt, VarId};
+
+/// One position in the target loop order of [`tile_nest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopSel {
+    /// The point loop of the original variable.
+    Point(VarId),
+    /// The tile-controlling loop of the original variable (which must
+    /// also appear as `Point` later in the order).
+    Control(VarId),
+}
+
+/// A tiling request for one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileSpec {
+    /// The original loop variable.
+    pub var: VarId,
+    /// The tile size (trip count of the point loop within a tile).
+    pub tile: u64,
+}
+
+/// Rebuilds the program's perfect nest in the given `order`, tiling the
+/// loops listed in `tiles`.
+///
+/// Every original loop must appear exactly once as [`LoopSel::Point`];
+/// a loop with a [`TileSpec`] must also appear exactly once as
+/// [`LoopSel::Control`], somewhere before its point loop. Control
+/// variables are created fresh, named by doubling the original name
+/// (`I` → `II`).
+///
+/// Returns the transformed program and the control variable created for
+/// each tiled loop (in `tiles` order).
+///
+/// # Errors
+///
+/// Fails if the program is not a perfect nest, the order is malformed,
+/// any original loop bound depends on another loop variable, a tile size
+/// is zero, or the point-loop permutation violates a dependence.
+pub fn tile_nest(
+    program: &Program,
+    tiles: &[TileSpec],
+    order: &[LoopSel],
+) -> Result<(Program, Vec<VarId>), TransformError> {
+    let nest = NestInfo::from_program(program).map_err(|_| TransformError::NotPerfectNest)?;
+    let orig_vars = nest.loop_vars();
+
+    for t in tiles {
+        if t.tile == 0 {
+            return Err(TransformError::BadParameter(format!(
+                "tile size 0 for loop {}",
+                program.var(t.var).name
+            )));
+        }
+        if !orig_vars.contains(&t.var) {
+            return Err(TransformError::LoopNotFound(
+                program.var(t.var).name.clone(),
+            ));
+        }
+    }
+
+    // The point permutation implied by `order`.
+    let point_order: Vec<VarId> = order
+        .iter()
+        .filter_map(|s| match s {
+            LoopSel::Point(v) => Some(*v),
+            LoopSel::Control(_) => None,
+        })
+        .collect();
+    {
+        let mut sorted = point_order.clone();
+        sorted.sort();
+        let mut orig = orig_vars.clone();
+        orig.sort();
+        if sorted != orig {
+            return Err(TransformError::IllegalOrder(
+                "order must contain each original loop exactly once as Point".into(),
+            ));
+        }
+    }
+    for t in tiles {
+        let c = order
+            .iter()
+            .position(|s| *s == LoopSel::Control(t.var))
+            .ok_or_else(|| {
+                TransformError::IllegalOrder(format!(
+                    "tiled loop {} has no Control position",
+                    program.var(t.var).name
+                ))
+            })?;
+        let p = order
+            .iter()
+            .position(|s| *s == LoopSel::Point(t.var))
+            .expect("checked above");
+        if c >= p {
+            return Err(TransformError::IllegalOrder(format!(
+                "control loop of {} must precede its point loop",
+                program.var(t.var).name
+            )));
+        }
+    }
+    for s in order {
+        if let LoopSel::Control(v) = s {
+            if !tiles.iter().any(|t| t.var == *v) {
+                return Err(TransformError::IllegalOrder(format!(
+                    "Control({}) appears but the loop is not tiled",
+                    program.var(*v).name
+                )));
+            }
+        }
+    }
+
+    // Original loop bounds must be nest-invariant for the rebuild to be
+    // meaning-preserving.
+    for l in &nest.loops {
+        for alt in l.lo.alternatives().iter().chain(l.hi.alternatives()) {
+            if alt.vars().any(|v| orig_vars.contains(&v)) {
+                return Err(TransformError::Invalid(format!(
+                    "bound of loop {} depends on another loop variable",
+                    program.var(l.var).name
+                )));
+            }
+        }
+        if l.step != 1 {
+            return Err(TransformError::UnsupportedStep {
+                loop_name: program.var(l.var).name.clone(),
+                step: l.step,
+            });
+        }
+    }
+
+    // Dependence legality of the point permutation.
+    let deps = dependences(&nest);
+    if !permutation_is_legal(&nest, &deps, &point_order) {
+        return Err(TransformError::IllegalOrder(
+            "point-loop permutation violates a data dependence".into(),
+        ));
+    }
+
+    // Rebuild.
+    let mut out = program.clone();
+    let (_, body) = program.perfect_nest().expect("checked");
+    let innermost_body: Vec<Stmt> = body.to_vec();
+    let bound_of = |v: VarId| -> (&Bound, &Bound) {
+        let l = nest.loops.iter().find(|l| l.var == v).expect("orig loop");
+        (&l.lo, &l.hi)
+    };
+    let mut control_vars = Vec::with_capacity(tiles.len());
+    let mut control_of = Vec::new();
+    for t in tiles {
+        let name = program.var(t.var).name.repeat(2);
+        let cv = out.fresh_loop_var(&name);
+        control_vars.push(cv);
+        control_of.push((t.var, cv, t.tile));
+    }
+    let mut current = innermost_body;
+    for sel in order.iter().rev() {
+        let l = match *sel {
+            LoopSel::Point(v) => {
+                let (lo, hi) = bound_of(v);
+                if let Some(&(_, cv, tile)) = control_of.iter().find(|&&(pv, _, _)| pv == v) {
+                    // point loop inside a tile: v = cv .. min(cv+T-1, hi)
+                    let mut alts = vec![AffineExpr::var(cv) + AffineExpr::constant(tile as i64 - 1)];
+                    alts.extend(hi.alternatives().iter().cloned());
+                    Loop {
+                        var: v,
+                        lo: Bound::var(cv),
+                        hi: Bound::min_of(alts),
+                        step: 1,
+                        body: current,
+                    }
+                } else {
+                    Loop {
+                        var: v,
+                        lo: lo.clone(),
+                        hi: hi.clone(),
+                        step: 1,
+                        body: current,
+                    }
+                }
+            }
+            LoopSel::Control(v) => {
+                let (lo, hi) = bound_of(v);
+                let &(_, cv, tile) = control_of
+                    .iter()
+                    .find(|&&(pv, _, _)| pv == v)
+                    .expect("checked");
+                Loop {
+                    var: cv,
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                    step: tile as i64,
+                    body: current,
+                }
+            }
+        };
+        current = vec![Stmt::For(l)];
+    }
+    out.body = current;
+    Ok((out, control_vars))
+}
+
+/// Permutes the loops of a perfect nest into `order` (a special case of
+/// [`tile_nest`] with no tiling).
+///
+/// # Errors
+///
+/// Same conditions as [`tile_nest`].
+pub fn permute(program: &Program, order: &[VarId]) -> Result<Program, TransformError> {
+    let sels: Vec<LoopSel> = order.iter().map(|&v| LoopSel::Point(v)).collect();
+    tile_nest(program, &[], &sels).map(|(p, _)| p)
+}

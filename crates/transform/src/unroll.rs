@@ -1,0 +1,167 @@
+//! Unroll-and-jam (register tiling).
+//!
+//! Unrolling loop `u` by factor `U` replaces its body with `U` copies
+//! (with `u` shifted by `0..U`), *jammed* through any perfectly-nested
+//! inner loops so the copies land together in the innermost body, where
+//! scalar replacement can exploit the exposed register reuse.
+//!
+//! Trip counts are generally not provably divisible by `U` here (tiled
+//! loops have `min(...)` upper bounds), so copies `1..U` are wrapped in
+//! residue guards `IF (u + k <= hi)`. The paper's search favours unroll
+//! factors that evenly divide loop bounds, which keeps the guards' cost
+//! negligible; when divisibility *is* provable (constant trip count),
+//! the guards are omitted.
+
+use crate::error::TransformError;
+use eco_ir::{AffineExpr, Bound, Cond, Loop, Program, Stmt, VarId};
+
+/// Applies unroll-and-jam with factor `factor` to the loop binding `u`.
+///
+/// The loop's body must be a perfect chain of inner loops whose bounds
+/// do not depend on `u` (otherwise jamming is structurally impossible
+/// and an error is returned). Legality with respect to data dependences
+/// is the caller's responsibility (the ECO driver checks that moving
+/// `u` innermost is dependence-legal, which implies unroll-and-jam
+/// legality); this pass enforces only the structural conditions.
+///
+/// # Errors
+///
+/// Fails if the loop is missing, has non-unit step, `factor` is zero,
+/// or an inner loop's bounds depend on `u`.
+pub fn unroll_and_jam(
+    program: &Program,
+    u: VarId,
+    factor: u64,
+) -> Result<Program, TransformError> {
+    if factor == 0 {
+        return Err(TransformError::BadParameter("unroll factor 0".into()));
+    }
+    let mut out = program.clone();
+    let found = rewrite_loop(&mut out.body, u, &mut |l| unroll_one(l, factor))?;
+    if !found {
+        return Err(TransformError::LoopNotFound(
+            program.var(u).name.clone(),
+        ));
+    }
+    Ok(out)
+}
+
+/// Finds the loop binding `target` anywhere in `stmts` and replaces it
+/// with `f(loop)`. Returns whether it was found.
+fn rewrite_loop(
+    stmts: &mut Vec<Stmt>,
+    target: VarId,
+    f: &mut impl FnMut(Loop) -> Result<Vec<Stmt>, TransformError>,
+) -> Result<bool, TransformError> {
+    for i in 0..stmts.len() {
+        match &mut stmts[i] {
+            Stmt::For(l) if l.var == target => {
+                let l = match std::mem::replace(&mut stmts[i], Stmt::Prefetch {
+                    target: eco_ir::ArrayRef::new(eco_ir::ArrayId(0), vec![]),
+                }) {
+                    Stmt::For(l) => l,
+                    _ => unreachable!(),
+                };
+                let repl = f(l)?;
+                stmts.splice(i..=i, repl);
+                return Ok(true);
+            }
+            Stmt::For(l) => {
+                if rewrite_loop(&mut l.body, target, f)? {
+                    return Ok(true);
+                }
+            }
+            Stmt::If { then, .. } => {
+                if rewrite_loop(then, target, f)? {
+                    return Ok(true);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(false)
+}
+
+fn unroll_one(l: Loop, factor: u64) -> Result<Vec<Stmt>, TransformError> {
+    if l.step != 1 {
+        return Err(TransformError::UnsupportedStep {
+            loop_name: format!("var#{}", l.var.0),
+            step: l.step,
+        });
+    }
+    let divisible = provably_divisible(&l, factor);
+    let jammed = jam(&l.body, l.var, factor, &l.hi, divisible)?;
+    Ok(vec![Stmt::For(Loop {
+        var: l.var,
+        lo: l.lo,
+        hi: l.hi,
+        step: factor as i64,
+        body: jammed,
+    })])
+}
+
+/// True if `(hi - lo + 1) % factor == 0` can be proven (constant
+/// bounds only).
+fn provably_divisible(l: &Loop, factor: u64) -> bool {
+    match (&l.lo, &l.hi) {
+        (Bound::Affine(lo), Bound::Affine(hi)) => {
+            match (lo.as_const(), hi.as_const()) {
+                (Some(a), Some(b)) if b >= a => ((b - a + 1) as u64) % factor == 0,
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Produces the jammed body: copies of `body` for `u -> u + k`,
+/// `k = 0..factor`, pushed through any leading perfect chain of inner
+/// loops. Copies with `k > 0` are guarded by `u + k <= hi` unless the
+/// trip count is provably divisible.
+fn jam(
+    body: &[Stmt],
+    u: VarId,
+    factor: u64,
+    hi: &Bound,
+    divisible: bool,
+) -> Result<Vec<Stmt>, TransformError> {
+    // Perfect chain: a single For whose bounds don't mention u — recurse
+    // into it so the copies land inside.
+    if let [Stmt::For(inner)] = body {
+        if !inner.lo.uses(u) && !inner.hi.uses(u) {
+            let inner_jammed = jam(&inner.body, u, factor, hi, divisible)?;
+            return Ok(vec![Stmt::For(Loop {
+                var: inner.var,
+                lo: inner.lo.clone(),
+                hi: inner.hi.clone(),
+                step: inner.step,
+                body: inner_jammed,
+            })]);
+        }
+        return Err(TransformError::Invalid(
+            "cannot jam: inner loop bounds depend on the unrolled variable".into(),
+        ));
+    }
+    if body.iter().any(|s| matches!(s, Stmt::For(_))) {
+        return Err(TransformError::Invalid(
+            "cannot jam through a non-perfect loop body".into(),
+        ));
+    }
+    let mut out = Vec::with_capacity(body.len() * factor as usize);
+    for k in 0..factor {
+        let shift = AffineExpr::var(u) + AffineExpr::constant(k as i64);
+        let mut copy: Vec<Stmt> = body.to_vec();
+        for s in &mut copy {
+            s.subst_var(u, &shift);
+        }
+        if k == 0 || divisible {
+            out.extend(copy);
+        } else {
+            out.push(Stmt::If {
+                cond: Cond::le(shift, hi.clone()),
+                then: copy,
+            });
+        }
+    }
+    Ok(out)
+}

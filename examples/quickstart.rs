@@ -1,0 +1,51 @@
+//! Quickstart: tune Matrix Multiply for a scaled SGI R10000 and compare
+//! against the untransformed kernel.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use eco_core::Optimizer;
+use eco_exec::{measure, LayoutOptions, Params};
+use eco_kernels::Kernel;
+use eco_machine::MachineDesc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a machine model. The paper's SGI R10000, shrunk 32x so the
+    //    simulation runs in seconds (see DESIGN.md on scaling).
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    println!("machine: {machine}");
+
+    // 2. Pick a kernel (Figure 1(a) of the paper).
+    let kernel = Kernel::matmul();
+    println!("\nkernel:\n{}", kernel.program);
+
+    // 3. Run ECO: model-driven variant derivation plus guided empirical
+    //    search, executing candidates on the simulated machine.
+    let mut opt = Optimizer::new(machine.clone());
+    opt.opts.search_n = 96;
+    let tuned = opt.optimize(&kernel)?;
+    println!(
+        "ECO selected {} with parameters {:?} and prefetches {:?}",
+        tuned.variant.name, tuned.params, tuned.prefetches
+    );
+    println!(
+        "search executed {} code versions ({} variants derived, {} searched)",
+        tuned.stats.points, tuned.stats.variants_derived, tuned.stats.variants_searched
+    );
+    println!("\ngenerated code:\n{}", tuned.program);
+
+    // 4. Compare against the naive kernel across sizes.
+    println!("{:>6} {:>12} {:>12}", "N", "naive", "ECO");
+    for n in [32i64, 64, 128, 192] {
+        let params = Params::new().with(kernel.size, n);
+        let naive = measure(&kernel.program, &params, &machine, &LayoutOptions::default())?;
+        let eco = measure(&tuned.program, &params, &machine, &LayoutOptions::default())?;
+        println!(
+            "{n:>6} {:>12.1} {:>12.1}",
+            naive.mflops(machine.clock_mhz),
+            eco.mflops(machine.clock_mhz)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Visualizes the search landscape the guided search navigates: a full
+//! TJ × TK grid of measured cycles for one Matrix Multiply variant,
+//! annotated with the point ECO's staged search actually selected.
+//!
+//! This is the space the paper's §2 calls "difficult to model
+//! analytically": the best point balances L1, L2 and TLB behaviour
+//! rather than minimizing any single counter.
+//!
+//! ```text
+//! cargo run --release --example search_landscape
+//! ```
+
+use eco_analysis::NestInfo;
+use eco_core::{derive_variants, generate, Optimizer};
+use eco_exec::{measure, LayoutOptions, Params};
+use eco_kernels::Kernel;
+use eco_machine::MachineDesc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let kernel = Kernel::matmul();
+    let nest = NestInfo::from_program(&kernel.program)?;
+    let n = 96i64;
+
+    // Pick the first full three-level variant with both copies.
+    let variants = derive_variants(&nest, &machine, &kernel.program);
+    let variant = variants
+        .iter()
+        .find(|v| v.levels.iter().filter(|l| l.copy.is_some()).count() == 2)
+        .unwrap_or(&variants[0]);
+    println!(
+        "variant {} at N={n} on {}; cycles (millions) over the TJ x TK grid:",
+        variant.name, machine.name
+    );
+
+    let opt = Optimizer::new(machine.clone());
+    let base = opt.initial_params(variant);
+    let tjs = [4u64, 8, 16, 32, 64, 128];
+    let tks = [2u64, 4, 8, 16];
+    print!("{:>8}", "TJ\\TK");
+    for &tk in &tks {
+        print!("{tk:>9}");
+    }
+    println!();
+    let mut best: Option<(u64, u64, u64)> = None;
+    for &tj in &tjs {
+        print!("{tj:>8}");
+        for &tk in &tks {
+            let mut params = base.clone();
+            params.insert("TJ".into(), tj);
+            params.insert("TK".into(), tk);
+            match generate(&kernel, &nest, variant, &params, &machine) {
+                Ok(program) => {
+                    let exec = Params::new().with(kernel.size, n);
+                    let c = measure(&program, &exec, &machine, &LayoutOptions::default())?;
+                    print!("{:>9.2}", c.cycles() as f64 / 1e6);
+                    if best.is_none_or(|(_, _, b)| c.cycles() < b) {
+                        best = Some((tj, tk, c.cycles()));
+                    }
+                }
+                Err(_) => print!("{:>9}", "-"),
+            }
+        }
+        println!();
+    }
+    if let Some((tj, tk, cycles)) = best {
+        println!(
+            "\ngrid optimum: TJ={tj} TK={tk} at {:.2}M cycles",
+            cycles as f64 / 1e6
+        );
+    }
+
+    // Where does the guided search land, and how many points did it pay?
+    let mut opt = Optimizer::new(machine.clone());
+    opt.opts.search_n = n;
+    let tuned = opt.optimize(&kernel)?;
+    println!(
+        "guided search: variant {} {:?} in {} points (grid above alone is {})",
+        tuned.variant.name,
+        tuned.params,
+        tuned.stats.points,
+        tjs.len() * tks.len(),
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Full Matrix Multiply walkthrough: Phase 1 variant derivation (the
+//! paper's Table 4), Phase 2 guided search, and a comparison against the
+//! native-compiler-like, ATLAS-like and vendor-BLAS-like baselines.
+//!
+//! ```text
+//! cargo run --release --example tune_matmul
+//! ```
+
+use eco_analysis::NestInfo;
+use eco_baselines::{atlas_mm, native, vendor_mm};
+use eco_core::{derive_variants, describe_variant, Optimizer};
+use eco_exec::{measure, LayoutOptions, Params};
+use eco_kernels::Kernel;
+use eco_machine::MachineDesc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let kernel = Kernel::matmul();
+    let nest = NestInfo::from_program(&kernel.program)?;
+
+    // ---- Phase 1: derive the parameterized variants (cf. Table 4) ----
+    let variants = derive_variants(&nest, &machine, &kernel.program);
+    println!("derived {} variants:", variants.len());
+    for v in variants.iter().take(4) {
+        println!("{}:", v.name);
+        print!("{}", describe_variant(v, &nest, &kernel.program));
+    }
+    if variants.len() > 4 {
+        println!("... ({} more)", variants.len() - 4);
+    }
+
+    // ---- Phase 2: the guided empirical search ----
+    let mut opt = Optimizer::new(machine.clone());
+    opt.opts.search_n = 120;
+    opt.opts.robustness_sizes = vec![128];
+    let eco = opt.optimize(&kernel)?;
+    println!(
+        "\nECO selected {} with {:?} and prefetches {:?} in {} points",
+        eco.variant.name, eco.params, eco.prefetches, eco.stats.points
+    );
+
+    // ---- Baselines ----
+    let nat = native(&kernel, &machine)?;
+    let atlas = atlas_mm(&machine, 96)?;
+    let vendor = vendor_mm(&machine, 120)?;
+    println!(
+        "ATLAS-like search: NB={}, register tile {}x{}, {} points",
+        atlas.nb, atlas.mu_nu.0, atlas.mu_nu.1, atlas.points
+    );
+
+    println!(
+        "\n{:>6} {:>10} {:>10} {:>10} {:>10}  (MFLOPS)",
+        "N", "ECO", "Native", "ATLAS", "Vendor"
+    );
+    for n in [48i64, 64, 96, 128, 192, 256] {
+        let run = |p: &eco_ir::Program| -> Result<f64, Box<dyn std::error::Error>> {
+            let params = Params::new().with(kernel.size, n);
+            let c = measure(p, &params, &machine, &LayoutOptions::default())?;
+            Ok(c.mflops(machine.clock_mhz))
+        };
+        println!(
+            "{n:>6} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            run(&eco.program)?,
+            run(nat.for_size(n))?,
+            run(atlas.program.for_size(n))?,
+            run(vendor.for_size(n))?
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! End-to-end checks of the experiment harness itself: small versions
+//! of each table/figure, asserting the qualitative claims recorded in
+//! EXPERIMENTS.md.
+
+use eco_bench::{
+    counters_at, jacobi_table_row, mflops_at, mm_copy_variant, mm_table_row, Sweep,
+};
+use eco_kernels::Kernel;
+use eco_machine::MachineDesc;
+
+/// Table 1, Matrix Multiply rows: multi-level balance beats any
+/// single-level optimum (the paper's central motivation, §2).
+#[test]
+fn table1_mm_balance_beats_single_level_optima() {
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let kernel = Kernel::matmul();
+    let n = 200;
+    // mm1: only J/K tiled for L1 -> lowest L1 misses of the three.
+    let mm1 = counters_at(&mm_table_row(1, 4, 32, false), &kernel, n, &machine);
+    // mm3: all three tiled -> lowest L2 misses.
+    let mm3 = counters_at(&mm_table_row(8, 32, 16, false), &kernel, n, &machine);
+    // mm4: the balanced configuration.
+    let mm4 = counters_at(&mm_table_row(4, 16, 16, false), &kernel, n, &machine);
+    assert!(
+        mm1.cache_misses[0] < mm3.cache_misses[0],
+        "mm1 must have fewer L1 misses than mm3: {} vs {}",
+        mm1.cache_misses[0],
+        mm3.cache_misses[0]
+    );
+    assert!(
+        mm3.cache_misses[1] * 2 < mm1.cache_misses[1],
+        "mm3 must slash L2 misses vs mm1: {} vs {}",
+        mm3.cache_misses[1],
+        mm1.cache_misses[1]
+    );
+    // mm4 is best at neither level...
+    assert!(mm4.cache_misses[0] > mm1.cache_misses[0]);
+    assert!(mm4.cache_misses[1] > mm3.cache_misses[1]);
+    let best_cycles = [&mm1, &mm3, &mm4].iter().map(|c| c.cycles()).min();
+    assert_eq!(
+        best_cycles,
+        Some(mm4.cycles()),
+        "the balanced row must win overall: mm1={} mm3={} mm4={}",
+        mm1.cycles(),
+        mm3.cycles(),
+        mm4.cycles()
+    );
+}
+
+/// Table 1, prefetch rows: prefetching adds loads but removes cycles.
+#[test]
+fn table1_prefetch_rows_trade_loads_for_cycles() {
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let mm = Kernel::matmul();
+    let base = counters_at(&mm_table_row(4, 16, 16, false), &mm, 200, &machine);
+    let pref = counters_at(&mm_table_row(4, 16, 16, true), &mm, 200, &machine);
+    assert!(pref.loads_incl_prefetch() > base.loads_incl_prefetch());
+    assert!(pref.cycles() < base.cycles());
+
+    let jac = Kernel::jacobi3d();
+    let jbase = counters_at(&jacobi_table_row(1, 4, 4, false), &jac, 48, &machine);
+    let jpref = counters_at(&jacobi_table_row(1, 4, 4, true), &jac, 48, &machine);
+    assert!(jpref.loads_incl_prefetch() > jbase.loads_incl_prefetch());
+    assert!(jpref.cycles() < jbase.cycles());
+    // The paper: ~20% for Jacobi vs ~3% for MM — Jacobi gains more.
+    let jgain = 1.0 - jpref.cycles() as f64 / jbase.cycles() as f64;
+    let mgain = 1.0 - pref.cycles() as f64 / base.cycles() as f64;
+    assert!(
+        jgain > mgain,
+        "Jacobi's prefetch gain ({jgain:.3}) must exceed MM's ({mgain:.3})"
+    );
+}
+
+/// Figure 4's core contrast at one pathological size: copying rescues
+/// what tiling alone loses to conflicts.
+#[test]
+fn copy_eliminates_pathological_conflicts() {
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let kernel = Kernel::matmul();
+    let n = 128; // column stride = 1KB = the whole scaled L1
+    let nocopy = mflops_at(&mm_copy_variant(8, 16, 16, false), &kernel, n, &machine);
+    let copy = mflops_at(&mm_copy_variant(8, 16, 16, true), &kernel, n, &machine);
+    assert!(
+        copy > 1.2 * nocopy,
+        "copy {copy:.1} must clearly beat no-copy {nocopy:.1} at N={n}"
+    );
+    // And at a benign size the copy overhead must not be ruinous.
+    let benign = 120;
+    let nocopy_b = mflops_at(&mm_copy_variant(8, 16, 16, false), &kernel, benign, &machine);
+    let copy_b = mflops_at(&mm_copy_variant(8, 16, 16, true), &kernel, benign, &machine);
+    assert!(
+        copy_b > 0.8 * nocopy_b,
+        "benign size: copy {copy_b:.1} vs no-copy {nocopy_b:.1}"
+    );
+}
+
+/// The TLB blow-up the paper's mm2 row illustrates: big unbalanced
+/// tiles touch far more pages than the TLB covers.
+#[test]
+fn bad_tiling_inflates_tlb_misses() {
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let kernel = Kernel::matmul();
+    let n = 200;
+    let good = counters_at(&mm_table_row(1, 4, 32, false), &kernel, n, &machine);
+    let bad = counters_at(&mm_table_row(2, 64, 64, false), &kernel, n, &machine);
+    assert!(
+        bad.tlb_misses > 2 * good.tlb_misses,
+        "mm2-like tiling must inflate TLB misses: {} vs {}",
+        bad.tlb_misses,
+        good.tlb_misses
+    );
+}
+
+/// Sweep rendering used by the figures.
+#[test]
+fn sweep_csv_has_one_row_per_size() {
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let kernel = Kernel::matmul();
+    let sizes = vec![16i64, 24, 32];
+    let ys: Vec<f64> = sizes
+        .iter()
+        .map(|&n| mflops_at(&kernel.program, &kernel, n, &machine))
+        .collect();
+    let sweep = Sweep {
+        sizes,
+        series: vec![("naive".into(), ys)],
+    };
+    let csv = sweep.to_csv();
+    assert_eq!(csv.lines().count(), 4);
+    assert!(csv.starts_with("N,naive"));
+}
