@@ -127,8 +127,14 @@ mod tests {
         let all = vec![a, b, c];
         assert_eq!(most_profitable_refs(&nest, var(&k, "K"), &all), vec![c]);
         let unmapped = vec![a, b];
-        assert_eq!(most_profitable_refs(&nest, var(&k, "I"), &unmapped), vec![b]);
-        assert_eq!(most_profitable_refs(&nest, var(&k, "J"), &unmapped), vec![a]);
+        assert_eq!(
+            most_profitable_refs(&nest, var(&k, "I"), &unmapped),
+            vec![b]
+        );
+        assert_eq!(
+            most_profitable_refs(&nest, var(&k, "J"), &unmapped),
+            vec![a]
+        );
     }
 
     #[test]

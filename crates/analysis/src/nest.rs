@@ -43,7 +43,10 @@ impl RefInfo {
     /// references with equal linear parts are *uniformly generated* and
     /// belong to one reuse group.
     pub fn linear_part(&self) -> Vec<AffineExpr> {
-        self.idx.iter().map(|e| e.clone().shifted(-e.constant_part())).collect()
+        self.idx
+            .iter()
+            .map(|e| e.clone().shifted(-e.constant_part()))
+            .collect()
     }
 
     /// The constant part of each subscript.
@@ -96,10 +99,7 @@ impl NestInfo {
         let (loops, body) = program.perfect_nest().ok_or(NestError::NotPerfectNest)?;
         let mut refs: Vec<RefInfo> = Vec::new();
         let mut upsert = |array: ArrayId, idx: &[AffineExpr], write: bool, reduction: bool| {
-            if let Some(r) = refs
-                .iter_mut()
-                .find(|r| r.array == array && r.idx == idx)
-            {
+            if let Some(r) = refs.iter_mut().find(|r| r.array == array && r.idx == idx) {
                 if write {
                     r.writes += 1;
                 } else {

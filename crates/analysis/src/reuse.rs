@@ -119,9 +119,7 @@ pub fn temporal_savings(nest: &NestInfo, v: VarId, candidates: &[usize]) -> u32 
         let rf = &nest.refs[r];
         if !rf.uses(v) {
             total += rf.accesses();
-        } else if group_source(nest, r, v)
-            .is_some_and(|(src, _)| candidates.contains(&src))
-        {
+        } else if group_source(nest, r, v).is_some_and(|(src, _)| candidates.contains(&src)) {
             total += rf.reads;
         }
     }

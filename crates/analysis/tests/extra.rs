@@ -70,7 +70,7 @@ fn non_dividing_stride_disproves_dependence() {
     p.body.push(Stmt::For(Loop {
         var: i,
         lo: 0.into(),
-        hi: (AffineExpr::var(n) * 0 + AffineExpr::constant(7)).into(),
+        hi: AffineExpr::constant(7).into(),
         step: 1,
         body: vec![Stmt::Store {
             target: ArrayRef::new(a, vec![AffineExpr::var(i) * 2]),
@@ -102,10 +102,7 @@ fn uniform_distance_rejects_mixed_offsets() {
         .expect("B[.,J+1,.]");
     // B[I-1,J,K] and B[I,J+1,K] differ in a dimension I does not move:
     // no distance along I.
-    assert_eq!(
-        uniform_distance(&nest.refs[bm1], &nest.refs[bj1], i),
-        None
-    );
+    assert_eq!(uniform_distance(&nest.refs[bm1], &nest.refs[bj1], i), None);
 }
 
 #[test]

@@ -22,7 +22,7 @@
 
 use eco_analysis::NestInfo;
 use eco_core::{derive_variants, generate, EcoError, Optimizer, ParamValues, Variant};
-use eco_exec::{measure, LayoutOptions, Params};
+use eco_exec::{Engine, EvalJob, Evaluator, Params};
 use eco_ir::Program;
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
@@ -246,17 +246,34 @@ fn atlas_shape(
             },
         )?;
     }
-    program.name = format!("mm_atlas_nb{nb}_{mu}x{nu}{}", if pack { "_pack" } else { "" });
+    program.name = format!(
+        "mm_atlas_nb{nb}_{mu}x{nu}{}",
+        if pack { "_pack" } else { "" }
+    );
     Ok(program)
 }
 
 /// Runs the ATLAS-like pure empirical search for Matrix Multiply on
-/// `machine`, measuring candidates at problem size `search_n`.
+/// `machine`, measuring candidates at problem size `search_n` on a
+/// private default [`Engine`].
 ///
 /// # Errors
 ///
 /// Fails if no candidate in the grid could be generated and measured.
 pub fn atlas_mm(machine: &MachineDesc, search_n: i64) -> Result<AtlasResult, EcoError> {
+    atlas_mm_with(&Engine::new(machine.clone()), search_n)
+}
+
+/// Like [`atlas_mm`], but against a caller-supplied [`Evaluator`]: the
+/// whole candidate grid goes out as one batch, so the engine can
+/// deduplicate repeats and run the rest in parallel. The winner is the
+/// first minimum in grid-scan order, exactly like the serial sweep.
+///
+/// # Errors
+///
+/// Fails if no candidate in the grid could be generated and measured.
+pub fn atlas_mm_with(engine: &dyn Evaluator, search_n: i64) -> Result<AtlasResult, EcoError> {
+    let machine = engine.machine();
     let kernel = Kernel::matmul();
     // NB grid bounded only by the L1-capacity model (NB^2 <= L1 eff.);
     // everything else is brute force, ATLAS-style.
@@ -286,22 +303,32 @@ pub fn atlas_mm(machine: &MachineDesc, search_n: i64) -> Result<AtlasResult, Eco
         (4, 6),
         (8, 4),
     ];
-    let mut points = 0;
-    let mut best: Option<(u64, (u64, u64), u64)> = None;
+    // Generate the whole grid, then measure it as a single batch.
+    let mut configs: Vec<(u64, (u64, u64))> = Vec::new();
+    let mut jobs: Vec<EvalJob> = Vec::new();
     for &nb in &nbs {
         for &(mu, nu) in reg_tiles {
             let Ok(program) = atlas_shape(&kernel, machine, nb, mu, nu, true) else {
                 continue;
             };
-            let params = Params::new().with(kernel.size, search_n);
-            let Ok(c) = measure(&program, &params, machine, &LayoutOptions::default()) else {
-                continue;
-            };
-            points += 1;
-            let cycles = c.cycles();
-            if best.is_none_or(|(_, _, b)| cycles < b) {
-                best = Some((nb, (mu, nu), cycles));
-            }
+            configs.push((nb, (mu, nu)));
+            jobs.push(
+                EvalJob::new(program, Params::new().with(kernel.size, search_n))
+                    .with_label("atlas/grid"),
+            );
+        }
+    }
+    let results = engine.eval_batch(&jobs);
+    let mut points = 0;
+    let mut best: Option<(u64, (u64, u64), u64)> = None;
+    for (&(nb, mu_nu), r) in configs.iter().zip(&results) {
+        let Ok(c) = r else {
+            continue;
+        };
+        points += 1;
+        let cycles = c.cycles();
+        if best.is_none_or(|(_, _, b)| cycles < b) {
+            best = Some((nb, mu_nu, cycles));
         }
     }
     let (nb, mu_nu, _) = best.ok_or(EcoError::NoVariants)?;
@@ -330,6 +357,17 @@ pub fn atlas_mm(machine: &MachineDesc, search_n: i64) -> Result<AtlasResult, Eco
 ///
 /// Fails if no grid point generates and measures successfully.
 pub fn vendor_mm(machine: &MachineDesc, tune_n: i64) -> Result<BaselineProgram, EcoError> {
+    vendor_mm_with(&Engine::new(machine.clone()), tune_n)
+}
+
+/// Like [`vendor_mm`], but against a caller-supplied [`Evaluator`]; the
+/// manual sweep's grid is measured as one batch.
+///
+/// # Errors
+///
+/// Fails if no grid point generates and measures successfully.
+pub fn vendor_mm_with(engine: &dyn Evaluator, tune_n: i64) -> Result<BaselineProgram, EcoError> {
+    let machine = engine.machine();
     let kernel = Kernel::matmul();
     let nest = NestInfo::from_program(&kernel.program)?;
     let variants = derive_variants(&nest, machine, &kernel.program);
@@ -344,7 +382,8 @@ pub fn vendor_mm(machine: &MachineDesc, tune_n: i64) -> Result<BaselineProgram, 
                 && !v.levels[1].tiles.is_empty()
         })
         .ok_or(EcoError::NoVariants)?;
-    let mut best: Option<(ParamValues, u64)> = None;
+    let mut grid: Vec<ParamValues> = Vec::new();
+    let mut jobs: Vec<EvalJob> = Vec::new();
     for ti in [8u64, 16, 32] {
         for tk in [8u64, 16, 32, 64] {
             for tj in [16u64, 32, 64] {
@@ -357,17 +396,26 @@ pub fn vendor_mm(machine: &MachineDesc, tune_n: i64) -> Result<BaselineProgram, 
                 let Ok(program) = generate(&kernel, &nest, &v, &params, machine) else {
                     continue;
                 };
-                let exec = Params::new().with(kernel.size, tune_n);
-                let Ok(c) = measure(&program, &exec, machine, &LayoutOptions::default()) else {
-                    continue;
-                };
-                if best.as_ref().is_none_or(|&(_, b)| c.cycles() < b) {
-                    best = Some((params, c.cycles()));
-                }
+                grid.push(params);
+                jobs.push(
+                    EvalJob::new(program, Params::new().with(kernel.size, tune_n))
+                        .with_label("vendor/grid"),
+                );
             }
         }
     }
+    let results = engine.eval_batch(&jobs);
+    let mut best: Option<(&ParamValues, u64)> = None;
+    for (params, r) in grid.iter().zip(&results) {
+        let Ok(c) = r else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|&(_, b)| c.cycles() < b) {
+            best = Some((params, c.cycles()));
+        }
+    }
     let (params, _) = best.ok_or(EcoError::NoVariants)?;
+    let params = params.clone();
     let mut program = generate(&kernel, &nest, &v, &params, machine)?;
     // prefetch the packed panels, as hand-tuned kernels do
     for buf in ["P", "Q"] {
@@ -384,7 +432,7 @@ pub fn vendor_mm(machine: &MachineDesc, tune_n: i64) -> Result<BaselineProgram, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eco_exec::{interpret, ArrayLayout, Storage};
+    use eco_exec::{interpret, ArrayLayout, LayoutOptions, Storage};
 
     fn assert_correct(program: &Program, kernel: &Kernel, n: i64) {
         let run = |p: &Program| {
@@ -431,10 +479,7 @@ mod tests {
         let machine = MachineDesc::sgi_r10000().scaled(32);
         let b = native(&Kernel::matmul(), &machine).expect("native");
         let p = b.for_size(100);
-        assert!(p
-            .arrays
-            .iter()
-            .all(|a| a.kind == eco_ir::ArrayKind::Data));
+        assert!(p.arrays.iter().all(|a| a.kind == eco_ir::ArrayKind::Data));
     }
 
     #[test]

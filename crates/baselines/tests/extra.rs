@@ -54,7 +54,11 @@ fn native_handles_extension_kernels() {
 #[test]
 fn model_only_handles_extension_kernels() {
     let machine = MachineDesc::sgi_r10000().scaled(32);
-    for kernel in [Kernel::syrk(), Kernel::matmul_transposed(), Kernel::stencil5()] {
+    for kernel in [
+        Kernel::syrk(),
+        Kernel::matmul_transposed(),
+        Kernel::stencil5(),
+    ] {
         let b = model_only(&kernel, &machine).unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
         assert_correct(b.for_size(17), &kernel, 17);
     }

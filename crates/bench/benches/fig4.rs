@@ -7,7 +7,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use eco_baselines::{atlas_mm, native, vendor_mm};
 use eco_bench::mflops_at;
-use eco_core::Optimizer;
+use eco_core::{OptimizeRequest, Optimizer};
+use eco_exec::{Engine, EngineConfig, EvalJob, Evaluator, Params};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
 use std::hint::black_box;
@@ -20,7 +21,10 @@ fn bench_fig4(c: &mut Criterion) {
     let mut opt = Optimizer::new(machine.clone());
     opt.opts.search_n = 48;
     opt.opts.max_variants = 1;
-    let eco = opt.optimize(&kernel).expect("eco");
+    let eco = opt
+        .run(OptimizeRequest::new(kernel.clone()))
+        .expect("eco")
+        .tuned;
     let nat = native(&kernel, &machine).expect("native");
     let atlas = atlas_mm(&machine, 32).expect("atlas");
     let vendor = vendor_mm(&machine, 32).expect("vendor");
@@ -48,11 +52,34 @@ fn bench_fig4(c: &mut Criterion) {
             let mut opt = Optimizer::new(machine.clone());
             opt.opts.search_n = 32;
             opt.opts.max_variants = 1;
-            black_box(opt.optimize(&kernel).expect("eco"))
+            black_box(
+                opt.run(OptimizeRequest::new(kernel.clone()))
+                    .expect("eco")
+                    .tuned,
+            )
         })
     });
     group.bench_function("atlas_search_mm", |b| {
         b.iter(|| black_box(atlas_mm(&machine, 32).expect("atlas")))
+    });
+    group.finish();
+
+    // The evaluation engine itself: a full simulation vs a memo hit.
+    let mut group = c.benchmark_group("fig4_engine");
+    group.sample_size(10);
+    let job = || {
+        EvalJob::new(eco.program.clone(), Params::new().with(kernel.size, n))
+            .with_label("bench/eval")
+    };
+    group.bench_function("eval_cold_uncached", |b| {
+        let uncached = Engine::with_config(machine.clone(), EngineConfig::new().memoize(false))
+            .expect("engine");
+        b.iter(|| black_box(uncached.eval(job()).expect("eval")))
+    });
+    group.bench_function("eval_warm_memo_hit", |b| {
+        let warm = Engine::new(machine.clone());
+        warm.eval(job()).expect("prime");
+        b.iter(|| black_box(warm.eval(job()).expect("eval")))
     });
     group.finish();
 }

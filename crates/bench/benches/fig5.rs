@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use eco_baselines::native;
 use eco_bench::mflops_at;
-use eco_core::Optimizer;
+use eco_core::{OptimizeRequest, Optimizer};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
 use std::hint::black_box;
@@ -17,11 +17,18 @@ fn bench_fig5(c: &mut Criterion) {
     group.sample_size(10);
     for base in [MachineDesc::sgi_r10000(), MachineDesc::ultrasparc_iie()] {
         let machine = base.scaled(32);
-        let tag = if machine.name.contains("SGI") { "sgi" } else { "sun" };
+        let tag = if machine.name.contains("SGI") {
+            "sgi"
+        } else {
+            "sun"
+        };
         let mut opt = Optimizer::new(machine.clone());
         opt.opts.search_n = 24;
         opt.opts.max_variants = 1;
-        let eco = opt.optimize(&kernel).expect("eco");
+        let eco = opt
+            .run(OptimizeRequest::new(kernel.clone()))
+            .expect("eco")
+            .tuned;
         let nat = native(&kernel, &machine).expect("native");
         group.bench_function(format!("eco_{tag}_n32"), |b| {
             b.iter(|| black_box(mflops_at(&eco.program, &kernel, 32, &machine)))

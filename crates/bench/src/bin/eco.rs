@@ -13,12 +13,22 @@
 //!   --n N                problem size               (default 96)
 //!   --search-n N         tuning size for `tune`     (default 96)
 //!   --strategy S         guided|grid|random         (default guided)
+//!   --threads N          evaluation threads         (default 0 = auto)
+//!   --trace FILE         write a JSONL line per evaluated point to FILE
 //!   --code               also print generated code  (tune)
 //! ```
+//!
+//! `tune` and `measure` run on the parallel memoized evaluation engine;
+//! `tune` reports the engine's work alongside the search statistics.
+//! Each `--trace` record carries the point's label, parameters,
+//! memo-hit flag, wall-clock time and simulated counters (see
+//! DESIGN.md §3 for the exact schema).
 
 use eco_analysis::NestInfo;
-use eco_core::{derive_variants, describe_variant, Optimizer, SearchStrategy};
-use eco_exec::{measure, LayoutOptions, Params};
+use eco_core::{
+    derive_variants, describe_variant, EngineConfig, OptimizeRequest, Optimizer, SearchStrategy,
+};
+use eco_exec::{Engine, EvalJob, Evaluator, Params};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
 
@@ -27,7 +37,19 @@ struct Opts {
     n: i64,
     search_n: i64,
     strategy: SearchStrategy,
+    threads: usize,
+    trace: Option<String>,
     code: bool,
+}
+
+impl Opts {
+    fn engine_config(&self) -> EngineConfig {
+        let mut cfg = EngineConfig::new().threads(self.threads);
+        if let Some(path) = &self.trace {
+            cfg = cfg.trace(path.clone());
+        }
+        cfg
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -36,6 +58,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut n = 96i64;
     let mut search_n = 96i64;
     let mut strategy = SearchStrategy::Guided;
+    let mut threads = 0usize;
+    let mut trace = None;
     let mut code = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -68,6 +92,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     other => return Err(format!("unknown strategy {other}")),
                 }
             }
+            "--threads" => {
+                threads = val("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?
+            }
+            "--trace" => trace = Some(val("--trace")?),
             "--code" => code = true,
             other => return Err(format!("unknown option {other}")),
         }
@@ -83,6 +113,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         n,
         search_n,
         strategy,
+        threads,
+        trace,
         code,
     })
 }
@@ -119,17 +151,20 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
     match cmd {
         "kernels" => {
             for k in Kernel::all() {
-                println!("{:10} ({} loops, {} arrays)", k.name, {
-                    let nest = NestInfo::from_program(&k.program).map_err(|e| e.to_string())?;
-                    nest.loops.len()
-                }, k.program.arrays.len());
+                println!(
+                    "{:10} ({} loops, {} arrays)",
+                    k.name,
+                    {
+                        let nest = NestInfo::from_program(&k.program).map_err(|e| e.to_string())?;
+                        nest.loops.len()
+                    },
+                    k.program.arrays.len()
+                );
             }
             Ok(())
         }
         "show" => {
-            let (name, _) = rest
-                .split_first()
-                .ok_or("usage: eco show <kernel>")?;
+            let (name, _) = rest.split_first().ok_or("usage: eco show <kernel>")?;
             let k = find_kernel(name)?;
             print!("{}", k.program);
             Ok(())
@@ -142,7 +177,12 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
             let opts = parse_opts(opts)?;
             let nest = NestInfo::from_program(&k.program).map_err(|e| e.to_string())?;
             let vs = derive_variants(&nest, &opts.machine, &k.program);
-            println!("{} variants for {} on {}:", vs.len(), k.name, opts.machine.name);
+            println!(
+                "{} variants for {} on {}:",
+                vs.len(),
+                k.name,
+                opts.machine.name
+            );
             for v in &vs {
                 println!("{}:", v.name);
                 print!("{}", describe_variant(v, &nest, &k.program));
@@ -157,8 +197,10 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
             let opts = parse_opts(optargs)?;
             let mut optimizer = Optimizer::new(opts.machine.clone());
             optimizer.opts.search_n = opts.search_n;
-            optimizer.opts.strategy = opts.strategy;
-            let tuned = optimizer.optimize(&k).map_err(|e| e.to_string())?;
+            optimizer.opts.strategy = opts.strategy.clone();
+            let request = OptimizeRequest::new(k.clone()).engine(opts.engine_config());
+            let report = optimizer.run(request).map_err(|e| e.to_string())?;
+            let tuned = report.tuned;
             println!(
                 "selected {} with {:?}, prefetches {:?}",
                 tuned.variant.name, tuned.params, tuned.prefetches
@@ -166,6 +208,13 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
             println!(
                 "search: {} points over {} variants ({} fully searched)",
                 tuned.stats.points, tuned.stats.variants_derived, tuned.stats.variants_searched
+            );
+            println!(
+                "engine: {} points requested, {} evaluated, {} memo hits ({:.0}% hit rate)",
+                report.engine.requested,
+                report.engine.evaluated,
+                report.engine.cache_hits,
+                report.engine.hit_rate() * 100.0
             );
             println!(
                 "at N={}: {:.1} MFLOPS ({} cycles)",
@@ -184,9 +233,12 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
                 .ok_or("usage: eco measure <kernel> --n <N> [opts]")?;
             let k = find_kernel(name)?;
             let opts = parse_opts(optargs)?;
-            let params = Params::new().with(k.size, opts.n);
-            let c = measure(&k.program, &params, &opts.machine, &LayoutOptions::default())
+            let engine = Engine::with_config(opts.machine.clone(), opts.engine_config())
                 .map_err(|e| e.to_string())?;
+            let params = Params::new().with(k.size, opts.n);
+            let job =
+                EvalJob::new(k.program.clone(), params).with_label(format!("{}/measure", k.name));
+            let c = engine.eval(job).map_err(|e| e.to_string())?;
             println!("{} at N={} on {}:", k.name, opts.n, opts.machine.name);
             println!(
                 "  loads {}  stores {}  L1 misses {}  L2 misses {}  TLB {}  cycles {}  {:.1} MFLOPS",

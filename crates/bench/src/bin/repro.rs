@@ -18,59 +18,142 @@
 //! repro attribution  Analysis: per-array miss attribution (mm1 vs mm4)
 //! repro modelrank    Analysis: static-model ranking vs measured ranking
 //! repro all          Everything above, also written to results/
+//!
+//! options (after the command):
+//!   --threads N      evaluation threads (0 = auto, the default)
+//!   --trace DIR      write a JSONL evaluation trace per command to DIR
 //! ```
+//!
+//! All measurements flow through one [`eco_core::Engine`] per command:
+//! batches are evaluated in parallel, repeated points are served from
+//! the memo cache, and results come back in submission order, so every
+//! table and CSV is byte-identical whatever `--threads` says.
 //!
 //! CSV output for each figure is written to `results/` when it exists
 //! (created by `repro all`).
 
-use eco_baselines::{atlas_mm, model_only, native, vendor_mm};
-use eco_bench::{
-    counters_at, jacobi_figure_sizes, jacobi_table_row, mflops_at, mm_copy_variant,
-    mm_figure_sizes, mm_table_row, Sweep, FIGURE_SCALE,
-};
-use eco_core::{derive_variants, describe_variant, Optimizer, Tuned};
 use eco_analysis::NestInfo;
+use eco_baselines::{atlas_mm_with, model_only, native, vendor_mm_with};
+use eco_bench::{
+    counters_at_with, jacobi_figure_sizes, jacobi_table_row, mflops_at_with, mflops_sweep,
+    mm_copy_variant, mm_figure_sizes, mm_table_row, Sweep, FIGURE_SCALE,
+};
+use eco_core::{
+    derive_variants, describe_variant, Engine, EngineConfig, Evaluator, Optimizer, SearchOptions,
+    Tuned,
+};
+use eco_ir::Program;
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
 use std::fs;
 
+/// Engine settings shared by every command: thread count and the
+/// optional JSONL trace directory (one file per command label).
+struct EngineOpts {
+    threads: usize,
+    trace_dir: Option<String>,
+}
+
+impl EngineOpts {
+    fn engine(&self, machine: &MachineDesc, label: &str) -> Engine {
+        let mut cfg = EngineConfig::new().threads(self.threads);
+        if let Some(dir) = &self.trace_dir {
+            let _ = fs::create_dir_all(dir);
+            cfg = cfg.trace(format!("{dir}/{label}.jsonl"));
+        }
+        Engine::with_config(machine.clone(), cfg)
+            .unwrap_or_else(|e| panic!("engine for {label}: {e}"))
+    }
+}
+
+fn parse_engine_opts(args: &[String]) -> Result<EngineOpts, String> {
+    let mut threads = 0usize;
+    let mut trace_dir = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--trace" => {
+                trace_dir = Some(it.next().ok_or("--trace needs a directory")?.clone());
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(EngineOpts { threads, trace_dir })
+}
+
+fn print_engine_stats(engine: &Engine) {
+    let s = engine.stats();
+    println!(
+        "   engine: {} points requested, {} evaluated, {} memo hits ({:.0}% hit rate), {} thread(s)",
+        s.requested,
+        s.evaluated,
+        s.cache_hits,
+        s.hit_rate() * 100.0,
+        engine.threads()
+    );
+}
+
 fn main() {
-    let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.clone(), r.to_vec()),
+        None => ("all".to_string(), Vec::new()),
+    };
+    let eopts = match parse_engine_opts(&rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            std::process::exit(2);
+        }
+    };
     match cmd.as_str() {
-        "table1" => table1(),
+        "table1" => table1(&eopts),
         "table2" => table2(),
         "table3" => table3(),
         "table4" => table4(),
-        "fig4a" => drop(fig4(&MachineDesc::sgi_r10000(), "fig4a")),
-        "fig4b" => drop(fig4(&MachineDesc::ultrasparc_iie(), "fig4b")),
-        "fig5a" => drop(fig5(&MachineDesc::sgi_r10000(), "fig5a")),
-        "fig5b" => drop(fig5(&MachineDesc::ultrasparc_iie(), "fig5b")),
-        "searchcost" => searchcost(),
-        "modelvsearch" => modelvsearch(),
-        "prefetch" => prefetch_ablation(),
-        "copyablation" => copy_ablation(),
-        "padding" => padding_ablation(),
-        "strategies" => strategies_ablation(),
+        "fig4a" => drop(fig4(&MachineDesc::sgi_r10000(), "fig4a", &eopts)),
+        "fig4b" => drop(fig4(&MachineDesc::ultrasparc_iie(), "fig4b", &eopts)),
+        "fig5a" => drop(fig5(&MachineDesc::sgi_r10000(), "fig5a", &eopts)),
+        "fig5b" => drop(fig5(&MachineDesc::ultrasparc_iie(), "fig5b", &eopts)),
+        "searchcost" => searchcost(&eopts),
+        "modelvsearch" => modelvsearch(&eopts),
+        "prefetch" => prefetch_ablation(&eopts),
+        "copyablation" => copy_ablation(&eopts),
+        "padding" => padding_ablation(&eopts),
+        "strategies" => strategies_ablation(&eopts),
         "attribution" => attribution(),
-        "modelrank" => model_rank(),
+        "modelrank" => model_rank(&eopts),
         "all" => {
             let _ = fs::create_dir_all("results");
             table2();
             table3();
             table4();
-            table1();
-            save("fig4a", fig4(&MachineDesc::sgi_r10000(), "fig4a"));
-            save("fig4b", fig4(&MachineDesc::ultrasparc_iie(), "fig4b"));
-            save("fig5a", fig5(&MachineDesc::sgi_r10000(), "fig5a"));
-            save("fig5b", fig5(&MachineDesc::ultrasparc_iie(), "fig5b"));
-            searchcost();
-            modelvsearch();
-            prefetch_ablation();
-            copy_ablation();
-            padding_ablation();
-            strategies_ablation();
+            table1(&eopts);
+            save("fig4a", fig4(&MachineDesc::sgi_r10000(), "fig4a", &eopts));
+            save(
+                "fig4b",
+                fig4(&MachineDesc::ultrasparc_iie(), "fig4b", &eopts),
+            );
+            save("fig5a", fig5(&MachineDesc::sgi_r10000(), "fig5a", &eopts));
+            save(
+                "fig5b",
+                fig5(&MachineDesc::ultrasparc_iie(), "fig5b", &eopts),
+            );
+            searchcost(&eopts);
+            modelvsearch(&eopts);
+            prefetch_ablation(&eopts);
+            copy_ablation(&eopts);
+            padding_ablation(&eopts);
+            strategies_ablation(&eopts);
             attribution();
-            model_rank();
+            model_rank(&eopts);
         }
         other => {
             eprintln!("unknown command {other}; see the module docs for the list");
@@ -87,21 +170,26 @@ fn save(name: &str, sweep: Sweep) {
 
 /// ECO, tuned once per machine and reused across sizes (the paper: "our
 /// implementation selected variant v2 with UI=UJ=4, TI=16, TJ=512,
-/// TK=128 for all array sizes").
-fn tune_eco(kernel: &Kernel, machine: &MachineDesc, search_n: i64) -> Tuned {
-    let mut opt = Optimizer::new(machine.clone());
-    opt.opts.search_n = search_n;
-    opt.opts.max_variants = 2;
-    // tune on a conflict-prone (power-of-two) size too (see
-    // SearchOptions docs)
-    opt.opts.robustness_sizes = vec![(search_n as u64).next_power_of_two() as i64];
-    opt.optimize(kernel)
+/// TK=128 for all array sizes"). The search runs against the shared
+/// `engine`, so revisited points are memo hits.
+fn tune_eco(kernel: &Kernel, engine: &Engine, search_n: i64) -> Tuned {
+    let opts = SearchOptions::builder()
+        .search_n(search_n)
+        .max_variants(2)
+        // tune on a conflict-prone (power-of-two) size too (see
+        // SearchOptions docs)
+        .robustness_sizes(vec![(search_n as u64).next_power_of_two() as i64])
+        .build()
+        .unwrap_or_else(|e| panic!("search options: {e}"));
+    let mut opt = Optimizer::new(engine.machine().clone());
+    opt.opts = opts;
+    opt.run_with(kernel, engine)
         .unwrap_or_else(|e| panic!("ECO tuning failed: {e}"))
 }
 
 // ---------------------------------------------------------------- T1
 
-fn table1() {
+fn table1(eopts: &EngineOpts) {
     println!("== Table 1: performance variation with optimization parameters ==");
     println!("   (1/32-scale SGI R10000 model; MM at N=200, Jacobi at N=48;");
     println!("    tile sizes scaled with the caches, see DESIGN.md)");
@@ -110,6 +198,7 @@ fn table1() {
         "ver", "TI", "TJ", "TK", "Pref", "Loads", "L1 misses", "L2 misses", "TLB misses", "Cycles"
     );
     let machine = MachineDesc::sgi_r10000().scaled(FIGURE_SCALE);
+    let engine = eopts.engine(&machine, "table1");
     let mm = Kernel::matmul();
     let rows: [(u64, u64, u64, bool); 5] = [
         (1, 4, 32, false),  // mm1: L1-focused, lowest L1 misses
@@ -120,7 +209,7 @@ fn table1() {
     ];
     for (i, &(ti, tj, tk, pf)) in rows.iter().enumerate() {
         let p = mm_table_row(ti, tj, tk, pf);
-        let c = counters_at(&p, &mm, 200, &machine);
+        let c = counters_at_with(&engine, &p, &mm, 200);
         println!(
             "mm{:<3} {:>5} {:>4} {:>4} {:>5} {:>14} {:>12} {:>12} {:>12} {:>16}",
             i + 1,
@@ -137,16 +226,16 @@ fn table1() {
     }
     let jac = Kernel::jacobi3d();
     let jrows: [(u64, u64, u64, bool); 6] = [
-        (1, 1, 1, false), // j1: untiled
-        (1, 1, 1, true),  // j2: untiled + prefetch (~20% gain)
-        (1, 4, 4, false), // j3: J and K tiled for L1
-        (1, 4, 4, true),  // j4: j3 + prefetch
+        (1, 1, 1, false),  // j1: untiled
+        (1, 1, 1, true),   // j2: untiled + prefetch (~20% gain)
+        (1, 4, 4, false),  // j3: J and K tiled for L1
+        (1, 4, 4, true),   // j4: j3 + prefetch
         (24, 4, 1, false), // j5: I and J tiled
-        (24, 4, 1, true), // j6: j5 + prefetch
+        (24, 4, 1, true),  // j6: j5 + prefetch
     ];
     for (i, &(ti, tj, tk, pf)) in jrows.iter().enumerate() {
         let p = jacobi_table_row(ti, tj, tk, pf);
-        let c = counters_at(&p, &jac, 48, &machine);
+        let c = counters_at_with(&engine, &p, &jac, 48);
         println!(
             "j{:<4} {:>5} {:>4} {:>4} {:>5} {:>14} {:>12} {:>12} {:>12} {:>16}",
             i + 1,
@@ -205,98 +294,87 @@ fn table4() {
 
 // ---------------------------------------------------------------- F4
 
-fn fig4(machine_full: &MachineDesc, label: &str) -> Sweep {
-    println!("== Figure 4 ({label}): Matrix Multiply MFLOPS vs size on {} ==", machine_full.name);
+fn fig4(machine_full: &MachineDesc, label: &str, eopts: &EngineOpts) -> Sweep {
+    println!(
+        "== Figure 4 ({label}): Matrix Multiply MFLOPS vs size on {} ==",
+        machine_full.name
+    );
     let machine = machine_full.scaled(FIGURE_SCALE);
+    let engine = eopts.engine(&machine, label);
     let kernel = Kernel::matmul();
     let sizes = mm_figure_sizes();
 
-    let eco = tune_eco(&kernel, &machine, 120);
+    let eco = tune_eco(&kernel, &engine, 120);
     println!(
         "   ECO picked {} with {:?}, prefetches {:?} ({} search points)",
         eco.variant.name, eco.params, eco.prefetches, eco.stats.points
     );
     let nat = native(&kernel, &machine).expect("native");
-    let atlas = atlas_mm(&machine, 96).expect("atlas");
+    let atlas = atlas_mm_with(&engine, 96).expect("atlas");
     println!(
         "   ATLAS-like picked NB={} {}x{} ({} search points)",
         atlas.nb, atlas.mu_nu.0, atlas.mu_nu.1, atlas.points
     );
-    let vendor = vendor_mm(&machine, 120).expect("vendor");
+    let vendor = vendor_mm_with(&engine, 120).expect("vendor");
 
-    let series: Vec<(&str, Box<dyn Fn(i64) -> f64>)> = vec![
-        (
-            "ECO",
-            Box::new(|n| mflops_at(&eco.program, &kernel, n, &machine)),
-        ),
-        (
-            "Native",
-            Box::new(|n| mflops_at(nat.for_size(n), &kernel, n, &machine)),
-        ),
-        (
-            "ATLAS",
-            Box::new(|n| mflops_at(atlas.program.for_size(n), &kernel, n, &machine)),
-        ),
-        (
-            "Vendor",
-            Box::new(|n| mflops_at(vendor.for_size(n), &kernel, n, &machine)),
-        ),
+    let eco_f = |_n: i64| eco.program.clone();
+    let nat_f = |n: i64| nat.for_size(n).clone();
+    let atlas_f = |n: i64| atlas.program.for_size(n).clone();
+    let vendor_f = |n: i64| vendor.for_size(n).clone();
+    let series: [(&str, &dyn Fn(i64) -> Program); 4] = [
+        ("ECO", &eco_f),
+        ("Native", &nat_f),
+        ("ATLAS", &atlas_f),
+        ("Vendor", &vendor_f),
     ];
-    let mut sweep = Sweep {
-        sizes: sizes.clone(),
-        series: Vec::new(),
-    };
-    for (name, f) in &series {
-        let ys: Vec<f64> = sizes.iter().map(|&n| f(n)).collect();
-        sweep.series.push((name.to_string(), ys));
-    }
+    let sweep = mflops_sweep(&engine, &kernel, &sizes, &series);
     print!("{}", sweep.to_table());
+    print_engine_stats(&engine);
     println!();
     sweep
 }
 
 // ---------------------------------------------------------------- F5
 
-fn fig5(machine_full: &MachineDesc, label: &str) -> Sweep {
-    println!("== Figure 5 ({label}): Jacobi MFLOPS vs size on {} ==", machine_full.name);
+fn fig5(machine_full: &MachineDesc, label: &str, eopts: &EngineOpts) -> Sweep {
+    println!(
+        "== Figure 5 ({label}): Jacobi MFLOPS vs size on {} ==",
+        machine_full.name
+    );
     let machine = machine_full.scaled(FIGURE_SCALE);
+    let engine = eopts.engine(&machine, label);
     let kernel = Kernel::jacobi3d();
     let sizes = jacobi_figure_sizes();
 
-    let eco = tune_eco(&kernel, &machine, 40);
+    let eco = tune_eco(&kernel, &engine, 40);
     println!(
         "   ECO picked {} with {:?}, prefetches {:?} ({} search points)",
         eco.variant.name, eco.params, eco.prefetches, eco.stats.points
     );
     let nat = native(&kernel, &machine).expect("native");
-    let mut sweep = Sweep {
-        sizes: sizes.clone(),
-        series: Vec::new(),
-    };
-    let eco_ys: Vec<f64> = sizes
-        .iter()
-        .map(|&n| mflops_at(&eco.program, &kernel, n, &machine))
-        .collect();
-    let nat_ys: Vec<f64> = sizes
-        .iter()
-        .map(|&n| mflops_at(nat.for_size(n), &kernel, n, &machine))
-        .collect();
-    sweep.series.push(("ECO".into(), eco_ys));
-    sweep.series.push(("Native".into(), nat_ys));
+    let eco_f = |_n: i64| eco.program.clone();
+    let nat_f = |n: i64| nat.for_size(n).clone();
+    let series: [(&str, &dyn Fn(i64) -> Program); 2] = [("ECO", &eco_f), ("Native", &nat_f)];
+    let sweep = mflops_sweep(&engine, &kernel, &sizes, &series);
     print!("{}", sweep.to_table());
+    print_engine_stats(&engine);
     println!();
     sweep
 }
 
 // ---------------------------------------------------------------- §4.3
 
-fn searchcost() {
+fn searchcost(eopts: &EngineOpts) {
     println!("== §4.3: cost of search (points executed) ==");
-    for machine_full in [MachineDesc::sgi_r10000(), MachineDesc::ultrasparc_iie()] {
+    for (machine_full, tag) in [
+        (MachineDesc::sgi_r10000(), "searchcost-sgi"),
+        (MachineDesc::ultrasparc_iie(), "searchcost-sun"),
+    ] {
         let machine = machine_full.scaled(FIGURE_SCALE);
-        let mm = tune_eco(&Kernel::matmul(), &machine, 96);
-        let jc = tune_eco(&Kernel::jacobi3d(), &machine, 36);
-        let atlas = atlas_mm(&machine, 96).expect("atlas");
+        let engine = eopts.engine(&machine, tag);
+        let mm = tune_eco(&Kernel::matmul(), &engine, 96);
+        let jc = tune_eco(&Kernel::jacobi3d(), &engine, 36);
+        let atlas = atlas_mm_with(&engine, 96).expect("atlas");
         println!("{}:", machine_full.name);
         println!(
             "  ECO   MM: {:>4} points ({} variants derived, {} searched)",
@@ -308,40 +386,43 @@ fn searchcost() {
             atlas.points,
             atlas.points as f64 / mm.stats.points as f64
         );
+        print_engine_stats(&engine);
     }
     println!();
 }
 
 // ---------------------------------------------------------------- ablations
 
-fn modelvsearch() {
+fn modelvsearch(eopts: &EngineOpts) {
     println!("== Ablation: model-only parameters vs guided empirical search ==");
     let machine = MachineDesc::sgi_r10000().scaled(FIGURE_SCALE);
+    let engine = eopts.engine(&machine, "modelvsearch");
     let kernel = Kernel::matmul();
-    let eco = tune_eco(&kernel, &machine, 120);
+    let eco = tune_eco(&kernel, &engine, 120);
     let model = model_only(&kernel, &machine).expect("model");
     let sizes = [64, 128, 192, 256];
     println!("{:>6} {:>12} {:>12}", "N", "model-only", "ECO search");
     for n in sizes {
         println!(
             "{n:>6} {:>12.1} {:>12.1}",
-            mflops_at(model.for_size(n), &kernel, n, &machine),
-            mflops_at(&eco.program, &kernel, n, &machine)
+            mflops_at_with(&engine, model.for_size(n), &kernel, n),
+            mflops_at_with(&engine, &eco.program, &kernel, n)
         );
     }
     println!();
 }
 
-fn prefetch_ablation() {
+fn prefetch_ablation(eopts: &EngineOpts) {
     println!("== Ablation: prefetch on/off and distance sensitivity ==");
     let machine = MachineDesc::sgi_r10000().scaled(FIGURE_SCALE);
+    let engine = eopts.engine(&machine, "prefetch");
     let jac = Kernel::jacobi3d();
     println!("Jacobi N=48 (1/32-scale SGI), j3/j4-style (TJ=4, TK=4):");
     let base = jacobi_table_row(1, 4, 4, false);
-    let cb = counters_at(&base, &jac, 48, &machine);
+    let cb = counters_at_with(&engine, &base, &jac, 48);
     println!("  no prefetch: {:>12} cycles", cb.cycles());
     let with = jacobi_table_row(1, 4, 4, true);
-    let cw = counters_at(&with, &jac, 48, &machine);
+    let cw = counters_at_with(&engine, &with, &jac, 48);
     println!(
         "  prefetch d=2: {:>11} cycles ({:+.1}%)",
         cw.cycles(),
@@ -350,10 +431,10 @@ fn prefetch_ablation() {
     let mm = Kernel::matmul();
     println!("MM N=200 (1/32-scale SGI), mm4/mm5-style (TI=4, TJ=16, TK=16):");
     let base = mm_table_row(4, 16, 16, false);
-    let cb = counters_at(&base, &mm, 200, &machine);
+    let cb = counters_at_with(&engine, &base, &mm, 200);
     println!("  no prefetch: {:>12} cycles", cb.cycles());
     let with = mm_table_row(4, 16, 16, true);
-    let cw = counters_at(&with, &mm, 200, &machine);
+    let cw = counters_at_with(&engine, &with, &mm, 200);
     println!(
         "  prefetch d=2: {:>11} cycles ({:+.1}%)",
         cw.cycles(),
@@ -362,10 +443,11 @@ fn prefetch_ablation() {
     println!();
 }
 
-fn copy_ablation() {
+fn copy_ablation(eopts: &EngineOpts) {
     println!("== Ablation: copy optimization at pathological sizes ==");
     println!("   (scaled SGI; power-of-two N puts columns in the same sets)");
     let machine = MachineDesc::sgi_r10000().scaled(FIGURE_SCALE);
+    let engine = eopts.engine(&machine, "copyablation");
     let kernel = Kernel::matmul();
     println!("{:>6} {:>12} {:>12}", "N", "no copy", "copy");
     for n in [96, 128, 160, 256] {
@@ -373,19 +455,20 @@ fn copy_ablation() {
         let wc = mm_copy_variant(8, 16, 16, true);
         println!(
             "{n:>6} {:>12.1} {:>12.1}",
-            mflops_at(&nc, &kernel, n, &machine),
-            mflops_at(&wc, &kernel, n, &machine)
+            mflops_at_with(&engine, &nc, &kernel, n),
+            mflops_at_with(&engine, &wc, &kernel, n)
         );
     }
     println!();
 }
 
-fn padding_ablation() {
+fn padding_ablation(eopts: &EngineOpts) {
     use eco_transform::pad_all_arrays;
     println!("== Ablation: array padding stabilizes Jacobi (§4.2) ==");
     println!("   (the paper: \"manual experiments show that array padding");
     println!("    can be used to stabilize this behavior\")");
     let machine = MachineDesc::sgi_r10000().scaled(FIGURE_SCALE);
+    let engine = eopts.engine(&machine, "padding");
     let kernel = Kernel::jacobi3d();
     let base = jacobi_table_row(1, 4, 4, true);
     let padded = pad_all_arrays(&base, 3).expect("pad");
@@ -393,17 +476,18 @@ fn padding_ablation() {
     for n in [24i64, 32, 40, 48, 64, 72] {
         println!(
             "{n:>6} {:>12.1} {:>12.1}",
-            mflops_at(&base, &kernel, n, &machine),
-            mflops_at(&padded, &kernel, n, &machine)
+            mflops_at_with(&engine, &base, &kernel, n),
+            mflops_at_with(&engine, &padded, &kernel, n)
         );
     }
     println!();
 }
 
-fn strategies_ablation() {
+fn strategies_ablation(eopts: &EngineOpts) {
     use eco_core::SearchStrategy;
     println!("== Ablation: guided search vs heuristic alternatives ==");
     let machine = MachineDesc::sgi_r10000().scaled(FIGURE_SCALE);
+    let engine = eopts.engine(&machine, "strategies");
     let kernel = Kernel::matmul();
     let eval_n = 96i64;
     println!(
@@ -413,20 +497,31 @@ fn strategies_ablation() {
     for (name, strategy) in [
         ("guided", SearchStrategy::Guided),
         ("grid", SearchStrategy::Grid { max_points: 100 }),
-        ("random", SearchStrategy::Random { points: 40, seed: 42 }),
+        (
+            "random",
+            SearchStrategy::Random {
+                points: 40,
+                seed: 42,
+            },
+        ),
     ] {
+        let opts = SearchOptions::builder()
+            .search_n(120)
+            .max_variants(2)
+            .robustness_sizes(vec![128])
+            .strategy(strategy)
+            .build()
+            .expect("search options");
         let mut opt = Optimizer::new(machine.clone());
-        opt.opts.search_n = 120;
-        opt.opts.max_variants = 2;
-        opt.opts.robustness_sizes = vec![128];
-        opt.opts.strategy = strategy;
-        let tuned = opt.optimize(&kernel).expect("optimize");
+        opt.opts = opts;
+        let tuned = opt.run_with(&kernel, &engine).expect("optimize");
         println!(
             "{name:>10} {:>8} {:>12.1}",
             tuned.stats.points,
-            eco_bench::mflops_at(&tuned.program, &kernel, eval_n, &machine)
+            mflops_at_with(&engine, &tuned.program, &kernel, eval_n)
         );
     }
+    print_engine_stats(&engine);
     println!();
 }
 
@@ -439,8 +534,8 @@ fn attribution() {
     for (label, ti, tj, tk) in [("mm1", 1u64, 4u64, 32u64), ("mm4", 4, 16, 16)] {
         let p = mm_table_row(ti, tj, tk, false);
         let params = Params::new().with(kernel.size, 200);
-        let c = measure_attributed(&p, &params, &machine, &LayoutOptions::default())
-            .expect("measure");
+        let c =
+            measure_attributed(&p, &params, &machine, &LayoutOptions::default()).expect("measure");
         println!("{label} (TI={ti} TJ={tj} TK={tk}):");
         println!(
             "  {:>6} {:>12} {:>12} {:>12} {:>10}",
@@ -463,12 +558,13 @@ fn attribution() {
     println!();
 }
 
-fn model_rank() {
+fn model_rank(eopts: &EngineOpts) {
     use eco_core::{generate, model};
-    use eco_exec::{measure, LayoutOptions, Params};
+    use eco_exec::{EvalJob, Params};
     println!("== Analysis: static cost model vs measurement (variant ranking) ==");
     println!("   (the paper: the space is \"difficult to model analytically\")");
     let machine = MachineDesc::sgi_r10000().scaled(FIGURE_SCALE);
+    let engine = eopts.engine(&machine, "modelrank");
     let kernel = Kernel::matmul();
     let nest = NestInfo::from_program(&kernel.program).expect("analyzable");
     let variants = derive_variants(&nest, &machine, &kernel.program);
@@ -482,7 +578,8 @@ fn model_rank() {
         };
         let est = model::estimate(&nest, v, &params, &machine, n);
         let exec = Params::new().with(kernel.size, n as i64);
-        let Ok(c) = measure(&program, &exec, &machine, &LayoutOptions::default()) else {
+        let job = EvalJob::new(program, exec).with_label(format!("{}/modelrank", v.name));
+        let Ok(c) = engine.eval(job) else {
             continue;
         };
         rows.push((v.name.clone(), est.cycles, c.cycles()));
@@ -512,7 +609,11 @@ fn model_rank() {
     println!(
         "total rank displacement {inversions} over {} variants; model's #1 {} measured #1",
         rows.len(),
-        if by_model.first() == by_meas.first() { "matches" } else { "is NOT the" },
+        if by_model.first() == by_meas.first() {
+            "matches"
+        } else {
+            "is NOT the"
+        },
     );
     println!();
 }

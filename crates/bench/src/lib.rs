@@ -1,11 +1,10 @@
 //! Shared harness for regenerating the paper's tables and figures.
 //!
 //! The `repro` binary (in `src/bin/repro.rs`) drives these helpers; the
-//! Criterion benches reuse them at smaller sizes. See DESIGN.md §5 for
+//! Criterion benches reuse them at smaller sizes. See DESIGN.md §6 for
 //! the experiment index and EXPERIMENTS.md for recorded results.
 
-use eco_cachesim::Counters;
-use eco_exec::{measure, LayoutOptions, Params};
+use eco_exec::{measure, Counters, EvalJob, Evaluator, LayoutOptions, Params};
 use eco_ir::{AffineExpr, Program};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
@@ -29,6 +28,81 @@ pub fn counters_at(program: &Program, kernel: &Kernel, n: i64, machine: &Machine
 /// MFLOPS of `program` at problem size `n` on `machine`.
 pub fn mflops_at(program: &Program, kernel: &Kernel, n: i64, machine: &MachineDesc) -> f64 {
     counters_at(program, kernel, n, machine).mflops(machine.clock_mhz)
+}
+
+/// Measures `program` at problem size `n` through an [`Evaluator`],
+/// picking up memoization, parallelism and tracing from the engine.
+///
+/// # Panics
+///
+/// Panics if the program fails to execute, like [`counters_at`].
+pub fn counters_at_with(
+    engine: &dyn Evaluator,
+    program: &Program,
+    kernel: &Kernel,
+    n: i64,
+) -> Counters {
+    let params = Params::new().with(kernel.size, n);
+    let job = EvalJob::new(program.clone(), params).with_label(format!("{}/N={n}", program.name));
+    engine
+        .eval(job)
+        .unwrap_or_else(|e| panic!("{} at N={n}: {e}", program.name))
+}
+
+/// MFLOPS of `program` at problem size `n` through an [`Evaluator`].
+///
+/// # Panics
+///
+/// Panics if the program fails to execute, like [`counters_at`].
+pub fn mflops_at_with(engine: &dyn Evaluator, program: &Program, kernel: &Kernel, n: i64) -> f64 {
+    counters_at_with(engine, program, kernel, n).mflops(engine.machine().clock_mhz)
+}
+
+/// Runs a whole figure sweep through an [`Evaluator`] as one batch: one
+/// MFLOPS series per `(name, program-for-size)` entry over `sizes`.
+///
+/// All `series × sizes` points are submitted together so the engine can
+/// evaluate them in parallel; results come back in submission order, so
+/// the resulting [`Sweep`] (and its CSV) is identical whatever the
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if any point fails to execute, like [`counters_at`].
+pub fn mflops_sweep(
+    engine: &dyn Evaluator,
+    kernel: &Kernel,
+    sizes: &[i64],
+    series: &[(&str, &dyn Fn(i64) -> Program)],
+) -> Sweep {
+    let mut jobs = Vec::with_capacity(series.len() * sizes.len());
+    for (name, program_for) in series {
+        for &n in sizes {
+            let program = program_for(n);
+            let params = Params::new().with(kernel.size, n);
+            let label = format!("{name}/N={n}");
+            jobs.push(EvalJob::new(program, params).with_label(label));
+        }
+    }
+    let clock = engine.machine().clock_mhz;
+    let results = engine.eval_batch(&jobs);
+    let mut sweep = Sweep {
+        sizes: sizes.to_vec(),
+        series: Vec::with_capacity(series.len()),
+    };
+    for (si, (name, _)) in series.iter().enumerate() {
+        let ys = (0..sizes.len())
+            .map(|i| {
+                let r = &results[si * sizes.len() + i];
+                match r {
+                    Ok(c) => c.mflops(clock),
+                    Err(e) => panic!("{name} at N={}: {e}", sizes[i]),
+                }
+            })
+            .collect();
+        sweep.series.push((name.to_string(), ys));
+    }
+    sweep
 }
 
 /// Builds a Table-1-style Matrix Multiply version: optional tiling of
@@ -256,7 +330,9 @@ impl Sweep {
 /// (capacity ∝ N² for 2-D data), with power-of-two sizes included to
 /// expose conflict-miss pathologies.
 pub fn mm_figure_sizes() -> Vec<i64> {
-    vec![24, 32, 48, 64, 80, 96, 112, 128, 160, 192, 224, 256, 288, 320]
+    vec![
+        24, 32, 48, 64, 80, 96, 112, 128, 160, 192, 224, 256, 288, 320,
+    ]
 }
 
 /// The problem sizes for the Jacobi figures: the paper's 40–270 maps to
@@ -341,5 +417,27 @@ mod tests {
         let machine = MachineDesc::sgi_r10000().scaled(FIGURE_SCALE);
         let m = mflops_at(&kernel.program, &kernel, 16, &machine);
         assert!(m > 0.0);
+    }
+
+    #[test]
+    fn batched_sweep_matches_serial_measurement() {
+        use eco_exec::Engine;
+        let kernel = Kernel::matmul();
+        let machine = MachineDesc::sgi_r10000().scaled(FIGURE_SCALE);
+        let engine = Engine::new(machine.clone());
+        let sizes = [12i64, 16, 20];
+        let ident = |_n: i64| kernel.program.clone();
+        let sweep = mflops_sweep(&engine, &kernel, &sizes, &[("base", &ident)]);
+        assert_eq!(sweep.series.len(), 1);
+        for (i, &n) in sizes.iter().enumerate() {
+            let want = mflops_at(&kernel.program, &kernel, n, &machine);
+            let got = sweep.series[0].1[i];
+            assert!((want - got).abs() < 1e-12, "N={n}: {want} vs {got}");
+        }
+        assert!(engine.stats().evaluated > 0);
+        // the same batch again is served entirely from the memo cache
+        let again = mflops_sweep(&engine, &kernel, &sizes, &[("base", &ident)]);
+        assert_eq!(sweep.to_csv(), again.to_csv());
+        assert!(engine.stats().cache_hits >= sizes.len() as u64);
     }
 }

@@ -113,6 +113,38 @@ impl Counters {
         // flops / seconds = flops * clock_hz / cycles
         self.flops as f64 * clock_mhz as f64 * 1000.0 / self.cycles_x1000 as f64
     }
+
+    /// Accumulates `other` into `self` (event counters add; per-level
+    /// vectors extend to the longer of the two), so call sites summing
+    /// measurements over several runs need no field-by-field copying.
+    pub fn merge(&mut self, other: &Counters) {
+        fn add_levels(into: &mut Vec<u64>, from: &[u64]) {
+            if into.len() < from.len() {
+                into.resize(from.len(), 0);
+            }
+            for (a, b) in into.iter_mut().zip(from) {
+                *a += b;
+            }
+        }
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.prefetches += other.prefetches;
+        add_levels(&mut self.cache_misses, &other.cache_misses);
+        add_levels(&mut self.prefetch_fills, &other.prefetch_fills);
+        self.tlb_misses += other.tlb_misses;
+        self.flops += other.flops;
+        self.loop_iterations += other.loop_iterations;
+        self.cycles_x1000 += other.cycles_x1000;
+        if self.per_tag.len() < other.per_tag.len() {
+            self.per_tag
+                .resize(other.per_tag.len(), TagCounters::default());
+        }
+        for (a, b) in self.per_tag.iter_mut().zip(&other.per_tag) {
+            a.accesses += b.accesses;
+            add_levels(&mut a.misses, &b.misses);
+            a.tlb_misses += b.tlb_misses;
+        }
+    }
 }
 
 const INVALID: u64 = u64::MAX;
@@ -490,7 +522,10 @@ mod tests {
         let cwo = without.counters();
         assert_eq!(cw.cache_misses[1], 0, "demand misses eliminated at L2");
         assert_eq!(cwo.cache_misses[1], 64);
-        assert!(cw.cycles() < cwo.cycles(), "prefetch must be a net win here");
+        assert!(
+            cw.cycles() < cwo.cycles(),
+            "prefetch must be a net win here"
+        );
         assert_eq!(cw.prefetch_fills[1], 64);
     }
 
@@ -548,6 +583,9 @@ mod tests {
             c.per_tag[0].misses[0] + c.per_tag[1].misses[0],
             c.cache_misses[0]
         );
-        assert_eq!(c.per_tag[0].tlb_misses + c.per_tag[1].tlb_misses, c.tlb_misses);
+        assert_eq!(
+            c.per_tag[0].tlb_misses + c.per_tag[1].tlb_misses,
+            c.tlb_misses
+        );
     }
 }

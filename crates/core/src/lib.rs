@@ -7,29 +7,35 @@
 //!   footprint models and profitability heuristics from `eco-analysis`
 //!   to produce a *small* set of parameterized variants, each with
 //!   symbolic constraints (`UI*UJ <= 32`) on its parameters;
-//! * **Phase 2** — [`Optimizer::optimize`] performs the model-guided
+//! * **Phase 2** — [`Optimizer::run`] performs the model-guided
 //!   empirical search of §3.2: staged tile-shape/footprint search,
 //!   per-data-structure prefetch search, and post-prefetch tile
 //!   adjustment, executing every candidate on the simulated machine and
-//!   selecting by measured cycles.
+//!   selecting by measured cycles. Candidates are submitted in batches
+//!   to an [`Evaluator`] — by default the parallel memoized [`Engine`]
+//!   from `eco-exec` — and every search decision is made from results
+//!   in submission order, so the outcome is independent of thread count.
 //!
 //! # Examples
 //!
 //! Tune Matrix Multiply for a scaled-down SGI R10000:
 //!
 //! ```
-//! use eco_core::Optimizer;
+//! use eco_core::{OptimizeRequest, Optimizer, SearchOptions};
 //! use eco_kernels::Kernel;
 //! use eco_machine::MachineDesc;
 //!
 //! # fn main() -> Result<(), eco_core::EcoError> {
 //! let machine = MachineDesc::sgi_r10000().scaled(32);
 //! let mut opt = Optimizer::new(machine);
-//! opt.opts.search_n = 24; // keep the doctest fast
-//! opt.opts.max_variants = 1;
-//! let tuned = opt.optimize(&Kernel::matmul())?;
-//! assert!(tuned.stats.points > 0);
-//! println!("{}", tuned.program);
+//! opt.opts = SearchOptions::builder()
+//!     .search_n(24) // keep the doctest fast
+//!     .max_variants(1)
+//!     .build()?;
+//! let report = opt.run(OptimizeRequest::new(Kernel::matmul()))?;
+//! assert!(report.tuned.stats.points > 0);
+//! assert!(report.engine.evaluated > 0);
+//! println!("{}", report.tuned.program);
 //! # Ok(())
 //! # }
 //! ```
@@ -40,10 +46,18 @@ mod search;
 mod variant;
 
 pub use codegen::generate;
-pub use search::{stages, Optimizer, SearchOptions, SearchStats, SearchStrategy, Tuned};
+pub use search::{
+    stages, OptimizeReport, OptimizeRequest, Optimizer, SearchOptions, SearchOptionsBuilder,
+    SearchStats, SearchStrategy, Tuned,
+};
 pub use variant::{
     derive_variants, describe_variant, Constraint, CopyPlan, LevelPlan, ParamValues, Variant,
 };
+
+/// Evaluation-engine surface re-exported for downstream crates: the
+/// search, the baselines and the benches all consume the same
+/// [`Evaluator`] API.
+pub use eco_exec::{Engine, EngineConfig, EngineStats, EvalJob, Evaluator};
 
 use eco_analysis::NestError;
 use eco_exec::ExecError;
@@ -156,11 +170,20 @@ mod tests {
                     && v.levels[1].copy.as_ref().map(|c| c.array) == Some(a)
                     && v.levels[2].copy.as_ref().map(|c| c.array) == Some(b)
             })
-            .unwrap_or_else(|| panic!("no v2-shaped variant in {:?}",
-                vs.iter().map(|v| describe_variant(v, &nest, &k.program)).collect::<Vec<_>>()));
+            .unwrap_or_else(|| {
+                panic!(
+                    "no v2-shaped variant in {:?}",
+                    vs.iter()
+                        .map(|v| describe_variant(v, &nest, &k.program))
+                        .collect::<Vec<_>>()
+                )
+            });
         // L1 tiles I and K, L2 tiles J (TK shared with L1).
         let l1_tiles: Vec<&str> = v2.levels[1].tiles.iter().map(|(_, n)| n.as_str()).collect();
-        assert!(l1_tiles.contains(&"TI") && l1_tiles.contains(&"TK"), "{l1_tiles:?}");
+        assert!(
+            l1_tiles.contains(&"TI") && l1_tiles.contains(&"TK"),
+            "{l1_tiles:?}"
+        );
         let l2_factors = &v2.levels[2].constraint.factors;
         assert!(
             l2_factors.contains(&"TJ".to_string()) && l2_factors.contains(&"TK".to_string()),
@@ -181,8 +204,7 @@ mod tests {
         let v1 = vs
             .iter()
             .find(|v| {
-                v.levels[1].carrier == iv
-                    && v.levels[1].copy.as_ref().map(|c| c.array) == Some(b)
+                v.levels[1].carrier == iv && v.levels[1].copy.as_ref().map(|c| c.array) == Some(b)
             })
             .expect("v1-shaped variant");
         let mut fs = v1.levels[1].constraint.factors.clone();
@@ -202,9 +224,7 @@ mod tests {
         assert_eq!(carriers.len(), 3, "all three loops carry temporal reuse");
         // No copy plans: Jacobi regions are never fully tiled (the paper:
         // copying has too much overhead to be profitable).
-        assert!(vs
-            .iter()
-            .all(|v| v.levels.iter().all(|l| l.copy.is_none())));
+        assert!(vs.iter().all(|v| v.levels.iter().all(|l| l.copy.is_none())));
     }
 
     #[test]
@@ -244,8 +264,7 @@ mod tests {
             let n = 19;
             let run = |p: &eco_ir::Program| {
                 let pr = Params::new().with(k.size, n);
-                let layout =
-                    ArrayLayout::new(p, &pr, &LayoutOptions::default()).expect("layout");
+                let layout = ArrayLayout::new(p, &pr, &LayoutOptions::default()).expect("layout");
                 let mut st = Storage::seeded(&layout, 7);
                 interpret(p, &pr, &layout, &mut st).expect("run");
                 st
@@ -300,7 +319,14 @@ mod tests {
         opt.opts.search_n = 40;
         opt.opts.max_variants = 3;
         let kernel = Kernel::matmul();
-        let tuned = opt.optimize(&kernel).expect("optimize");
+        let report = opt
+            .run(OptimizeRequest::new(kernel.clone()))
+            .expect("optimize");
+        let tuned = report.tuned;
+        // The staged search revisits points; the engine must serve them
+        // from its memo cache instead of re-simulating.
+        assert!(report.engine.cache_hits > 0, "{:?}", report.engine);
+        assert!(report.engine.evaluated > 0);
         let naive = measure(
             &kernel.program,
             &Params::new().with(kernel.size, 40),
@@ -339,7 +365,10 @@ mod tests {
         opt.opts.search_n = 30;
         opt.opts.max_variants = 3;
         let kernel = Kernel::jacobi3d();
-        let tuned = opt.optimize(&kernel).expect("optimize");
+        let tuned = opt
+            .run(OptimizeRequest::new(kernel.clone()))
+            .expect("optimize")
+            .tuned;
         let naive = measure(
             &kernel.program,
             &Params::new().with(kernel.size, 30),
@@ -375,7 +404,9 @@ mod tests {
             opt.opts.search_n = 32;
             opt.opts.max_variants = 1;
             opt.opts.strategy = strategy;
-            opt.optimize(&kernel).expect("optimize")
+            opt.run(OptimizeRequest::new(kernel.clone()))
+                .expect("optimize")
+                .tuned
         };
         let guided = mk(SearchStrategy::Guided);
         let grid = mk(SearchStrategy::Grid { max_points: 200 });
@@ -429,7 +460,93 @@ mod tests {
         o.opts.search_n = 30;
         o.opts.max_variants = 2;
         o.opts.tlb_prune = true;
-        let tuned = o.optimize(&kernel).expect("optimize with pruning");
+        let tuned = o
+            .run(OptimizeRequest::new(kernel.clone()))
+            .expect("optimize with pruning")
+            .tuned;
+        assert!(tuned.stats.points > 0);
+    }
+
+    #[test]
+    fn builder_validates_budgets_and_robustness_sizes() {
+        let ok = SearchOptions::builder()
+            .search_n(24)
+            .max_variants(2)
+            .robustness_sizes(vec![32])
+            .build()
+            .expect("valid options");
+        assert_eq!(ok.search_n, 24);
+        assert_eq!(ok.robustness_sizes, vec![32]);
+        assert!(SearchOptions::builder().search_n(0).build().is_err());
+        assert!(SearchOptions::builder().max_variants(0).build().is_err());
+        assert!(SearchOptions::builder()
+            .prefetch_distances(Vec::new())
+            .build()
+            .is_err());
+        assert!(SearchOptions::builder()
+            .prefetch_distances(vec![0])
+            .build()
+            .is_err());
+        assert!(SearchOptions::builder()
+            .robustness_sizes(Vec::new())
+            .build()
+            .is_err());
+        assert!(SearchOptions::builder()
+            .strategy(SearchStrategy::Grid { max_points: 0 })
+            .build()
+            .is_err());
+        assert!(SearchOptions::builder()
+            .strategy(SearchStrategy::Random { points: 0, seed: 1 })
+            .build()
+            .is_err());
+        // run() re-validates hand-edited options.
+        let mut opt = Optimizer::new(MachineDesc::sgi_r10000().scaled(32));
+        opt.opts.search_n = -3;
+        assert!(matches!(
+            opt.run(OptimizeRequest::new(Kernel::matmul())),
+            Err(EcoError::BadParams(_))
+        ));
+    }
+
+    #[test]
+    fn run_with_rejects_engine_for_a_different_machine() {
+        let opt = Optimizer::new(MachineDesc::sgi_r10000().scaled(32));
+        let wrong = Engine::new(MachineDesc::ultrasparc_iie().scaled(32));
+        assert!(matches!(
+            opt.run_with(&Kernel::matmul(), &wrong),
+            Err(EcoError::BadParams(_))
+        ));
+    }
+
+    #[test]
+    fn shared_engine_turns_repeat_runs_into_cache_hits() {
+        let machine = MachineDesc::sgi_r10000().scaled(32);
+        let mut opt = Optimizer::new(machine.clone());
+        opt.opts.search_n = 24;
+        opt.opts.max_variants = 1;
+        let engine = Engine::new(machine);
+        let kernel = Kernel::matmul();
+        let first = opt.run_with(&kernel, &engine).expect("first run");
+        let evaluated_after_first = engine.stats().evaluated;
+        let second = opt.run_with(&kernel, &engine).expect("second run");
+        assert_eq!(
+            engine.stats().evaluated,
+            evaluated_after_first,
+            "second run must be served entirely from the memo cache"
+        );
+        assert_eq!(first.params, second.params);
+        assert_eq!(first.counters, second.counters);
+        assert_eq!(first.program.to_string(), second.program.to_string());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_optimize_shim_still_works() {
+        let machine = MachineDesc::sgi_r10000().scaled(32);
+        let mut opt = Optimizer::new(machine);
+        opt.opts.search_n = 24;
+        opt.opts.max_variants = 1;
+        let tuned = opt.optimize(&Kernel::matmul()).expect("shim works");
         assert!(tuned.stats.points > 0);
     }
 
@@ -450,12 +567,21 @@ mod tests {
             })
             .expect("full-copy v2");
         let mut params = ParamValues::new();
-        for (name, val) in [("UI", 4u64), ("UJ", 4), ("TI", 16), ("TJ", 512), ("TK", 128)] {
+        for (name, val) in [
+            ("UI", 4u64),
+            ("UJ", 4),
+            ("TI", 16),
+            ("TJ", 512),
+            ("TK", 128),
+        ] {
             params.insert(name.into(), val);
         }
         let program = generate(&k, &nest, v2, &params, &machine).expect("generate");
         let s = program.to_string();
-        let pos = |needle: &str| s.find(needle).unwrap_or_else(|| panic!("missing {needle}:\n{s}"));
+        let pos = |needle: &str| {
+            s.find(needle)
+                .unwrap_or_else(|| panic!("missing {needle}:\n{s}"))
+        };
         // control order KK, JJ, II; B's copy between JJ and II; A's copy
         // between II and the point loops; point order J, I, K.
         let kk = pos("DO KK = 0, N - 1, 128");

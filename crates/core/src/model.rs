@@ -63,7 +63,11 @@ pub fn estimate(
     let total_iters: f64 = vars.iter().map(|_| n as f64).product();
 
     // Flops: body flops scale with total iterations.
-    let body_flops: u64 = nest.refs.iter().map(|r| u64::from(r.reads)).sum::<u64>()
+    let body_flops: u64 = nest
+        .refs
+        .iter()
+        .map(|r| u64::from(r.reads))
+        .sum::<u64>()
         .max(1); // ~1 flop per load is the dense-kernel shape
     let flops = total_iters * body_flops as f64;
 

@@ -16,21 +16,30 @@
 //! 3. **Tile adjustment** — after prefetching, the innermost loop's
 //!    tile parameter is grown while it keeps helping.
 //!
-//! Every point is *executed* on the simulated machine (`eco-exec` +
-//! `eco-cachesim`), exactly as the paper executes candidates on real
-//! hardware; cycle counts decide.
+//! Every point is *executed* on the simulated machine, exactly as the
+//! paper executes candidates on real hardware; cycle counts decide.
+//! Execution goes through the [`Evaluator`] abstraction from `eco-exec`:
+//! independent candidates are submitted as batches, so the engine can
+//! deduplicate them against its memo cache and run the rest in parallel.
+//! All search decisions are made from batch results in submission order,
+//! which keeps the chosen variant, parameters and prefetches independent
+//! of the engine's thread count.
 
 use crate::codegen::generate;
 use crate::variant::{derive_variants, ParamValues, Variant};
 use crate::EcoError;
 use eco_analysis::NestInfo;
-use eco_cachesim::Counters;
-use eco_exec::{measure, LayoutOptions, Params};
+use eco_exec::{Counters, Engine, EngineConfig, EngineStats, EvalJob, Evaluator, Params};
 use eco_ir::{ArrayId, Program};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
 use eco_transform::insert_prefetch;
 use std::collections::HashMap;
+
+/// Candidates per wave for the non-guided (grid/random) strategies: a
+/// fixed batch size, *not* the thread count, so search decisions are
+/// identical no matter how the engine is configured.
+const SWEEP_WAVE: usize = 16;
 
 /// How Phase 2 explores each variant's parameter space.
 ///
@@ -58,6 +67,9 @@ pub enum SearchStrategy {
 }
 
 /// Options controlling the empirical search.
+///
+/// Construct via [`SearchOptions::builder`] to get validation, or fill
+/// fields directly (they are validated again when the optimizer runs).
 #[derive(Debug, Clone)]
 pub struct SearchOptions {
     /// Representative problem size at which candidates are executed.
@@ -100,6 +112,136 @@ impl Default for SearchOptions {
     }
 }
 
+impl SearchOptions {
+    /// A validating builder starting from the defaults.
+    pub fn builder() -> SearchOptionsBuilder {
+        SearchOptionsBuilder {
+            opts: SearchOptions::default(),
+            robustness_set: false,
+        }
+    }
+
+    /// Checks the options for nonsensical budgets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoError::BadParams`] naming the offending field.
+    pub fn validate(&self) -> Result<(), EcoError> {
+        if self.search_n < 1 {
+            return Err(EcoError::BadParams(format!(
+                "search_n must be >= 1, got {}",
+                self.search_n
+            )));
+        }
+        if self.max_variants == 0 {
+            return Err(EcoError::BadParams("max_variants must be >= 1".into()));
+        }
+        if self.prefetch_distances.is_empty() {
+            return Err(EcoError::BadParams(
+                "prefetch_distances must not be empty".into(),
+            ));
+        }
+        if let Some(&d) = self.prefetch_distances.iter().find(|&&d| d < 1) {
+            return Err(EcoError::BadParams(format!(
+                "prefetch distances must be >= 1, got {d}"
+            )));
+        }
+        if let Some(&n) = self.robustness_sizes.iter().find(|&&n| n < 1) {
+            return Err(EcoError::BadParams(format!(
+                "robustness sizes must be >= 1, got {n}"
+            )));
+        }
+        match self.strategy {
+            SearchStrategy::Grid { max_points: 0 } => {
+                Err(EcoError::BadParams("grid max_points must be >= 1".into()))
+            }
+            SearchStrategy::Random { points: 0, .. } => {
+                Err(EcoError::BadParams("random points must be >= 1".into()))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Builder for [`SearchOptions`]; [`SearchOptionsBuilder::build`]
+/// rejects zero budgets and explicitly-empty robustness sizes.
+#[derive(Debug, Clone)]
+pub struct SearchOptionsBuilder {
+    opts: SearchOptions,
+    robustness_set: bool,
+}
+
+impl SearchOptionsBuilder {
+    /// Sets the representative search size.
+    #[must_use]
+    pub fn search_n(mut self, n: i64) -> Self {
+        self.opts.search_n = n;
+        self
+    }
+
+    /// Sets the post-screening variant budget.
+    #[must_use]
+    pub fn max_variants(mut self, n: usize) -> Self {
+        self.opts.max_variants = n;
+        self
+    }
+
+    /// Sets the prefetch distances explored when distance 1 helps.
+    #[must_use]
+    pub fn prefetch_distances(mut self, distances: Vec<i64>) -> Self {
+        self.opts.prefetch_distances = distances;
+        self
+    }
+
+    /// Keeps no-copy twins of copy variants (for ablations).
+    #[must_use]
+    pub fn keep_copy_alternatives(mut self, keep: bool) -> Self {
+        self.opts.keep_copy_alternatives = keep;
+        self
+    }
+
+    /// Sets the extra tuning sizes; passing an empty vector is a build
+    /// error (omit the call for single-size tuning).
+    #[must_use]
+    pub fn robustness_sizes(mut self, sizes: Vec<i64>) -> Self {
+        self.opts.robustness_sizes = sizes;
+        self.robustness_set = true;
+        self
+    }
+
+    /// Sets the exploration strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.opts.strategy = strategy;
+        self
+    }
+
+    /// Enables TLB-based variant pruning (§4.2).
+    #[must_use]
+    pub fn tlb_prune(mut self, prune: bool) -> Self {
+        self.opts.tlb_prune = prune;
+        self
+    }
+
+    /// Validates and returns the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoError::BadParams`] for zero budgets, empty or
+    /// non-positive prefetch distances, non-positive sizes, or an
+    /// explicitly-set empty robustness list.
+    pub fn build(self) -> Result<SearchOptions, EcoError> {
+        if self.robustness_set && self.opts.robustness_sizes.is_empty() {
+            return Err(EcoError::BadParams(
+                "robustness_sizes set to an empty list; omit the call for single-size tuning"
+                    .into(),
+            ));
+        }
+        self.opts.validate()?;
+        Ok(self.opts)
+    }
+}
+
 /// Statistics of one optimization run (the paper's §4.3 search cost).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SearchStats {
@@ -128,6 +270,43 @@ pub struct Tuned {
     pub stats: SearchStats,
 }
 
+/// Everything [`Optimizer::run`] needs: the kernel plus the evaluation
+/// engine configuration (threads, memoization, JSONL trace).
+#[derive(Debug, Clone)]
+pub struct OptimizeRequest {
+    /// The kernel to tune.
+    pub kernel: Kernel,
+    /// Engine configuration for this run.
+    pub engine: EngineConfig,
+}
+
+impl OptimizeRequest {
+    /// A request with the default engine configuration.
+    pub fn new(kernel: Kernel) -> Self {
+        OptimizeRequest {
+            kernel,
+            engine: EngineConfig::new(),
+        }
+    }
+
+    /// Sets the engine configuration (builder style).
+    #[must_use]
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
+/// What [`Optimizer::run`] returns: the tuned kernel plus the engine's
+/// work totals (evaluations, memo hits, errors).
+#[derive(Debug, Clone)]
+pub struct OptimizeReport {
+    /// The tuning result.
+    pub tuned: Tuned,
+    /// Evaluation-engine totals for this run.
+    pub engine: EngineStats,
+}
+
 /// The ECO optimizer: Phase 1 variant derivation plus Phase 2
 /// model-guided empirical search.
 #[derive(Debug, Clone)]
@@ -137,50 +316,125 @@ pub struct Optimizer {
     pub opts: SearchOptions,
 }
 
-struct Evaluator<'a> {
-    kernel: &'a Kernel,
-    nest: &'a NestInfo,
-    machine: &'a MachineDesc,
-    sizes: Vec<i64>,
-    points: usize,
-    cache: HashMap<String, Option<u64>>,
+/// One candidate point of the search: a variant with parameter values
+/// and a prefetch plan.
+struct Point<'v> {
+    variant: &'v Variant,
+    params: ParamValues,
+    prefetches: Vec<(ArrayId, i64)>,
 }
 
-impl Evaluator<'_> {
-    /// Total cycles over all tuning sizes.
-    fn run(&mut self, program: &Program) -> Result<u64, EcoError> {
-        let mut total = 0;
-        for &n in &self.sizes {
-            let params = Params::new().with(self.kernel.size, n);
-            let c = measure(program, &params, self.machine, &LayoutOptions::default())?;
-            total += c.cycles();
+/// Bridges the search to an [`Evaluator`]: generates the program for
+/// each point (caching generation, which is pure), batches the
+/// measurements, and counts unique generated points for [`SearchStats`].
+struct PointEval<'a> {
+    kernel: &'a Kernel,
+    nest: &'a NestInfo,
+    engine: &'a dyn Evaluator,
+    sizes: Vec<i64>,
+    /// Point key -> generated program (`None` = generation infeasible).
+    /// Measurement results are *not* cached here — that is the engine's
+    /// memo cache's job, so repeated points surface as cache hits.
+    programs: HashMap<String, Option<Program>>,
+    points: usize,
+    /// Current search stage, recorded in trace labels.
+    stage: &'static str,
+}
+
+impl PointEval<'_> {
+    /// The generated program for a point, `None` if generation or
+    /// prefetch insertion is infeasible.
+    fn program_for(
+        &mut self,
+        variant: &Variant,
+        params: &ParamValues,
+        prefetches: &[(ArrayId, i64)],
+    ) -> Option<Program> {
+        let key = format!("{}|{params:?}|{prefetches:?}", variant.name);
+        if let Some(hit) = self.programs.get(&key) {
+            return hit.clone();
         }
-        Ok(total)
+        let program = (|| -> Option<Program> {
+            let mut program = generate(
+                self.kernel,
+                self.nest,
+                variant,
+                params,
+                self.engine.machine(),
+            )
+            .ok()?;
+            let carrier = variant.register_carrier();
+            for &(array, dist) in prefetches {
+                program = insert_prefetch(&program, carrier, array, dist).ok()?;
+            }
+            Some(program)
+        })();
+        if program.is_some() {
+            self.points += 1;
+        }
+        self.programs.insert(key, program.clone());
+        program
     }
 
-    /// Generates and measures one search point; `None` if infeasible.
-    fn eval(
+    /// Measures a batch of points; per point, the total cycles over all
+    /// tuning sizes, or `None` if generation or any measurement failed.
+    /// Results are in submission order regardless of engine parallelism.
+    fn eval_batch(&mut self, pts: &[Point<'_>]) -> Vec<Option<u64>> {
+        let mut jobs: Vec<EvalJob> = Vec::new();
+        let mut spans: Vec<Option<std::ops::Range<usize>>> = Vec::with_capacity(pts.len());
+        for pt in pts {
+            match self.program_for(pt.variant, &pt.params, &pt.prefetches) {
+                Some(program) => {
+                    let start = jobs.len();
+                    for &n in &self.sizes {
+                        jobs.push(
+                            EvalJob::new(program.clone(), Params::new().with(self.kernel.size, n))
+                                .with_label(format!("{}/{}", pt.variant.name, self.stage)),
+                        );
+                    }
+                    spans.push(Some(start..jobs.len()));
+                }
+                None => spans.push(None),
+            }
+        }
+        let results = self.engine.eval_batch(&jobs);
+        spans
+            .into_iter()
+            .map(|span| {
+                let mut total = 0u64;
+                for r in &results[span?] {
+                    total += r.as_ref().ok()?.cycles();
+                }
+                Some(total)
+            })
+            .collect()
+    }
+
+    /// Measures a single point.
+    fn eval_one(
         &mut self,
         variant: &Variant,
         params: &ParamValues,
         prefetches: &[(ArrayId, i64)],
     ) -> Option<u64> {
-        let key = format!("{}|{params:?}|{prefetches:?}", variant.name);
-        if let Some(hit) = self.cache.get(&key) {
-            return *hit;
-        }
-        let result = (|| -> Option<u64> {
-            let mut program =
-                generate(self.kernel, self.nest, variant, params, self.machine).ok()?;
-            let carrier = variant.register_carrier();
-            for &(array, dist) in prefetches {
-                program = insert_prefetch(&program, carrier, array, dist).ok()?;
-            }
-            self.points += 1;
-            self.run(&program).ok()
-        })();
-        self.cache.insert(key, result);
-        result
+        self.eval_batch(&[Point {
+            variant,
+            params: params.clone(),
+            prefetches: prefetches.to_vec(),
+        }])[0]
+    }
+
+    /// Measures many parameter candidates of one variant (no prefetch).
+    fn eval_params(&mut self, variant: &Variant, cands: &[ParamValues]) -> Vec<Option<u64>> {
+        let pts: Vec<Point<'_>> = cands
+            .iter()
+            .map(|params| Point {
+                variant,
+                params: params.clone(),
+                prefetches: Vec::new(),
+            })
+            .collect();
+        self.eval_batch(&pts)
     }
 }
 
@@ -198,13 +452,42 @@ impl Optimizer {
         &self.machine
     }
 
-    /// Runs the full two-phase optimization on `kernel`.
+    /// Runs the full two-phase optimization, constructing an [`Engine`]
+    /// from the request's configuration, and reports the engine totals
+    /// alongside the tuning result.
     ///
     /// # Errors
     ///
-    /// Fails if the kernel is not analyzable or no variant could be
+    /// Fails on invalid options, an unopenable trace file, an
+    /// unanalyzable kernel, or when no variant could be generated and
+    /// measured.
+    pub fn run(&self, request: OptimizeRequest) -> Result<OptimizeReport, EcoError> {
+        let engine = Engine::with_config(self.machine.clone(), request.engine)?;
+        let tuned = self.run_with(&request.kernel, &engine)?;
+        Ok(OptimizeReport {
+            tuned,
+            engine: engine.stats(),
+        })
+    }
+
+    /// Runs the full two-phase optimization against a caller-supplied
+    /// [`Evaluator`] (shared engines amortize the memo cache across
+    /// kernels and baselines; tests substitute counting evaluators).
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid options, an engine targeting a different
+    /// machine, an unanalyzable kernel, or when no variant could be
     /// generated and measured.
-    pub fn optimize(&self, kernel: &Kernel) -> Result<Tuned, EcoError> {
+    pub fn run_with(&self, kernel: &Kernel, engine: &dyn Evaluator) -> Result<Tuned, EcoError> {
+        self.opts.validate()?;
+        if engine.machine() != &self.machine {
+            return Err(EcoError::BadParams(format!(
+                "engine simulates '{}' but the optimizer targets '{}'",
+                engine.machine().name,
+                self.machine.name
+            )));
+        }
         let nest = NestInfo::from_program(&kernel.program)?;
         let mut variants = derive_variants(&nest, &self.machine, &kernel.program);
         let variants_derived = variants.len();
@@ -214,9 +497,7 @@ impl Optimizer {
         if self.opts.tlb_prune {
             let kept: Vec<Variant> = variants
                 .iter()
-                .filter(|v| {
-                    self.tlb_feasible(&nest, v, self.opts.search_n.unsigned_abs())
-                })
+                .filter(|v| self.tlb_feasible(&nest, v, self.opts.search_n.unsigned_abs()))
                 .cloned()
                 .collect();
             // Best-effort: if the model rejects everything, fall back to
@@ -230,13 +511,14 @@ impl Optimizer {
         }
         let mut sizes = vec![self.opts.search_n];
         sizes.extend(self.opts.robustness_sizes.iter().copied());
-        let mut ev = Evaluator {
+        let mut ev = PointEval {
             kernel,
             nest: &nest,
-            machine: &self.machine,
+            engine,
             sizes,
+            programs: HashMap::new(),
             points: 0,
-            cache: HashMap::new(),
+            stage: "screen",
         };
 
         // ---- screening: one model-derived point per variant ----
@@ -244,33 +526,59 @@ impl Optimizer {
         // replacement needs a ring per reference group), so back off the
         // unroll factors until the point generates — the paper's "the
         // search detects the largest unroll factors that do not cause
-        // register pressure".
-        let mut screened: Vec<(Variant, ParamValues, u64)> = Vec::new();
-        for v in variants {
-            let mut init = self.initial_params(&v);
-            let mut first = None;
-            for _ in 0..8 {
-                if let Some(c) = ev.eval(&v, &init, &[]) {
-                    first = Some(c);
-                    break;
-                }
-                let Some((nm, val)) = init
+        // register pressure". All variants still screening in a round
+        // are evaluated as one batch.
+        let mut slots: Vec<(Variant, ParamValues, Option<u64>)> = variants
+            .into_iter()
+            .map(|v| {
+                let init = self.initial_params(&v);
+                (v, init, None)
+            })
+            .collect();
+        let mut active: Vec<usize> = (0..slots.len()).collect();
+        for _round in 0..8 {
+            if active.is_empty() {
+                break;
+            }
+            let results = {
+                let pts: Vec<Point<'_>> = active
                     .iter()
-                    .filter(|(n, _)| n.starts_with('U'))
-                    .max_by_key(|&(_, v)| *v)
-                    .map(|(n, &v)| (n.clone(), v))
-                else {
-                    break;
-                };
-                if val < 2 {
-                    break;
+                    .map(|&s| Point {
+                        variant: &slots[s].0,
+                        params: slots[s].1.clone(),
+                        prefetches: Vec::new(),
+                    })
+                    .collect();
+                ev.eval_batch(&pts)
+            };
+            let mut still = Vec::new();
+            for (k, &s) in active.iter().enumerate() {
+                match results[k] {
+                    Some(c) => slots[s].2 = Some(c),
+                    None => {
+                        let Some((nm, val)) = slots[s]
+                            .1
+                            .iter()
+                            .filter(|(n, _)| n.starts_with('U'))
+                            .max_by_key(|&(_, v)| *v)
+                            .map(|(n, &v)| (n.clone(), v))
+                        else {
+                            continue;
+                        };
+                        if val < 2 {
+                            continue;
+                        }
+                        slots[s].1.insert(nm, val / 2);
+                        still.push(s);
+                    }
                 }
-                init.insert(nm, val / 2);
             }
-            if let Some(cycles) = first {
-                screened.push((v, init, cycles));
-            }
+            active = still;
         }
+        let mut screened: Vec<(Variant, ParamValues, u64)> = slots
+            .into_iter()
+            .filter_map(|(v, init, c)| c.map(|c| (v, init, c)))
+            .collect();
         if screened.is_empty() {
             return Err(EcoError::NoVariants);
         }
@@ -279,9 +587,11 @@ impl Optimizer {
         let variants_searched = screened.len();
 
         // ---- full search per surviving variant ----
-        let mut best: Option<(Variant, ParamValues, Vec<(ArrayId, i64)>, u64)> = None;
+        type BestPoint = (Variant, ParamValues, Vec<(ArrayId, i64)>, u64);
+        let mut best: Option<BestPoint> = None;
         for (variant, init, _) in screened {
             let mut params = init;
+            ev.stage = "tiles";
             match &self.opts.strategy {
                 SearchStrategy::Guided => {
                     for stage in stages(&variant) {
@@ -295,41 +605,61 @@ impl Optimizer {
                     random_search(&mut ev, &variant, &mut params, *points, *seed);
                 }
             }
-            let mut cycles = match ev.eval(&variant, &params, &[]) {
+            let mut cycles = match ev.eval_one(&variant, &params, &[]) {
                 Some(c) => c,
                 None => continue,
             };
             // prefetch search, one data structure at a time
+            ev.stage = "prefetch";
             let mut plan: Vec<(ArrayId, i64)> = Vec::new();
             for array in self.prefetch_candidates(&ev, &variant, &params) {
                 let mut cand: Vec<(ArrayId, i64)> = plan.clone();
                 cand.push((array, 1));
-                let Some(c1) = ev.eval(&variant, &params, &cand) else {
+                let Some(c1) = ev.eval_one(&variant, &params, &cand) else {
                     continue;
                 };
                 if c1 >= cycles {
                     continue; // no benefit: remove the prefetch
                 }
+                // Distance 1 helps: sweep the other distances as one
+                // batch and keep the earliest minimum (matching the
+                // serial strict-`<` scan).
+                let sweep = {
+                    let pts: Vec<Point<'_>> = self.opts.prefetch_distances[1..]
+                        .iter()
+                        .map(|&d| {
+                            let mut pf = cand.clone();
+                            pf.last_mut().expect("candidate").1 = d;
+                            Point {
+                                variant: &variant,
+                                params: params.clone(),
+                                prefetches: pf,
+                            }
+                        })
+                        .collect();
+                    ev.eval_batch(&pts)
+                };
                 let mut best_d = (1, c1);
-                for &d in &self.opts.prefetch_distances[1..] {
-                    cand.last_mut().expect("candidate").1 = d;
-                    if let Some(c) = ev.eval(&variant, &params, &cand) {
-                        if c < best_d.1 {
-                            best_d = (d, c);
+                for (&d, r) in self.opts.prefetch_distances[1..].iter().zip(&sweep) {
+                    if let Some(c) = r {
+                        if *c < best_d.1 {
+                            best_d = (d, *c);
                         }
                     }
                 }
+                cand.last_mut().expect("candidate").1 = best_d.0;
                 plan.push((array, best_d.0));
                 cycles = best_d.1;
             }
             // adjust tiling after prefetch: grow the innermost tile
+            ev.stage = "adjust";
             if let Some(nm) = variant.tile_param(variant.register_carrier()) {
                 let nm = nm.to_string();
                 loop {
                     let mut cand = params.clone();
                     let v = cand[&nm] * 2;
                     cand.insert(nm.clone(), v);
-                    match ev.eval(&variant, &cand, &plan) {
+                    match ev.eval_one(&variant, &cand, &plan) {
                         Some(c) if c < cycles => {
                             params = cand;
                             cycles = c;
@@ -351,7 +681,10 @@ impl Optimizer {
             prefetches.push((program.array(array).name.clone(), d));
         }
         let exec_params = Params::new().with(kernel.size, self.opts.search_n);
-        let counters = measure(&program, &exec_params, &self.machine, &LayoutOptions::default())?;
+        let counters = engine.eval(
+            EvalJob::new(program.clone(), exec_params)
+                .with_label(format!("{}/final", variant.name)),
+        )?;
         Ok(Tuned {
             variant,
             params,
@@ -364,6 +697,21 @@ impl Optimizer {
                 variants_searched,
             },
         })
+    }
+
+    /// Runs the full two-phase optimization on `kernel` with a private
+    /// default engine.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the kernel is not analyzable or no variant could be
+    /// generated and measured.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run(OptimizeRequest::new(kernel))` or `run_with(&kernel, &engine)`"
+    )]
+    pub fn optimize(&self, kernel: &Kernel) -> Result<Tuned, EcoError> {
+        self.run_with(kernel, &Engine::new(self.machine.clone()))
     }
 
     /// True if every cache level's retained tile can fit the TLB's page
@@ -430,23 +778,28 @@ impl Optimizer {
     }
 
     /// One search stage: shape moves at constant footprint, footprint
-    /// halving, then linear refinement (§3.2).
+    /// halving, then linear refinement (§3.2). All candidates of one
+    /// decision round are submitted as a single batch; the winner is the
+    /// best improving candidate, ties broken by submission order, so the
+    /// outcome never depends on evaluation order.
     fn stage_search(
         &self,
-        ev: &mut Evaluator<'_>,
+        ev: &mut PointEval<'_>,
         variant: &Variant,
         params: &mut ParamValues,
         stage: &[String],
     ) {
-        let Some(mut best) = ev.eval(variant, params, &[]) else {
+        let Some(mut best) = ev.eval_one(variant, params, &[]) else {
             return;
         };
-        let shape_pass = |ev: &mut Evaluator<'_>, params: &mut ParamValues, best: &mut u64| {
+        let shape_pass = |ev: &mut PointEval<'_>, params: &mut ParamValues, best: &mut u64| {
             if stage.len() < 2 {
                 return;
             }
             loop {
-                let mut improved = false;
+                // Propose every double-one/halve-another move from the
+                // current point, evaluate them together, keep the best.
+                let mut cands: Vec<ParamValues> = Vec::new();
                 for i in 0..stage.len() {
                     for j in 0..stage.len() {
                         if i == j || params[&stage[j]] < 2 {
@@ -455,17 +808,27 @@ impl Optimizer {
                         let mut cand = params.clone();
                         cand.insert(stage[i].clone(), params[&stage[i]] * 2);
                         cand.insert(stage[j].clone(), params[&stage[j]] / 2);
-                        if let Some(c) = ev.eval(variant, &cand, &[]) {
-                            if c < *best {
-                                *best = c;
-                                *params = cand;
-                                improved = true;
-                            }
+                        cands.push(cand);
+                    }
+                }
+                if cands.is_empty() {
+                    break;
+                }
+                let results = ev.eval_params(variant, &cands);
+                let mut pick: Option<usize> = None;
+                for (k, r) in results.iter().enumerate() {
+                    if let Some(c) = r {
+                        if *c < *best && pick.is_none_or(|p| *c < results[p].expect("picked")) {
+                            pick = Some(k);
                         }
                     }
                 }
-                if !improved {
-                    break;
+                match pick {
+                    Some(k) => {
+                        *best = results[k].expect("picked");
+                        *params = cands[k].clone();
+                    }
+                    None => break,
                 }
             }
         };
@@ -483,7 +846,7 @@ impl Optimizer {
             let saved = params.clone();
             let saved_best = best;
             params.insert(largest.clone(), params[&largest] / 2);
-            match ev.eval(variant, params, &[]) {
+            match ev.eval_one(variant, params, &[]) {
                 Some(c) if c < best => {
                     best = c;
                     shape_pass(ev, params, &mut best);
@@ -495,22 +858,31 @@ impl Optimizer {
                 }
             }
         }
-        // linear refinement
+        // linear refinement: both nudges of a parameter go out as one
+        // batch; the up-move wins ties, like the serial scan it replaces.
         for nm in stage {
             loop {
                 let cur = params[nm];
                 let step = (cur / 4).max(1);
+                let nudges: Vec<u64> = [cur + step, cur.saturating_sub(step).max(1)]
+                    .into_iter()
+                    .filter(|&v| v != cur)
+                    .collect();
+                let cands: Vec<ParamValues> = nudges
+                    .iter()
+                    .map(|&v| {
+                        let mut cand = params.clone();
+                        cand.insert(nm.clone(), v);
+                        cand
+                    })
+                    .collect();
+                let results = ev.eval_params(variant, &cands);
                 let mut moved = false;
-                for cand_v in [cur + step, cur.saturating_sub(step).max(1)] {
-                    if cand_v == cur {
-                        continue;
-                    }
-                    let mut cand = params.clone();
-                    cand.insert(nm.clone(), cand_v);
-                    if let Some(c) = ev.eval(variant, &cand, &[]) {
-                        if c < best {
-                            best = c;
-                            *params = cand;
+                for (k, r) in results.iter().enumerate() {
+                    if let Some(c) = r {
+                        if *c < best {
+                            best = *c;
+                            *params = cands[k].clone();
                             moved = true;
                             break;
                         }
@@ -527,11 +899,11 @@ impl Optimizer {
     /// candidates, tried one at a time.
     fn prefetch_candidates(
         &self,
-        ev: &Evaluator<'_>,
+        ev: &PointEval<'_>,
         variant: &Variant,
         params: &ParamValues,
     ) -> Vec<ArrayId> {
-        let Ok(program) = generate(ev.kernel, ev.nest, variant, params, ev.machine) else {
+        let Ok(program) = generate(ev.kernel, ev.nest, variant, params, &self.machine) else {
             return Vec::new();
         };
         let Some(inner) = program.find_loop(variant.register_carrier()) else {
@@ -597,12 +969,7 @@ fn prune_copy_twins(variants: Vec<Variant>) -> Vec<Variant> {
     let key = |v: &Variant| -> String {
         v.levels
             .iter()
-            .map(|l| {
-                format!(
-                    "{}:{:?}:{:?}:{:?};",
-                    l.level, l.carrier, l.tiles, l.unrolls
-                )
-            })
+            .map(|l| format!("{}:{:?}:{:?}:{:?};", l.level, l.carrier, l.tiles, l.unrolls))
             .collect()
     };
     let copies = |v: &Variant| v.levels.iter().filter(|l| l.copy.is_some()).count();
@@ -653,51 +1020,69 @@ fn pow2_candidates(variant: &Variant, name: &str) -> Vec<u64> {
     v
 }
 
-/// Exhaustive (capped) power-of-two grid search over all parameters.
+/// Exhaustive (capped) power-of-two grid search over all parameters,
+/// submitted in fixed-size waves ([`SWEEP_WAVE`]) so the engine can
+/// parallelize without affecting which point wins.
 fn grid_search(
-    ev: &mut Evaluator<'_>,
+    ev: &mut PointEval<'_>,
     variant: &Variant,
     params: &mut ParamValues,
     max_points: usize,
 ) {
     let names = variant.param_names();
     let candidates: Vec<Vec<u64>> = names.iter().map(|n| pow2_candidates(variant, n)).collect();
-    let mut best = ev.eval(variant, params, &[]);
+    let mut best = ev.eval_one(variant, params, &[]);
     let mut idx = vec![0usize; names.len()];
+    let mut exhausted = false;
     let mut executed = 0usize;
-    'outer: loop {
-        let mut cand = params.clone();
-        for (i, n) in names.iter().enumerate() {
-            cand.insert(n.clone(), candidates[i][idx[i]]);
+    while !exhausted && executed < max_points {
+        // Collect the next wave of feasible grid points in odometer
+        // order.
+        let mut wave: Vec<ParamValues> = Vec::new();
+        'fill: while wave.len() < SWEEP_WAVE {
+            let mut cand = params.clone();
+            for (i, n) in names.iter().enumerate() {
+                cand.insert(n.clone(), candidates[i][idx[i]]);
+            }
+            // odometer increment
+            let mut rolled = true;
+            for i in 0..names.len() {
+                idx[i] += 1;
+                if idx[i] < candidates[i].len() {
+                    rolled = false;
+                    break;
+                }
+                idx[i] = 0;
+            }
+            if variant.feasible(&cand) {
+                wave.push(cand);
+            }
+            if rolled || names.is_empty() {
+                exhausted = true;
+                break 'fill;
+            }
         }
-        if variant.feasible(&cand) {
-            if let Some(c) = ev.eval(variant, &cand, &[]) {
+        let results = ev.eval_params(variant, &wave);
+        for (cand, r) in wave.iter().zip(&results) {
+            if let Some(c) = r {
                 executed += 1;
-                if best.is_none_or(|b| c < b) {
-                    best = Some(c);
-                    *params = cand;
+                if best.is_none_or(|b| *c < b) {
+                    best = Some(*c);
+                    *params = cand.clone();
+                }
+                if executed >= max_points {
+                    break;
                 }
             }
-            if executed >= max_points {
-                break;
-            }
         }
-        // odometer increment
-        for i in 0..names.len() {
-            idx[i] += 1;
-            if idx[i] < candidates[i].len() {
-                continue 'outer;
-            }
-            idx[i] = 0;
-        }
-        break;
     }
 }
 
 /// Uniform random sampling of feasible power-of-two points (a simple
-/// deterministic LCG; no RNG dependency needed in the optimizer).
+/// deterministic LCG; no RNG dependency needed in the optimizer),
+/// submitted in fixed-size waves like [`grid_search`].
 fn random_search(
-    ev: &mut Evaluator<'_>,
+    ev: &mut PointEval<'_>,
     variant: &Variant,
     params: &mut ParamValues,
     points: usize,
@@ -712,23 +1097,32 @@ fn random_search(
             .wrapping_add(1442695040888963407);
         ((state >> 33) as usize) % m.max(1)
     };
-    let mut best = ev.eval(variant, params, &[]);
+    let mut best = ev.eval_one(variant, params, &[]);
     let mut executed = 0usize;
     let mut attempts = 0usize;
     while executed < points && attempts < points * 20 {
-        attempts += 1;
-        let mut cand = params.clone();
-        for (i, n) in names.iter().enumerate() {
-            cand.insert(n.clone(), candidates[i][next(candidates[i].len())]);
+        let mut wave: Vec<ParamValues> = Vec::new();
+        while wave.len() < SWEEP_WAVE && attempts < points * 20 {
+            attempts += 1;
+            let mut cand = params.clone();
+            for (i, n) in names.iter().enumerate() {
+                cand.insert(n.clone(), candidates[i][next(candidates[i].len())]);
+            }
+            if variant.feasible(&cand) {
+                wave.push(cand);
+            }
         }
-        if !variant.feasible(&cand) {
-            continue;
-        }
-        if let Some(c) = ev.eval(variant, &cand, &[]) {
-            executed += 1;
-            if best.is_none_or(|b| c < b) {
-                best = Some(c);
-                *params = cand;
+        let results = ev.eval_params(variant, &wave);
+        for (cand, r) in wave.iter().zip(&results) {
+            if let Some(c) = r {
+                executed += 1;
+                if best.is_none_or(|b| *c < b) {
+                    best = Some(*c);
+                    *params = cand.clone();
+                }
+                if executed >= points {
+                    break;
+                }
             }
         }
     }

@@ -180,7 +180,11 @@ impl Variant {
 /// `MostProfitableLoops` choice, once per tile-or-not decision on the
 /// register carrier, and once per copy-or-not decision at levels where
 /// copying is expressible.
-pub fn derive_variants(nest: &NestInfo, machine: &MachineDesc, program: &eco_ir::Program) -> Vec<Variant> {
+pub fn derive_variants(
+    nest: &NestInfo,
+    machine: &MachineDesc,
+    program: &eco_ir::Program,
+) -> Vec<Variant> {
     struct Partial {
         levels: Vec<LevelPlan>,
         remaining: Vec<VarId>,
@@ -244,8 +248,7 @@ pub fn derive_variants(nest: &NestInfo, machine: &MachineDesc, program: &eco_ir:
                 next.push(p);
                 continue;
             }
-            let carriers =
-                reuse::most_profitable_loops(nest, &p.remaining, &p.unmapped, &all_refs);
+            let carriers = reuse::most_profitable_loops(nest, &p.remaining, &p.unmapped, &all_refs);
             if carriers.is_empty() {
                 next.push(p);
                 continue;
@@ -319,8 +322,7 @@ pub fn derive_variants(nest: &NestInfo, machine: &MachineDesc, program: &eco_ir:
                             }
                         }
                     }
-                    let bound =
-                        (cache.effective_capacity_bytes() / 8) as u64;
+                    let bound = (cache.effective_capacity_bytes() / 8) as u64;
                     let constraint = Constraint {
                         factors: factors.clone(),
                         bound: if unbounded { u64::MAX } else { bound },
@@ -351,16 +353,13 @@ pub fn derive_variants(nest: &NestInfo, machine: &MachineDesc, program: &eco_ir:
                         let rf = &nest.refs[retained[0]];
                         let dim_loops: Vec<Option<VarId>> = (0..rf.idx.len())
                             .map(|d| {
-                                all_vars
-                                    .iter()
-                                    .copied()
-                                    .find(|&v| rf.coeff(d, v) == 1
-                                        && tiled.iter().any(|&(w, _)| w == v))
+                                all_vars.iter().copied().find(|&v| {
+                                    rf.coeff(d, v) == 1 && tiled.iter().any(|&(w, _)| w == v)
+                                })
                             })
                             .collect();
-                        let group_spread_zero = retained
-                            .iter()
-                            .all(|&r| nest.refs[r].idx == rf.idx);
+                        let group_spread_zero =
+                            retained.iter().all(|&r| nest.refs[r].idx == rf.idx);
                         if group_spread_zero && dim_loops.iter().all(|d| d.is_some()) {
                             copy = Some(CopyPlan {
                                 array: arr,

@@ -1,0 +1,154 @@
+//! A small, dependency-free, **offline** stand-in for the `criterion`
+//! crate, providing the subset of its API this workspace's benches use:
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! `iter`, and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! The build environment for this repository has no crates-registry
+//! access, so the real `criterion` cannot be vendored. This harness
+//! measures wall-clock time with `std::time::Instant`, reports
+//! min/median/max per benchmark to stdout, and performs no statistical
+//! analysis, warm-up tuning, or HTML reporting.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] whose `iter`
+    /// closure is timed `sample_size` times.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut s = bencher.samples;
+        s.sort();
+        let fmt = |d: Duration| format!("{:.3?}", d);
+        if s.is_empty() {
+            println!("  {}/{id}: no samples", self.name);
+        } else {
+            println!(
+                "  {}/{id}: min {} median {} max {} ({} samples)",
+                self.name,
+                fmt(s[0]),
+                fmt(s[s.len() / 2]),
+                fmt(s[s.len() - 1]),
+                s.len()
+            );
+        }
+        self
+    }
+
+    /// Ends the group (printing is incremental; this is a no-op kept for
+    /// API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `sample_size` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples_and_prints() {
+        let mut c = Criterion::default();
+        let mut ran = 0usize;
+        {
+            let mut g = c.benchmark_group("test");
+            g.sample_size(3).bench_function("count", |b| {
+                b.iter(|| {
+                    ran += 1;
+                })
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 3);
+    }
+
+    criterion_group!(demo_group, demo_bench);
+
+    fn demo_bench(c: &mut Criterion) {
+        c.benchmark_group("demo")
+            .bench_function("noop", |b| b.iter(|| ()));
+    }
+
+    #[test]
+    fn macros_produce_callable_groups() {
+        demo_group();
+    }
+}

@@ -1,0 +1,703 @@
+//! The parallel, memoized evaluation engine.
+//!
+//! Phase 2 of the paper executes every search point "on the real
+//! machine"; in this reproduction each point is a full trace-driven
+//! cache simulation ([`measure`]), which dominates wall-clock time. The
+//! [`Engine`] makes those evaluations cheap without changing a single
+//! search decision:
+//!
+//! * **batching** — callers submit independent points together as
+//!   [`EvalJob`]s and get results back *in submission order*, so code
+//!   that scans results with strict `<` ties behaves exactly like the
+//!   serial loop it replaced;
+//! * **memoization** — jobs are deduplicated through a content-addressed
+//!   cache keyed by program text, parameter bindings, layout, and
+//!   machine fingerprint ([`EvalKey`]), both within a batch and across
+//!   the engine's lifetime (errors are memoized too: a point that failed
+//!   once fails identically forever);
+//! * **parallelism** — unique jobs run on a `std::thread::scope` pool;
+//!   the thread count never influences results, only latency;
+//! * **telemetry** — an optional JSONL search trace records one line per
+//!   submitted job (label, program, params, counters, cache-hit flag,
+//!   wall time).
+//!
+//! Consumers program against the [`Evaluator`] trait rather than the
+//! concrete engine, so tests can substitute counting or failing
+//! evaluators and future backends (real hardware, remote fleets) slot in
+//! unchanged.
+//!
+//! # Examples
+//!
+//! ```
+//! use eco_exec::{Engine, EvalJob, Evaluator, Params};
+//! use eco_ir::{AffineExpr, ArrayRef, Loop, Program, ScalarExpr, Stmt};
+//! use eco_machine::MachineDesc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut p = Program::new("stream");
+//! let n = p.add_param("N");
+//! let i = p.add_loop_var("I");
+//! let a = p.add_array("A", vec![AffineExpr::var(n)]);
+//! let r = ArrayRef::new(a, vec![AffineExpr::var(i)]);
+//! p.body.push(Stmt::For(Loop {
+//!     var: i,
+//!     lo: 0.into(),
+//!     hi: (AffineExpr::var(n) - AffineExpr::constant(1)).into(),
+//!     step: 1,
+//!     body: vec![Stmt::Store {
+//!         target: r.clone(),
+//!         value: ScalarExpr::add(ScalarExpr::Load(r), ScalarExpr::Const(1.0)),
+//!     }],
+//! }));
+//! let engine = Engine::new(MachineDesc::sgi_r10000().scaled(32));
+//! let jobs = vec![
+//!     EvalJob::new(p.clone(), Params::new().with(n, 64)),
+//!     EvalJob::new(p.clone(), Params::new().with(n, 64)), // duplicate
+//! ];
+//! let results = engine.eval_batch(&jobs);
+//! assert_eq!(results[0], results[1]);
+//! assert_eq!(engine.stats().evaluated, 1, "duplicate was deduplicated");
+//! assert_eq!(engine.stats().cache_hits, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::hash::{Hash, Hasher};
+use std::io::{BufWriter, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::error::ExecError;
+use crate::layout::{LayoutOptions, Params};
+use crate::trace::measure;
+use eco_cachesim::Counters;
+use eco_ir::Program;
+use eco_machine::MachineDesc;
+
+/// One search point: a generated program plus everything that affects
+/// its measurement.
+#[derive(Debug, Clone)]
+pub struct EvalJob {
+    /// The program to simulate.
+    pub program: Program,
+    /// Parameter bindings (problem size, etc.).
+    pub params: Params,
+    /// Array placement options.
+    pub layout: LayoutOptions,
+    /// Free-form tag carried into the JSONL trace (e.g. variant name or
+    /// search stage); not part of the memo key.
+    pub label: String,
+}
+
+impl EvalJob {
+    /// A job with the default layout and an empty label.
+    pub fn new(program: Program, params: Params) -> Self {
+        EvalJob {
+            program,
+            params,
+            layout: LayoutOptions::default(),
+            label: String::new(),
+        }
+    }
+
+    /// Sets the trace label (builder style).
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Sets the layout options (builder style).
+    #[must_use]
+    pub fn with_layout(mut self, layout: LayoutOptions) -> Self {
+        self.layout = layout;
+        self
+    }
+}
+
+/// Content-addressed identity of a measurement: two jobs with equal keys
+/// are guaranteed to produce identical counters on the same engine.
+///
+/// The key folds together the program's full pretty-printed text, the
+/// parameter bindings, the layout options, and the machine fingerprint,
+/// using FNV-1a (stable across runs within a build; keys are never
+/// persisted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EvalKey(u64, u64);
+
+/// FNV-1a, used both as a raw byte hasher and as a `std::hash::Hasher`
+/// so `#[derive(Hash)]` types (like `MachineDesc`) can feed it.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// Running totals of an engine's work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Jobs submitted through `eval` / `eval_batch`.
+    pub requested: u64,
+    /// Simulations actually run (unique, non-memoized jobs).
+    pub evaluated: u64,
+    /// Jobs served from the memo cache or batch deduplication.
+    pub cache_hits: u64,
+    /// Simulations that returned an error (errors are memoized too).
+    pub errors: u64,
+}
+
+impl EngineStats {
+    /// Fraction of requests served without running a simulation.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requested == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / self.requested as f64
+    }
+}
+
+/// Configuration for [`Engine::with_config`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means auto (the `ECO_EVAL_THREADS` environment
+    /// variable if set, otherwise `std::thread::available_parallelism`).
+    pub threads: usize,
+    /// Disables the memo cache when `false` (every job re-simulates).
+    pub memoize: bool,
+    /// Writes one JSONL record per submitted job to this file. The file
+    /// is created (truncated) when the engine is built, so each engine
+    /// produces a fresh trace.
+    pub trace_path: Option<PathBuf>,
+}
+
+impl EngineConfig {
+    /// Auto thread count, memoization on, no trace.
+    pub fn new() -> Self {
+        EngineConfig {
+            threads: 0,
+            memoize: true,
+            trace_path: None,
+        }
+    }
+
+    /// Sets an explicit worker-thread count (builder style).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables memoization (builder style).
+    #[must_use]
+    pub fn memoize(mut self, memoize: bool) -> Self {
+        self.memoize = memoize;
+        self
+    }
+
+    /// Sets the JSONL trace path (builder style).
+    #[must_use]
+    pub fn trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_path = Some(path.into());
+        self
+    }
+}
+
+/// Anything that can measure batches of search points on a machine.
+///
+/// The contract every implementation must honour, because the search
+/// relies on it for reproducibility:
+///
+/// * results come back **in submission order**, one per job;
+/// * equal jobs (same program text, params, layout) on the same
+///   evaluator produce **identical** results;
+/// * results do not depend on batch composition or thread count.
+pub trait Evaluator {
+    /// The machine being simulated.
+    fn machine(&self) -> &MachineDesc;
+
+    /// Measures every job, returning results in submission order.
+    fn eval_batch(&self, jobs: &[EvalJob]) -> Vec<Result<Counters, ExecError>>;
+
+    /// Measures a single job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the measurement error of the job.
+    fn eval(&self, job: EvalJob) -> Result<Counters, ExecError> {
+        self.eval_batch(std::slice::from_ref(&job))
+            .pop()
+            .expect("eval_batch returns one result per job")
+    }
+
+    /// Work totals so far (all zero for evaluators that do not track).
+    fn stats(&self) -> EngineStats {
+        EngineStats::default()
+    }
+}
+
+/// The production [`Evaluator`]: a thread-pool simulator with a
+/// content-addressed memo cache and optional JSONL telemetry.
+#[derive(Debug)]
+pub struct Engine {
+    machine: MachineDesc,
+    machine_fp: u64,
+    threads: usize,
+    memoize: bool,
+    memo: Mutex<HashMap<EvalKey, Result<Counters, ExecError>>>,
+    stats: Mutex<EngineStats>,
+    trace: Option<Mutex<BufWriter<File>>>,
+    seq: AtomicUsize,
+}
+
+impl Engine {
+    /// An engine with the default configuration (auto threads,
+    /// memoization on, no trace).
+    pub fn new(machine: MachineDesc) -> Self {
+        Engine::with_config(machine, EngineConfig::new()).expect("no trace file to open")
+    }
+
+    /// An engine with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the configured trace file cannot be created.
+    pub fn with_config(machine: MachineDesc, config: EngineConfig) -> Result<Self, ExecError> {
+        let trace = match &config.trace_path {
+            Some(path) => {
+                let file = File::create(path).map_err(|e| {
+                    ExecError::Invalid(format!("cannot open trace file {}: {e}", path.display()))
+                })?;
+                Some(Mutex::new(BufWriter::new(file)))
+            }
+            None => None,
+        };
+        let mut fp = Fnv::new();
+        machine.hash(&mut fp);
+        Ok(Engine {
+            machine_fp: fp.finish(),
+            threads: resolve_threads(config.threads),
+            memoize: config.memoize,
+            memo: Mutex::new(HashMap::new()),
+            stats: Mutex::new(EngineStats::default()),
+            trace,
+            seq: AtomicUsize::new(0),
+            machine,
+        })
+    }
+
+    /// The number of worker threads this engine uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The memo key of `job` on this engine.
+    pub fn key(&self, job: &EvalJob) -> EvalKey {
+        let mut h1 = Fnv::new();
+        h1.write(job.program.name.as_bytes());
+        h1.write(&[0]);
+        h1.write(job.program.to_string().as_bytes());
+        let mut h2 = Fnv::new();
+        h2.write_u64(self.machine_fp);
+        h2.write_u64(job.layout.base_addr);
+        h2.write_u64(job.layout.inter_array_pad_bytes);
+        for &(v, val) in job.params.pairs() {
+            h2.write_u32(v.index() as u32);
+            h2.write_i64(val);
+        }
+        EvalKey(h1.finish(), h2.finish())
+    }
+}
+
+/// How an output slot of a batch gets its result.
+enum Slot {
+    /// Served from the cross-batch memo cache.
+    Memo(Result<Counters, ExecError>),
+    /// Runs as unique job `u` of this batch.
+    Run(usize),
+    /// Duplicate of unique job `u` within this batch.
+    Dup(usize),
+}
+
+impl Evaluator for Engine {
+    fn machine(&self) -> &MachineDesc {
+        &self.machine
+    }
+
+    fn eval_batch(&self, jobs: &[EvalJob]) -> Vec<Result<Counters, ExecError>> {
+        // Phase 1: classify each job against the memo cache and within
+        // the batch, preserving submission order in `slots`.
+        let keys: Vec<EvalKey> = jobs.iter().map(|j| self.key(j)).collect();
+        let mut slots: Vec<Slot> = Vec::with_capacity(jobs.len());
+        let mut unique: Vec<usize> = Vec::new();
+        if self.memoize {
+            let memo = self.memo.lock().expect("memo lock");
+            let mut owner: HashMap<EvalKey, usize> = HashMap::new();
+            for (i, k) in keys.iter().enumerate() {
+                if let Some(hit) = memo.get(k) {
+                    slots.push(Slot::Memo(hit.clone()));
+                    continue;
+                }
+                match owner.entry(*k) {
+                    Entry::Occupied(e) => slots.push(Slot::Dup(*e.get())),
+                    Entry::Vacant(e) => {
+                        e.insert(unique.len());
+                        slots.push(Slot::Run(unique.len()));
+                        unique.push(i);
+                    }
+                }
+            }
+        } else {
+            for i in 0..jobs.len() {
+                slots.push(Slot::Run(unique.len()));
+                unique.push(i);
+            }
+        }
+
+        // Phase 2: run the unique jobs. Workers pull indices from a
+        // shared cursor; each result lands in its own slot, so the
+        // output is independent of scheduling.
+        type RunSlot = Mutex<Option<(Result<Counters, ExecError>, u64)>>;
+        let ran: Vec<RunSlot> = unique.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let run_one = |u: usize| {
+            let job = &jobs[unique[u]];
+            let started = Instant::now();
+            let result = measure(&job.program, &job.params, &self.machine, &job.layout);
+            let wall_us = started.elapsed().as_micros() as u64;
+            *ran[u].lock().expect("slot lock") = Some((result, wall_us));
+        };
+        let workers = self.threads.min(unique.len());
+        if workers <= 1 {
+            for u in 0..unique.len() {
+                run_one(u);
+            }
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let u = cursor.fetch_add(1, Ordering::Relaxed);
+                        if u >= unique.len() {
+                            break;
+                        }
+                        run_one(u);
+                    });
+                }
+            });
+        }
+        let ran: Vec<(Result<Counters, ExecError>, u64)> = ran
+            .into_iter()
+            .map(|m| m.into_inner().expect("slot lock").expect("slot filled"))
+            .collect();
+
+        // Phase 3: publish to the memo cache, update stats, emit trace
+        // records, and assemble results in submission order.
+        if self.memoize {
+            let mut memo = self.memo.lock().expect("memo lock");
+            for (u, &i) in unique.iter().enumerate() {
+                memo.insert(keys[i], ran[u].0.clone());
+            }
+        }
+        {
+            let mut stats = self.stats.lock().expect("stats lock");
+            stats.requested += jobs.len() as u64;
+            stats.evaluated += unique.len() as u64;
+            stats.cache_hits += (jobs.len() - unique.len()) as u64;
+            stats.errors += ran.iter().filter(|(r, _)| r.is_err()).count() as u64;
+        }
+        let mut out = Vec::with_capacity(jobs.len());
+        for (i, slot) in slots.iter().enumerate() {
+            let (result, cache_hit, wall_us) = match slot {
+                Slot::Memo(r) => (r.clone(), true, 0),
+                Slot::Run(u) => (ran[*u].0.clone(), false, ran[*u].1),
+                Slot::Dup(u) => (ran[*u].0.clone(), true, 0),
+            };
+            if let Some(trace) = &self.trace {
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                let line = trace_record(seq, &jobs[i], cache_hit, wall_us, &result);
+                let mut w = trace.lock().expect("trace lock");
+                let _ = writeln!(w, "{line}");
+            }
+            out.push(result);
+        }
+        if let Some(trace) = &self.trace {
+            let _ = trace.lock().expect("trace lock").flush();
+        }
+        out
+    }
+
+    fn stats(&self) -> EngineStats {
+        *self.stats.lock().expect("stats lock")
+    }
+}
+
+/// Resolves a configured thread count: explicit > env > hardware.
+fn resolve_threads(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    if let Ok(v) = std::env::var("ECO_EVAL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// One JSONL trace record (hand-rolled: the workspace has no JSON dep).
+fn trace_record(
+    seq: usize,
+    job: &EvalJob,
+    cache_hit: bool,
+    wall_us: u64,
+    result: &Result<Counters, ExecError>,
+) -> String {
+    let mut s = String::with_capacity(256);
+    let _ = write!(
+        s,
+        "{{\"seq\":{seq},\"label\":\"{}\",\"program\":\"{}\",\"params\":{{",
+        json_escape(&job.label),
+        json_escape(&job.program.name),
+    );
+    for (i, &(v, val)) in job.params.pairs().iter().enumerate() {
+        let name = job.program.var(v).name.as_str();
+        let _ = write!(
+            s,
+            "{}\"{}\":{val}",
+            if i > 0 { "," } else { "" },
+            json_escape(name)
+        );
+    }
+    let _ = write!(s, "}},\"cache_hit\":{cache_hit},\"wall_us\":{wall_us}");
+    match result {
+        Ok(c) => {
+            let _ = write!(
+                s,
+                ",\"status\":\"ok\",\"cycles\":{},\"loads\":{},\"stores\":{},\
+                 \"prefetches\":{},\"flops\":{},\"tlb_misses\":{},\"cache_misses\":[",
+                c.cycles(),
+                c.loads,
+                c.stores,
+                c.prefetches,
+                c.flops,
+                c.tlb_misses,
+            );
+            for (i, m) in c.cache_misses.iter().enumerate() {
+                let _ = write!(s, "{}{m}", if i > 0 { "," } else { "" });
+            }
+            s.push(']');
+        }
+        Err(e) => {
+            let _ = write!(
+                s,
+                ",\"status\":\"error\",\"error\":\"{}\"",
+                json_escape(&e.to_string())
+            );
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_ir::{AffineExpr, ArrayRef, Loop, Program, ScalarExpr, Stmt, VarId};
+
+    /// `A[I] += 1` over `I in 0..N-1`.
+    fn stream(name: &str) -> (Program, VarId) {
+        let mut p = Program::new(name);
+        let n = p.add_param("N");
+        let i = p.add_loop_var("I");
+        let a = p.add_array("A", vec![AffineExpr::var(n)]);
+        let r = ArrayRef::new(a, vec![AffineExpr::var(i)]);
+        p.body.push(Stmt::For(Loop {
+            var: i,
+            lo: 0.into(),
+            hi: (AffineExpr::var(n) - AffineExpr::constant(1)).into(),
+            step: 1,
+            body: vec![Stmt::Store {
+                target: r.clone(),
+                value: ScalarExpr::add(ScalarExpr::Load(r), ScalarExpr::Const(1.0)),
+            }],
+        }));
+        (p, n)
+    }
+
+    fn machine() -> MachineDesc {
+        MachineDesc::sgi_r10000().scaled(32)
+    }
+
+    #[test]
+    fn batch_results_match_serial_measure_in_order() {
+        let (p, n) = stream("s");
+        let engine = Engine::new(machine());
+        let sizes = [16i64, 64, 32, 128];
+        let jobs: Vec<EvalJob> = sizes
+            .iter()
+            .map(|&sz| EvalJob::new(p.clone(), Params::new().with(n, sz)))
+            .collect();
+        let got = engine.eval_batch(&jobs);
+        for (&sz, r) in sizes.iter().zip(&got) {
+            let want = measure(
+                &p,
+                &Params::new().with(n, sz),
+                engine.machine(),
+                &LayoutOptions::default(),
+            );
+            assert_eq!(r, &want, "size {sz}");
+        }
+        assert_eq!(engine.stats().evaluated, 4);
+        assert_eq!(engine.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn duplicates_within_and_across_batches_hit_cache() {
+        let (p, n) = stream("s");
+        let engine = Engine::new(machine());
+        let job = || EvalJob::new(p.clone(), Params::new().with(n, 32));
+        let first = engine.eval_batch(&[job(), job(), job()]);
+        assert_eq!(first[0], first[1]);
+        assert_eq!(first[1], first[2]);
+        assert_eq!(engine.stats().evaluated, 1);
+        assert_eq!(engine.stats().cache_hits, 2);
+        let second = engine.eval(job()).expect("ok");
+        assert_eq!(Ok(second), first[0]);
+        assert_eq!(engine.stats().evaluated, 1, "second batch fully memoized");
+        assert_eq!(engine.stats().cache_hits, 3);
+        assert!(engine.stats().hit_rate() > 0.7);
+    }
+
+    #[test]
+    fn distinct_layouts_params_and_programs_do_not_collide() {
+        let (p, n) = stream("s");
+        let (q, m) = stream("s2");
+        let engine = Engine::new(machine());
+        let base = EvalJob::new(p.clone(), Params::new().with(n, 32));
+        let padded =
+            EvalJob::new(p.clone(), Params::new().with(n, 32)).with_layout(LayoutOptions {
+                base_addr: 0,
+                inter_array_pad_bytes: 64,
+            });
+        let other_size = EvalJob::new(p.clone(), Params::new().with(n, 64));
+        let other_prog = EvalJob::new(q, Params::new().with(m, 32));
+        let keys = [
+            engine.key(&base),
+            engine.key(&padded),
+            engine.key(&other_size),
+            engine.key(&other_prog),
+        ];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "keys {i} and {j} collide");
+            }
+        }
+        // Label does not affect identity.
+        assert_eq!(engine.key(&base), engine.key(&base.clone().with_label("x")));
+    }
+
+    #[test]
+    fn errors_are_memoized() {
+        let (p, _) = stream("s");
+        let engine = Engine::new(machine());
+        let job = || EvalJob::new(p.clone(), Params::new()); // N unbound
+        assert!(engine.eval(job()).is_err());
+        assert!(engine.eval(job()).is_err());
+        let stats = engine.stats();
+        assert_eq!(stats.evaluated, 1);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn memoize_off_reruns_everything() {
+        let (p, n) = stream("s");
+        let engine =
+            Engine::with_config(machine(), EngineConfig::new().memoize(false)).expect("config");
+        let job = || EvalJob::new(p.clone(), Params::new().with(n, 16));
+        let r = engine.eval_batch(&[job(), job()]);
+        assert_eq!(r[0], r[1]);
+        assert_eq!(engine.stats().evaluated, 2);
+        assert_eq!(engine.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn parallel_and_serial_engines_agree() {
+        let (p, n) = stream("s");
+        let serial =
+            Engine::with_config(machine(), EngineConfig::new().threads(1)).expect("config");
+        let parallel =
+            Engine::with_config(machine(), EngineConfig::new().threads(4)).expect("config");
+        let jobs: Vec<EvalJob> = (1..=24)
+            .map(|k| EvalJob::new(p.clone(), Params::new().with(n, 8 * k)))
+            .collect();
+        assert_eq!(serial.eval_batch(&jobs), parallel.eval_batch(&jobs));
+    }
+
+    #[test]
+    fn trace_records_every_job_with_hit_flags() {
+        let (p, n) = stream("s");
+        let dir = std::env::temp_dir().join(format!("eco-engine-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("trace.jsonl");
+        let engine =
+            Engine::with_config(machine(), EngineConfig::new().trace(&path)).expect("config");
+        let job =
+            |sz: i64| EvalJob::new(p.clone(), Params::new().with(n, sz)).with_label("unit\"test");
+        engine.eval_batch(&[job(16), job(16), job(32)]);
+        let text = std::fs::read_to_string(&path).expect("trace written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"seq\":0"));
+        assert!(lines[0].contains("\"cache_hit\":false"));
+        assert!(lines[1].contains("\"cache_hit\":true"), "{}", lines[1]);
+        assert!(lines[0].contains("\"params\":{\"N\":16}"));
+        assert!(lines[0].contains("\"status\":\"ok\""));
+        assert!(lines[0].contains("\"label\":\"unit\\\"test\""));
+        assert!(lines[2].contains("\"cycles\":"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

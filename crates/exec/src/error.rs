@@ -40,10 +40,7 @@ impl fmt::Display for ExecError {
                 array,
                 indices,
                 extents,
-            } => write!(
-                f,
-                "access {array}{indices:?} outside extents {extents:?}"
-            ),
+            } => write!(f, "access {array}{indices:?} outside extents {extents:?}"),
             ExecError::Invalid(msg) => write!(f, "invalid program: {msg}"),
         }
     }

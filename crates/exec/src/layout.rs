@@ -33,12 +33,7 @@ impl Params {
     /// # Errors
     ///
     /// Fails if `name` is not a declared parameter of `program`.
-    pub fn with_named(
-        self,
-        program: &Program,
-        name: &str,
-        value: i64,
-    ) -> Result<Self, ExecError> {
+    pub fn with_named(self, program: &Program, name: &str, value: i64) -> Result<Self, ExecError> {
         let v = program
             .var_by_name(name)
             .filter(|&v| program.var(v).kind == VarKind::Param)
@@ -84,15 +79,13 @@ pub struct ArrayLayout {
 }
 
 /// Options controlling [`ArrayLayout::new`].
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct LayoutOptions {
     /// Byte address of the first array.
     pub base_addr: u64,
     /// Extra bytes inserted between consecutive arrays (padding).
     pub inter_array_pad_bytes: u64,
 }
-
 
 impl ArrayLayout {
     /// Computes the layout of `program`'s arrays under `params`.

@@ -46,15 +46,22 @@
 //! # }
 //! ```
 
+mod engine;
 mod error;
 mod interp;
 mod layout;
 mod trace;
 
+pub use engine::{Engine, EngineConfig, EngineStats, EvalJob, EvalKey, Evaluator};
 pub use error::ExecError;
 pub use interp::interpret;
 pub use layout::{ArrayLayout, LayoutOptions, Params, Storage};
 pub use trace::{measure, measure_attributed};
+
+/// The one canonical counter type: `eco-cachesim` produces it, everything
+/// downstream (search, baselines, benches) should import it from here so
+/// call sites no longer juggle two counter structs.
+pub use eco_cachesim::{AccessKind, Counters, TagCounters};
 
 #[cfg(test)]
 mod tests {
@@ -66,7 +73,11 @@ mod tests {
     fn naive_mm() -> Program {
         let mut p = Program::new("mm");
         let n = p.add_param("N");
-        let (k, j, i) = (p.add_loop_var("K"), p.add_loop_var("J"), p.add_loop_var("I"));
+        let (k, j, i) = (
+            p.add_loop_var("K"),
+            p.add_loop_var("J"),
+            p.add_loop_var("I"),
+        );
         let a = p.add_array("A", vec![AffineExpr::var(n), AffineExpr::var(n)]);
         let b = p.add_array("B", vec![AffineExpr::var(n), AffineExpr::var(n)]);
         let c = p.add_array("C", vec![AffineExpr::var(n), AffineExpr::var(n)]);
@@ -157,20 +168,9 @@ mod tests {
     fn measure_larger_matrices_miss_more() {
         let p = naive_mm();
         let machine = MachineDesc::sgi_r10000().scaled(32); // 1KB L1, 32KB L2
-        let small = measure(
-            &p,
-            &params_n(&p, 4),
-            &machine,
-            &LayoutOptions::default(),
-        )
-        .expect("small");
-        let big = measure(
-            &p,
-            &params_n(&p, 64),
-            &machine,
-            &LayoutOptions::default(),
-        )
-        .expect("big");
+        let small =
+            measure(&p, &params_n(&p, 4), &machine, &LayoutOptions::default()).expect("small");
+        let big = measure(&p, &params_n(&p, 64), &machine, &LayoutOptions::default()).expect("big");
         let small_rate = small.cache_misses[0] as f64 / small.loads as f64;
         let big_rate = big.cache_misses[0] as f64 / big.loads as f64;
         assert!(
@@ -200,9 +200,7 @@ mod tests {
         let mut st = Storage::zeroed(&layout);
         let err = interpret(&p, &params, &layout, &mut st).expect_err("oob");
         match err {
-            ExecError::OutOfBounds {
-                array, indices, ..
-            } => {
+            ExecError::OutOfBounds { array, indices, .. } => {
                 assert_eq!(array, "A");
                 assert_eq!(indices, vec![4]);
             }
@@ -227,8 +225,8 @@ mod tests {
             }],
         }));
         let machine = MachineDesc::sgi_r10000();
-        let c = measure(&p, &Params::new(), &machine, &LayoutOptions::default())
-            .expect("prefetch ok");
+        let c =
+            measure(&p, &Params::new(), &machine, &LayoutOptions::default()).expect("prefetch ok");
         // i=0,1 prefetch in bounds; i=2,3 out of bounds and dropped.
         assert_eq!(c.prefetches, 2);
     }
@@ -243,7 +241,10 @@ mod tests {
             &LayoutOptions::default(),
         )
         .expect_err("must fail");
-        assert!(matches!(err, ExecError::UnboundParam(ref n) if n == "N"), "{err}");
+        assert!(
+            matches!(err, ExecError::UnboundParam(ref n) if n == "N"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -10,10 +10,20 @@ fn attribution_partitions_global_counters() {
     let kernel = Kernel::matmul();
     let machine = MachineDesc::sgi_r10000().scaled(32);
     let params = Params::new().with(kernel.size, 48);
-    let plain = measure(&kernel.program, &params, &machine, &LayoutOptions::default())
-        .expect("measure");
-    let tagged = measure_attributed(&kernel.program, &params, &machine, &LayoutOptions::default())
-        .expect("measure attributed");
+    let plain = measure(
+        &kernel.program,
+        &params,
+        &machine,
+        &LayoutOptions::default(),
+    )
+    .expect("measure");
+    let tagged = measure_attributed(
+        &kernel.program,
+        &params,
+        &machine,
+        &LayoutOptions::default(),
+    )
+    .expect("measure attributed");
     // Attribution must not change the simulation itself.
     assert_eq!(plain.loads, tagged.loads);
     assert_eq!(plain.cache_misses, tagged.cache_misses);
@@ -37,8 +47,13 @@ fn attribution_reflects_access_patterns() {
     let kernel = Kernel::matmul();
     let machine = MachineDesc::sgi_r10000().scaled(32);
     let params = Params::new().with(kernel.size, 16);
-    let c = measure_attributed(&kernel.program, &params, &machine, &LayoutOptions::default())
-        .expect("measure");
+    let c = measure_attributed(
+        &kernel.program,
+        &params,
+        &machine,
+        &LayoutOptions::default(),
+    )
+    .expect("measure");
     let n3 = 16u64 * 16 * 16;
     let a = kernel.program.array_by_name("A").expect("A").index();
     let cc = kernel.program.array_by_name("C").expect("C").index();

@@ -112,12 +112,7 @@ impl AffineExpr {
 
     /// Evaluates under an environment mapping variables to values.
     pub fn eval(&self, env: &impl Fn(VarId) -> i64) -> i64 {
-        self.constant
-            + self
-                .terms
-                .iter()
-                .map(|&(v, c)| c * env(v))
-                .sum::<i64>()
+        self.constant + self.terms.iter().map(|&(v, c)| c * env(v)).sum::<i64>()
     }
 
     /// Substitutes `replacement` for `v`, i.e. computes
@@ -138,7 +133,12 @@ impl AffineExpr {
         }
         let mut out = AffineExpr {
             constant: self.constant,
-            terms: self.terms.iter().copied().filter(|&(w, _)| w != v).collect(),
+            terms: self
+                .terms
+                .iter()
+                .copied()
+                .filter(|&(w, _)| w != v)
+                .collect(),
         };
         out = out + replacement.clone() * c;
         out
@@ -384,6 +384,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op)] // multiplying by zero is the point
     fn mul_by_zero_clears() {
         let a = AffineExpr::var(v(0)) + AffineExpr::constant(7);
         assert_eq!(a * 0, AffineExpr::constant(0));

@@ -44,8 +44,8 @@
 //! ```
 
 mod expr;
-mod program;
 pub mod pretty;
+mod program;
 
 pub use expr::{AffineExpr, Bound, Cond, VarId};
 pub use program::{
@@ -61,7 +61,11 @@ mod tests {
     fn mm() -> Program {
         let mut p = Program::new("mm");
         let n = p.add_param("N");
-        let (k, j, i) = (p.add_loop_var("K"), p.add_loop_var("J"), p.add_loop_var("I"));
+        let (k, j, i) = (
+            p.add_loop_var("K"),
+            p.add_loop_var("J"),
+            p.add_loop_var("I"),
+        );
         let a = p.add_array("A", vec![AffineExpr::var(n), AffineExpr::var(n)]);
         let b = p.add_array("B", vec![AffineExpr::var(n), AffineExpr::var(n)]);
         let c = p.add_array("C", vec![AffineExpr::var(n), AffineExpr::var(n)]);

@@ -395,11 +395,7 @@ impl Program {
     }
 
     /// Declares a compiler-introduced copy buffer and returns its id.
-    pub fn add_copy_buffer(
-        &mut self,
-        name: impl Into<String>,
-        dims: Vec<AffineExpr>,
-    ) -> ArrayId {
+    pub fn add_copy_buffer(&mut self, name: impl Into<String>, dims: Vec<AffineExpr>) -> ArrayId {
         self.arrays.push(ArrayDecl {
             name: name.into(),
             dims,
@@ -577,10 +573,7 @@ impl Program {
                             ));
                         }
                         if seen.contains(&l.var) {
-                            return Err(format!(
-                                "loop variable {} bound twice",
-                                p.var(l.var).name
-                            ));
+                            return Err(format!("loop variable {} bound twice", p.var(l.var).name));
                         }
                         seen.push(l.var);
                         walk(p, &l.body, seen, check_ref)?;

@@ -1,9 +1,7 @@
 //! Supplementary IR tests: printer precedence, bound edge cases,
 //! traversal helpers.
 
-use eco_ir::{
-    pretty, AffineExpr, ArrayRef, Bound, Cond, Loop, Program, ScalarExpr, Stmt, VarId,
-};
+use eco_ir::{pretty, AffineExpr, ArrayRef, Bound, Cond, Loop, Program, ScalarExpr, Stmt, VarId};
 
 fn v(i: u32) -> VarId {
     VarId(i)

@@ -89,7 +89,11 @@ impl Kernel {
     pub fn matmul() -> Kernel {
         let mut p = Program::new("mm");
         let n = p.add_param("N");
-        let (k, j, i) = (p.add_loop_var("K"), p.add_loop_var("J"), p.add_loop_var("I"));
+        let (k, j, i) = (
+            p.add_loop_var("K"),
+            p.add_loop_var("J"),
+            p.add_loop_var("I"),
+        );
         let nn = vec![AffineExpr::var(n), AffineExpr::var(n)];
         let a = p.add_array("A", nn.clone());
         let b = p.add_array("B", nn.clone());
@@ -136,7 +140,11 @@ impl Kernel {
     pub fn jacobi3d() -> Kernel {
         let mut p = Program::new("jacobi");
         let n = p.add_param("N");
-        let (k, j, i) = (p.add_loop_var("K"), p.add_loop_var("J"), p.add_loop_var("I"));
+        let (k, j, i) = (
+            p.add_loop_var("K"),
+            p.add_loop_var("J"),
+            p.add_loop_var("I"),
+        );
         let dims = vec![AffineExpr::var(n), AffineExpr::var(n), AffineExpr::var(n)];
         let a = p.add_array("A", dims.clone());
         let b = p.add_array("B", dims);
@@ -287,7 +295,11 @@ impl Kernel {
     pub fn syrk() -> Kernel {
         let mut p = Program::new("syrk");
         let n = p.add_param("N");
-        let (k, j, i) = (p.add_loop_var("K"), p.add_loop_var("J"), p.add_loop_var("I"));
+        let (k, j, i) = (
+            p.add_loop_var("K"),
+            p.add_loop_var("J"),
+            p.add_loop_var("I"),
+        );
         let nn = vec![AffineExpr::var(n), AffineExpr::var(n)];
         let a = p.add_array("A", nn.clone());
         let c = p.add_array("C", nn);
@@ -334,7 +346,11 @@ impl Kernel {
     pub fn matmul_transposed() -> Kernel {
         let mut p = Program::new("tmm");
         let n = p.add_param("N");
-        let (k, j, i) = (p.add_loop_var("K"), p.add_loop_var("J"), p.add_loop_var("I"));
+        let (k, j, i) = (
+            p.add_loop_var("K"),
+            p.add_loop_var("J"),
+            p.add_loop_var("I"),
+        );
         let nn = vec![AffineExpr::var(n), AffineExpr::var(n)];
         let a = p.add_array("A", nn.clone());
         let b = p.add_array("B", nn.clone());

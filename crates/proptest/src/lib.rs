@@ -1,0 +1,357 @@
+//! A small, dependency-free, **offline** stand-in for the `proptest`
+//! crate, providing exactly the subset of its API this workspace uses.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the real `proptest` cannot be vendored. This crate keeps
+//! the property-based tests (and their idiomatic `proptest!` syntax)
+//! working with a deterministic, non-shrinking implementation:
+//!
+//! * [`strategy::Strategy`] — value generators with `prop_map`,
+//!   implemented for integer ranges, tuples and collections;
+//! * [`proptest!`] — the test macro, including
+//!   `#![proptest_config(...)]` and `a in strategy` bindings;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] — assertion forms;
+//! * [`test_runner::TestRunner::deterministic`] plus
+//!   [`strategy::ValueTree`] for the explicit-runner style.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **no shrinking** — a failing case reports the generated values via
+//!   the panic message only;
+//! * **fixed deterministic seeding** — every run explores the same
+//!   cases, which suits this repo's bit-reproducibility requirements;
+//! * far fewer combinators.
+
+/// Pseudo-random source: splitmix64, deterministic and portable.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A new generator from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+pub mod test_runner {
+    use super::Rng;
+
+    /// Run configuration (`ProptestConfig` in the real crate).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Drives value generation for the explicit-runner style.
+    #[derive(Debug, Clone)]
+    pub struct TestRunner {
+        rng: Rng,
+    }
+
+    impl TestRunner {
+        /// A runner with a fixed seed (all our runners are).
+        pub fn deterministic() -> Self {
+            TestRunner {
+                rng: Rng::new(0xEC0_5EED),
+            }
+        }
+
+        /// The runner's random source.
+        pub fn rng_mut(&mut self) -> &mut Rng {
+            &mut self.rng
+        }
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            TestRunner::deterministic()
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRunner;
+    use super::Rng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// One generated value wrapped in a (non-shrinking) tree.
+        ///
+        /// # Errors
+        ///
+        /// Never fails; the `Result` mirrors the real API.
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<Single<Self::Value>, String> {
+            Ok(Single(self.generate(runner.rng_mut())))
+        }
+    }
+
+    /// A generated value plus (in the real crate) its shrink state.
+    pub trait ValueTree {
+        /// The generated type.
+        type Value;
+
+        /// The current value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// The trivial [`ValueTree`]: a single value, no shrinking.
+    #[derive(Debug, Clone)]
+    pub struct Single<T>(pub T);
+
+    impl<T: Clone> ValueTree for Single<T> {
+        type Value = T;
+
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut Rng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i32, i64, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::Rng;
+
+    /// Anything usable as a length specification for [`vec`]: a fixed
+    /// `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        /// Picks a concrete length.
+        fn pick(&self, rng: &mut Rng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _: &mut Rng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut Rng) -> usize {
+            assert!(self.start < self.end, "empty length range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values with a length drawn
+    /// from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Asserts a condition inside a property (panics on failure here; the
+/// real crate records and shrinks).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests: each function runs its body over generated
+/// bindings (`name in strategy`). Supports an optional leading
+/// `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $($(#[$attr:meta])* fn $name:ident
+        ($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::deterministic();
+                for _case in 0..config.cases {
+                    let ($($arg,)+) = {
+                        let rng = runner.rng_mut();
+                        ($($crate::strategy::Strategy::generate(&($strat), rng),)+)
+                    };
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface: `use proptest::prelude::*;`.
+    pub use crate::strategy::{Strategy, ValueTree};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// The `prop` path alias (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds_and_are_deterministic() {
+        let mut r1 = crate::test_runner::TestRunner::deterministic();
+        let mut r2 = crate::test_runner::TestRunner::deterministic();
+        for _ in 0..1000 {
+            let a = (-20i64..20).generate(r1.rng_mut());
+            let b = (-20i64..20).generate(r2.rng_mut());
+            assert_eq!(a, b);
+            assert!((-20..20).contains(&a));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_spec() {
+        let mut runner = crate::test_runner::TestRunner::deterministic();
+        for _ in 0..100 {
+            let v = prop::collection::vec(0u64..10, 2..5).generate(runner.rng_mut());
+            assert!((2..5).contains(&v.len()));
+            let fixed = prop::collection::vec(0u64..10, 3usize).generate(runner.rng_mut());
+            assert_eq!(fixed.len(), 3);
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let strat = (0u32..4, 1i64..3).prop_map(|(a, b)| a as i64 + b);
+        let mut runner = crate::test_runner::TestRunner::deterministic();
+        for _ in 0..50 {
+            let v = strat.generate(runner.rng_mut());
+            assert!((1..6).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_binds_and_asserts(x in 0i64..5, ys in prop::collection::vec(0u64..3, 1..4)) {
+            prop_assert!((0..5).contains(&x));
+            prop_assert_eq!(!ys.is_empty(), true);
+        }
+    }
+}

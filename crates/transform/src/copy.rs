@@ -83,7 +83,10 @@ pub fn copy_in(program: &Program, spec: &CopySpec) -> Result<Program, TransformE
             .map(|(dim, &cv)| dim.lo.clone() + AffineExpr::var(cv))
             .collect(),
     );
-    let dst = ArrayRef::new(buffer, cvars.iter().map(|&cv| AffineExpr::var(cv)).collect());
+    let dst = ArrayRef::new(
+        buffer,
+        cvars.iter().map(|&cv| AffineExpr::var(cv)).collect(),
+    );
     let mut copy_stmt = Stmt::Store {
         target: dst,
         value: ScalarExpr::Load(src),
@@ -93,7 +96,10 @@ pub fn copy_in(program: &Program, spec: &CopySpec) -> Result<Program, TransformE
         copy_stmt = Stmt::For(Loop {
             var: cvars[d],
             lo: 0.into(),
-            hi: Bound::min_of(vec![AffineExpr::constant(spec.region[d].extent as i64 - 1), clip]),
+            hi: Bound::min_of(vec![
+                AffineExpr::constant(spec.region[d].extent as i64 - 1),
+                clip,
+            ]),
             step: 1,
             body: vec![copy_stmt],
         });
@@ -109,8 +115,10 @@ pub fn copy_in(program: &Program, spec: &CopySpec) -> Result<Program, TransformE
     Ok(out)
 }
 
+// clippy suggests match guards here, but guards cannot borrow mutably
+#[allow(clippy::collapsible_match)]
 fn locate_and_rewrite(
-    stmts: &mut Vec<Stmt>,
+    stmts: &mut [Stmt],
     spec: &CopySpec,
     copy_stmt: Stmt,
     buffer: ArrayId,

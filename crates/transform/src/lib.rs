@@ -84,8 +84,7 @@ mod tests {
             // Copy buffers must start zeroed but shared data arrays get
             // identical seeds because declaration order of the original
             // arrays is preserved by every pass.
-            interpret(p, &params, &layout, &mut st)
-                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            interpret(p, &params, &layout, &mut st).unwrap_or_else(|e| panic!("{}: {e}", p.name));
             st
         };
         let want = run(reference);
@@ -307,8 +306,13 @@ mod tests {
         // C traffic drops from 2 per iteration to 2 per (I,J).
         let params9 = |prog: &Program| Params::new().with_named(prog, "N", 9).expect("N");
         let machine = MachineDesc::sgi_r10000();
-        let before = measure(&reordered, &params9(&reordered), &machine, &LayoutOptions::default())
-            .expect("measure");
+        let before = measure(
+            &reordered,
+            &params9(&reordered),
+            &machine,
+            &LayoutOptions::default(),
+        )
+        .expect("measure");
         let after =
             measure(&sr, &params9(&sr), &machine, &LayoutOptions::default()).expect("measure");
         let n3 = 9u64 * 9 * 9;
@@ -363,8 +367,7 @@ mod tests {
         // drop from 6 to 5 (B[I+1] plus the four J/K neighbours).
         let params = |prog: &Program| Params::new().with_named(prog, "N", 10).expect("N");
         let machine = MachineDesc::sgi_r10000();
-        let before =
-            measure(p, &params(p), &machine, &LayoutOptions::default()).expect("measure");
+        let before = measure(p, &params(p), &machine, &LayoutOptions::default()).expect("measure");
         let after =
             measure(&sr, &params(&sr), &machine, &LayoutOptions::default()).expect("measure");
         assert!(
@@ -559,7 +562,10 @@ mod tests {
         };
         let (l0, s0) = run(p);
         let (l1, s1) = run(&padded);
-        assert!(l1.total_bytes() > l0.total_bytes(), "padding grows the layout");
+        assert!(
+            l1.total_bytes() > l0.total_bytes(),
+            "padding grows the layout"
+        );
         let idx = |layout: &ArrayLayout, i: i64, j: i64, k: i64| {
             let r = ArrayRef::new(
                 a,
@@ -586,7 +592,12 @@ mod tests {
         let all = pad_all_arrays(p, 5).expect("pad all");
         all.validate().expect("padded program valid");
         let params = Params::new().with_named(&all, "N", n).expect("N");
-        measure(&all, &params, &MachineDesc::sgi_r10000(), &LayoutOptions::default())
-            .expect("padded program executes");
+        measure(
+            &all,
+            &params,
+            &MachineDesc::sgi_r10000(),
+            &LayoutOptions::default(),
+        )
+        .expect("padded program executes");
     }
 }

@@ -83,6 +83,8 @@ pub fn insert_prefetch(
         .collect();
 
     // Re-find mutably and splice.
+    // clippy suggests match guards here, but guards cannot borrow mutably
+    #[allow(clippy::collapsible_match)]
     fn prepend(stmts: &mut [Stmt], target: VarId, add: &mut Vec<Stmt>) -> bool {
         for s in stmts {
             match s {

@@ -79,7 +79,10 @@ pub fn scalar_replace(
         if o.ambiguous || o.r.uses(innermost) {
             continue;
         }
-        if o.guards.iter().any(|c| c.lhs.uses(innermost) || c.rhs.uses(innermost)) {
+        if o.guards
+            .iter()
+            .any(|c| c.lhs.uses(innermost) || c.rhs.uses(innermost))
+        {
             continue;
         }
         let name = format!("r{}", out.array(o.r.array).name.to_lowercase());
@@ -379,6 +382,8 @@ fn insert_in_context(stmts: &mut Vec<Stmt>, guards: &[Cond], first: Stmt, last: 
 }
 
 /// Replaces the loop binding `target` with `replacement` statements.
+// clippy suggests match guards here, but guards cannot borrow mutably
+#[allow(clippy::collapsible_match)]
 fn splice_loop(stmts: &mut Vec<Stmt>, target: VarId, replacement: Vec<Stmt>) -> bool {
     for i in 0..stmts.len() {
         match &mut stmts[i] {

@@ -171,7 +171,8 @@ pub fn tile_nest(
                 let (lo, hi) = bound_of(v);
                 if let Some(&(_, cv, tile)) = control_of.iter().find(|&&(pv, _, _)| pv == v) {
                     // point loop inside a tile: v = cv .. min(cv+T-1, hi)
-                    let mut alts = vec![AffineExpr::var(cv) + AffineExpr::constant(tile as i64 - 1)];
+                    let mut alts =
+                        vec![AffineExpr::var(cv) + AffineExpr::constant(tile as i64 - 1)];
                     alts.extend(hi.alternatives().iter().cloned());
                     Loop {
                         var: v,

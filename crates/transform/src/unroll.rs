@@ -28,26 +28,22 @@ use eco_ir::{AffineExpr, Bound, Cond, Loop, Program, Stmt, VarId};
 ///
 /// Fails if the loop is missing, has non-unit step, `factor` is zero,
 /// or an inner loop's bounds depend on `u`.
-pub fn unroll_and_jam(
-    program: &Program,
-    u: VarId,
-    factor: u64,
-) -> Result<Program, TransformError> {
+pub fn unroll_and_jam(program: &Program, u: VarId, factor: u64) -> Result<Program, TransformError> {
     if factor == 0 {
         return Err(TransformError::BadParameter("unroll factor 0".into()));
     }
     let mut out = program.clone();
     let found = rewrite_loop(&mut out.body, u, &mut |l| unroll_one(l, factor))?;
     if !found {
-        return Err(TransformError::LoopNotFound(
-            program.var(u).name.clone(),
-        ));
+        return Err(TransformError::LoopNotFound(program.var(u).name.clone()));
     }
     Ok(out)
 }
 
 /// Finds the loop binding `target` anywhere in `stmts` and replaces it
 /// with `f(loop)`. Returns whether it was found.
+// clippy suggests match guards here, but guards cannot borrow mutably
+#[allow(clippy::collapsible_match)]
 fn rewrite_loop(
     stmts: &mut Vec<Stmt>,
     target: VarId,
@@ -56,9 +52,12 @@ fn rewrite_loop(
     for i in 0..stmts.len() {
         match &mut stmts[i] {
             Stmt::For(l) if l.var == target => {
-                let l = match std::mem::replace(&mut stmts[i], Stmt::Prefetch {
-                    target: eco_ir::ArrayRef::new(eco_ir::ArrayId(0), vec![]),
-                }) {
+                let l = match std::mem::replace(
+                    &mut stmts[i],
+                    Stmt::Prefetch {
+                        target: eco_ir::ArrayRef::new(eco_ir::ArrayId(0), vec![]),
+                    },
+                ) {
                     Stmt::For(l) => l,
                     _ => unreachable!(),
                 };
@@ -104,12 +103,10 @@ fn unroll_one(l: Loop, factor: u64) -> Result<Vec<Stmt>, TransformError> {
 /// bounds only).
 fn provably_divisible(l: &Loop, factor: u64) -> bool {
     match (&l.lo, &l.hi) {
-        (Bound::Affine(lo), Bound::Affine(hi)) => {
-            match (lo.as_const(), hi.as_const()) {
-                (Some(a), Some(b)) if b >= a => ((b - a + 1) as u64) % factor == 0,
-                _ => false,
-            }
-        }
+        (Bound::Affine(lo), Bound::Affine(hi)) => match (lo.as_const(), hi.as_const()) {
+            (Some(a), Some(b)) if b >= a => ((b - a + 1) as u64).is_multiple_of(factor),
+            _ => false,
+        },
         _ => false,
     }
 }

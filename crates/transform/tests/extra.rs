@@ -187,11 +187,7 @@ fn full_pipeline_on_matvec_is_equivalent() {
     let (tiled, _) = tile_nest(
         &k.program,
         &[TileSpec { var: jv, tile: 6 }],
-        &[
-            LoopSel::Control(jv),
-            LoopSel::Point(iv),
-            LoopSel::Point(jv),
-        ],
+        &[LoopSel::Control(jv), LoopSel::Point(iv), LoopSel::Point(jv)],
     )
     .expect("tile");
     let u = unroll_and_jam(&tiled, iv, 4).expect("uaj");

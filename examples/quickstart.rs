@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use eco_core::Optimizer;
-use eco_exec::{measure, LayoutOptions, Params};
+use eco_core::{OptimizeRequest, Optimizer, SearchOptions};
+use eco_exec::{Engine, EvalJob, Evaluator, Params};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
 
@@ -21,10 +21,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nkernel:\n{}", kernel.program);
 
     // 3. Run ECO: model-driven variant derivation plus guided empirical
-    //    search, executing candidates on the simulated machine.
+    //    search. Every candidate executes on the parallel memoized
+    //    evaluation engine; the report pairs the tuned result with the
+    //    engine's work statistics.
     let mut opt = Optimizer::new(machine.clone());
-    opt.opts.search_n = 96;
-    let tuned = opt.optimize(&kernel)?;
+    opt.opts = SearchOptions::builder().search_n(96).build()?;
+    let report = opt.run(OptimizeRequest::new(kernel.clone()))?;
+    let tuned = &report.tuned;
     println!(
         "ECO selected {} with parameters {:?} and prefetches {:?}",
         tuned.variant.name, tuned.params, tuned.prefetches
@@ -33,14 +36,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "search executed {} code versions ({} variants derived, {} searched)",
         tuned.stats.points, tuned.stats.variants_derived, tuned.stats.variants_searched
     );
+    println!(
+        "engine evaluated {} points, served {} from the memo cache ({:.0}% hit rate)",
+        report.engine.evaluated,
+        report.engine.cache_hits,
+        report.engine.hit_rate() * 100.0
+    );
     println!("\ngenerated code:\n{}", tuned.program);
 
-    // 4. Compare against the naive kernel across sizes.
-    println!("{:>6} {:>12} {:>12}", "N", "naive", "ECO");
-    for n in [32i64, 64, 128, 192] {
+    // 4. Compare against the naive kernel across sizes: submit all the
+    //    measurements as one batch; results come back in submission
+    //    order regardless of how many threads evaluate them.
+    let engine = Engine::new(machine.clone());
+    let sizes = [32i64, 64, 128, 192];
+    let mut jobs = Vec::new();
+    for &n in &sizes {
         let params = Params::new().with(kernel.size, n);
-        let naive = measure(&kernel.program, &params, &machine, &LayoutOptions::default())?;
-        let eco = measure(&tuned.program, &params, &machine, &LayoutOptions::default())?;
+        jobs.push(
+            EvalJob::new(kernel.program.clone(), params.clone()).with_label(format!("naive/N={n}")),
+        );
+        jobs.push(EvalJob::new(tuned.program.clone(), params).with_label(format!("eco/N={n}")));
+    }
+    let results = engine.eval_batch(&jobs);
+    println!("{:>6} {:>12} {:>12}", "N", "naive", "ECO");
+    for (i, &n) in sizes.iter().enumerate() {
+        let naive = results[2 * i].as_ref().map_err(|e| e.to_string())?;
+        let eco = results[2 * i + 1].as_ref().map_err(|e| e.to_string())?;
         println!(
             "{n:>6} {:>12.1} {:>12.1}",
             naive.mflops(machine.clock_mhz),

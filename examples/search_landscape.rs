@@ -6,13 +6,17 @@
 //! analytically": the best point balances L1, L2 and TLB behaviour
 //! rather than minimizing any single counter.
 //!
+//! The whole grid is submitted to the evaluation engine as one batch,
+//! and the guided search then runs against the same engine — any grid
+//! point it revisits is a memo hit instead of a re-simulation.
+//!
 //! ```text
 //! cargo run --release --example search_landscape
 //! ```
 
 use eco_analysis::NestInfo;
-use eco_core::{derive_variants, generate, Optimizer};
-use eco_exec::{measure, LayoutOptions, Params};
+use eco_core::{derive_variants, generate, Optimizer, SearchOptions};
+use eco_exec::{Engine, EvalJob, Evaluator, Params};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
 
@@ -33,18 +37,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         variant.name, machine.name
     );
 
+    let engine = Engine::new(machine.clone());
     let opt = Optimizer::new(machine.clone());
     let base = opt.initial_params(variant);
     let tjs = [4u64, 8, 16, 32, 64, 128];
     let tks = [2u64, 4, 8, 16];
-    print!("{:>8}", "TJ\\TK");
-    for &tk in &tks {
-        print!("{tk:>9}");
-    }
-    println!();
-    let mut best: Option<(u64, u64, u64)> = None;
+
+    // Generate the whole grid first, then evaluate it as one batch.
+    let mut cells: Vec<Option<usize>> = Vec::new(); // grid cell -> job index
+    let mut jobs = Vec::new();
     for &tj in &tjs {
-        print!("{tj:>8}");
         for &tk in &tks {
             let mut params = base.clone();
             params.insert("TJ".into(), tj);
@@ -52,13 +54,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             match generate(&kernel, &nest, variant, &params, &machine) {
                 Ok(program) => {
                     let exec = Params::new().with(kernel.size, n);
-                    let c = measure(&program, &exec, &machine, &LayoutOptions::default())?;
+                    cells.push(Some(jobs.len()));
+                    jobs.push(
+                        EvalJob::new(program, exec).with_label(format!("grid/TJ={tj}/TK={tk}")),
+                    );
+                }
+                Err(_) => cells.push(None),
+            }
+        }
+    }
+    let results = engine.eval_batch(&jobs);
+
+    print!("{:>8}", "TJ\\TK");
+    for &tk in &tks {
+        print!("{tk:>9}");
+    }
+    println!();
+    let mut best: Option<(u64, u64, u64)> = None;
+    for (ti, &tj) in tjs.iter().enumerate() {
+        print!("{tj:>8}");
+        for (ki, &tk) in tks.iter().enumerate() {
+            match cells[ti * tks.len() + ki].map(|j| &results[j]) {
+                Some(Ok(c)) => {
                     print!("{:>9.2}", c.cycles() as f64 / 1e6);
                     if best.is_none_or(|(_, _, b)| c.cycles() < b) {
                         best = Some((tj, tk, c.cycles()));
                     }
                 }
-                Err(_) => print!("{:>9}", "-"),
+                _ => print!("{:>9}", "-"),
             }
         }
         println!();
@@ -72,14 +95,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Where does the guided search land, and how many points did it pay?
     let mut opt = Optimizer::new(machine.clone());
-    opt.opts.search_n = n;
-    let tuned = opt.optimize(&kernel)?;
+    opt.opts = SearchOptions::builder().search_n(n).build()?;
+    let tuned = opt.run_with(&kernel, &engine)?;
+    let stats = engine.stats();
     println!(
         "guided search: variant {} {:?} in {} points (grid above alone is {})",
         tuned.variant.name,
         tuned.params,
         tuned.stats.points,
         tjs.len() * tks.len(),
+    );
+    println!(
+        "engine: {} evaluated, {} memo hits ({:.0}% hit rate)",
+        stats.evaluated,
+        stats.cache_hits,
+        stats.hit_rate() * 100.0
     );
     Ok(())
 }

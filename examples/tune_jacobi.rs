@@ -8,8 +8,8 @@
 
 use eco_analysis::NestInfo;
 use eco_baselines::native;
-use eco_core::{derive_variants, Optimizer};
-use eco_exec::{measure, LayoutOptions, Params};
+use eco_core::{derive_variants, Optimizer, SearchOptions};
+use eco_exec::{Engine, EvalJob, Evaluator, Params};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
 
@@ -34,9 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             carriers.join(", ")
         );
 
+        let engine = Engine::new(machine.clone());
         let mut opt = Optimizer::new(machine.clone());
-        opt.opts.search_n = 40;
-        let eco = opt.optimize(&kernel)?;
+        opt.opts = SearchOptions::builder().search_n(40).build()?;
+        let eco = opt.run_with(&kernel, &engine)?;
         println!(
             "ECO selected {} with {:?}, prefetches {:?} ({} points)",
             eco.variant.name, eco.params, eco.prefetches, eco.stats.points
@@ -44,16 +45,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let nat = native(&kernel, &machine)?;
 
         println!("{:>6} {:>10} {:>10}  (MFLOPS)", "N", "ECO", "Native");
-        for n in [16i64, 24, 32, 48, 64] {
-            let run = |p: &eco_ir::Program| -> Result<f64, Box<dyn std::error::Error>> {
-                let params = Params::new().with(kernel.size, n);
-                let c = measure(p, &params, &machine, &LayoutOptions::default())?;
-                Ok(c.mflops(machine.clock_mhz))
-            };
+        let sizes = [16i64, 24, 32, 48, 64];
+        let mut jobs = Vec::new();
+        for &n in &sizes {
+            let params = Params::new().with(kernel.size, n);
+            jobs.push(
+                EvalJob::new(eco.program.clone(), params.clone()).with_label(format!("eco/N={n}")),
+            );
+            jobs.push(
+                EvalJob::new(nat.for_size(n).clone(), params).with_label(format!("native/N={n}")),
+            );
+        }
+        let results = engine.eval_batch(&jobs);
+        for (i, &n) in sizes.iter().enumerate() {
+            let e = results[2 * i].as_ref().map_err(|e| e.to_string())?;
+            let nv = results[2 * i + 1].as_ref().map_err(|e| e.to_string())?;
             println!(
                 "{n:>6} {:>10.1} {:>10.1}",
-                run(&eco.program)?,
-                run(nat.for_size(n))?
+                e.mflops(machine.clock_mhz),
+                nv.mflops(machine.clock_mhz)
             );
         }
         println!();

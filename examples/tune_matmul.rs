@@ -7,9 +7,9 @@
 //! ```
 
 use eco_analysis::NestInfo;
-use eco_baselines::{atlas_mm, native, vendor_mm};
-use eco_core::{derive_variants, describe_variant, Optimizer};
-use eco_exec::{measure, LayoutOptions, Params};
+use eco_baselines::{atlas_mm_with, native, vendor_mm_with};
+use eco_core::{derive_variants, describe_variant, Optimizer, SearchOptions};
+use eco_exec::{Engine, EvalJob, Evaluator, Params};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
 
@@ -29,11 +29,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("... ({} more)", variants.len() - 4);
     }
 
+    // One engine serves ECO's search, both empirical baselines and the
+    // final comparison sweep, so repeated points are memo hits.
+    let engine = Engine::new(machine.clone());
+
     // ---- Phase 2: the guided empirical search ----
     let mut opt = Optimizer::new(machine.clone());
-    opt.opts.search_n = 120;
-    opt.opts.robustness_sizes = vec![128];
-    let eco = opt.optimize(&kernel)?;
+    opt.opts = SearchOptions::builder()
+        .search_n(120)
+        .robustness_sizes(vec![128])
+        .build()?;
+    let eco = opt.run_with(&kernel, &engine)?;
     println!(
         "\nECO selected {} with {:?} and prefetches {:?} in {} points",
         eco.variant.name, eco.params, eco.prefetches, eco.stats.points
@@ -41,8 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Baselines ----
     let nat = native(&kernel, &machine)?;
-    let atlas = atlas_mm(&machine, 96)?;
-    let vendor = vendor_mm(&machine, 120)?;
+    let atlas = atlas_mm_with(&engine, 96)?;
+    let vendor = vendor_mm_with(&engine, 120)?;
     println!(
         "ATLAS-like search: NB={}, register tile {}x{}, {} points",
         atlas.nb, atlas.mu_nu.0, atlas.mu_nu.1, atlas.points
@@ -52,19 +58,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n{:>6} {:>10} {:>10} {:>10} {:>10}  (MFLOPS)",
         "N", "ECO", "Native", "ATLAS", "Vendor"
     );
-    for n in [48i64, 64, 96, 128, 192, 256] {
-        let run = |p: &eco_ir::Program| -> Result<f64, Box<dyn std::error::Error>> {
-            let params = Params::new().with(kernel.size, n);
-            let c = measure(p, &params, &machine, &LayoutOptions::default())?;
-            Ok(c.mflops(machine.clock_mhz))
-        };
-        println!(
-            "{n:>6} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
-            run(&eco.program)?,
-            run(nat.for_size(n))?,
-            run(atlas.program.for_size(n))?,
-            run(vendor.for_size(n))?
-        );
+    let sizes = [48i64, 64, 96, 128, 192, 256];
+    let mut jobs = Vec::new();
+    for &n in &sizes {
+        let params = Params::new().with(kernel.size, n);
+        for (tag, p) in [
+            ("eco", &eco.program),
+            ("native", nat.for_size(n)),
+            ("atlas", atlas.program.for_size(n)),
+            ("vendor", vendor.for_size(n)),
+        ] {
+            jobs.push(EvalJob::new(p.clone(), params.clone()).with_label(format!("{tag}/N={n}")));
+        }
     }
+    let results = engine.eval_batch(&jobs);
+    for (i, &n) in sizes.iter().enumerate() {
+        let mut row = format!("{n:>6}");
+        for j in 0..4 {
+            let c = results[4 * i + j].as_ref().map_err(|e| e.to_string())?;
+            row.push_str(&format!(" {:>10.1}", c.mflops(machine.clock_mhz)));
+        }
+        println!("{row}");
+    }
+    let stats = engine.stats();
+    println!(
+        "\nengine: {} points requested, {} evaluated, {} memo hits ({:.0}% hit rate)",
+        stats.requested,
+        stats.evaluated,
+        stats.cache_hits,
+        stats.hit_rate() * 100.0
+    );
     Ok(())
 }

@@ -2,9 +2,7 @@
 //! of each table/figure, asserting the qualitative claims recorded in
 //! EXPERIMENTS.md.
 
-use eco_bench::{
-    counters_at, jacobi_table_row, mflops_at, mm_copy_variant, mm_table_row, Sweep,
-};
+use eco_bench::{counters_at, jacobi_table_row, mflops_at, mm_copy_variant, mm_table_row, Sweep};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
 
@@ -86,7 +84,12 @@ fn copy_eliminates_pathological_conflicts() {
     );
     // And at a benign size the copy overhead must not be ruinous.
     let benign = 120;
-    let nocopy_b = mflops_at(&mm_copy_variant(8, 16, 16, false), &kernel, benign, &machine);
+    let nocopy_b = mflops_at(
+        &mm_copy_variant(8, 16, 16, false),
+        &kernel,
+        benign,
+        &machine,
+    );
     let copy_b = mflops_at(&mm_copy_variant(8, 16, 16, true), &kernel, benign, &machine);
     assert!(
         copy_b > 0.8 * nocopy_b,

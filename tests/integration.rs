@@ -5,7 +5,7 @@
 
 use eco_analysis::NestInfo;
 use eco_baselines::{atlas_mm, native, vendor_mm};
-use eco_core::{derive_variants, generate, Optimizer};
+use eco_core::{derive_variants, generate, OptimizeRequest, Optimizer};
 use eco_exec::{interpret, measure, ArrayLayout, LayoutOptions, Params, Storage};
 use eco_ir::Program;
 use eco_kernels::Kernel;
@@ -62,7 +62,12 @@ fn every_variant_of_every_kernel_generates_correct_code() {
             let Some(program) = program else {
                 panic!("{} {}: no feasible parameters", kernel.name, v.name)
             };
-            assert_same_outputs(&kernel, &program, 21, &format!("{} {}", kernel.name, v.name));
+            assert_same_outputs(
+                &kernel,
+                &program,
+                21,
+                &format!("{} {}", kernel.name, v.name),
+            );
         }
     }
 }
@@ -75,7 +80,10 @@ fn tuned_matmul_is_correct_and_fast_on_both_machines() {
         let mut opt = Optimizer::new(machine.clone());
         opt.opts.search_n = 48;
         opt.opts.max_variants = 2;
-        let tuned = opt.optimize(&kernel).expect("optimize");
+        let tuned = opt
+            .run(OptimizeRequest::new(kernel.clone()))
+            .expect("optimize")
+            .tuned;
         assert_same_outputs(&kernel, &tuned.program, 29, &machine.name);
         let naive = measure(
             &kernel.program,
@@ -102,7 +110,10 @@ fn eco_beats_native_on_average_for_matmul() {
     opt.opts.search_n = 56;
     opt.opts.max_variants = 2;
     opt.opts.robustness_sizes = vec![64];
-    let eco = opt.optimize(&kernel).expect("eco");
+    let eco = opt
+        .run(OptimizeRequest::new(kernel.clone()))
+        .expect("eco")
+        .tuned;
     let nat = native(&kernel, &machine).expect("native");
     let mut eco_sum = 0.0;
     let mut nat_sum = 0.0;
@@ -161,7 +172,10 @@ fn atlas_is_stable_but_eco_matches_or_beats_it() {
     opt.opts.search_n = 120;
     opt.opts.max_variants = 2;
     opt.opts.robustness_sizes = vec![128];
-    let eco = opt.optimize(&kernel).expect("eco");
+    let eco = opt
+        .run(OptimizeRequest::new(kernel.clone()))
+        .expect("eco")
+        .tuned;
     let mut eco_avg = 0.0;
     let mut atlas_avg = 0.0;
     let sizes = [96i64, 128, 160, 192];
@@ -192,7 +206,10 @@ fn eco_search_visits_fewer_points_than_atlas() {
     let mut opt = Optimizer::new(machine.clone());
     opt.opts.search_n = 64;
     opt.opts.max_variants = 2;
-    let eco = opt.optimize(&Kernel::matmul()).expect("eco");
+    let eco = opt
+        .run(OptimizeRequest::new(Kernel::matmul()))
+        .expect("eco")
+        .tuned;
     let atlas = atlas_mm(&machine, 64).expect("atlas");
     assert!(
         eco.stats.points < atlas.points,
@@ -222,7 +239,10 @@ fn tuned_jacobi_uses_prefetch_and_beats_native() {
     let mut opt = Optimizer::new(machine.clone());
     opt.opts.search_n = 36;
     opt.opts.max_variants = 3;
-    let eco = opt.optimize(&kernel).expect("eco");
+    let eco = opt
+        .run(OptimizeRequest::new(kernel.clone()))
+        .expect("eco")
+        .tuned;
     assert_same_outputs(&kernel, &eco.program, 19, "jacobi eco");
     let nat = native(&kernel, &machine).expect("native");
     let run = |p: &Program, n: i64| {

@@ -11,13 +11,8 @@ use proptest::prelude::*;
 use proptest::strategy::ValueTree;
 
 fn small_expr() -> impl Strategy<Value = AffineExpr> {
-    (
-        -20i64..20,
-        prop::collection::vec((0u32..6, -5i64..5), 0..4),
-    )
-        .prop_map(|(c, terms)| {
-            AffineExpr::new(c, terms.into_iter().map(|(v, k)| (VarId(v), k)))
-        })
+    (-20i64..20, prop::collection::vec((0u32..6, -5i64..5), 0..4))
+        .prop_map(|(c, terms)| AffineExpr::new(c, terms.into_iter().map(|(v, k)| (VarId(v), k))))
 }
 
 proptest! {
@@ -135,10 +130,7 @@ fn random_variant_parameters_preserve_semantics() {
         7i64..26,
     );
     for _ in 0..24 {
-        let (vi, ui, uj, ts, n) = strategy
-            .new_tree(&mut runner)
-            .expect("tree")
-            .current();
+        let (vi, ui, uj, ts, n) = strategy.new_tree(&mut runner).expect("tree").current();
         let v = &variants[vi];
         let mut params = ParamValues::new();
         let names = v.param_names();
@@ -162,9 +154,8 @@ fn random_variant_parameters_preserve_semantics() {
             let pr = Params::new().with(kernel.size, n);
             let layout = ArrayLayout::new(p, &pr, &LayoutOptions::default()).expect("layout");
             let mut st = Storage::seeded(&layout, 1234);
-            interpret(p, &pr, &layout, &mut st).unwrap_or_else(|e| {
-                panic!("{} {:?} N={n}: {e}\n{p}", v.name, params)
-            });
+            interpret(p, &pr, &layout, &mut st)
+                .unwrap_or_else(|e| panic!("{} {:?} N={n}: {e}\n{p}", v.name, params));
             st
         };
         let want = run(&kernel.program);
@@ -180,4 +171,106 @@ fn random_variant_parameters_preserve_semantics() {
         let pr = Params::new().with(kernel.size, n);
         measure(&program, &pr, &machine, &LayoutOptions::default()).expect("trace ok");
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The memo cache is transparent and the engine deterministic: a
+    /// warm-cache parallel re-run of the whole staged search returns a
+    /// `Tuned` byte-identical to a cold single-threaded run, the warm
+    /// run performs zero new simulations, and the search statistics
+    /// don't depend on the thread count.
+    #[test]
+    fn warm_cache_parallel_tuning_matches_cold_serial_run(search_n in 24i64..48) {
+        use eco_core::{Optimizer, SearchOptions};
+        use eco_exec::{Engine, EngineConfig, Evaluator};
+        let machine = MachineDesc::sgi_r10000().scaled(32);
+        let kernel = Kernel::matmul();
+        let opts = SearchOptions::builder()
+            .search_n(search_n)
+            .max_variants(1)
+            .build()
+            .expect("valid options");
+
+        let cold = Engine::with_config(machine.clone(), EngineConfig::new().threads(1))
+            .expect("engine");
+        let mut opt = Optimizer::new(machine.clone());
+        opt.opts = opts;
+        let a = opt.run_with(&kernel, &cold).expect("cold run");
+
+        let warm = Engine::with_config(machine.clone(), EngineConfig::new().threads(4))
+            .expect("engine");
+        let _prime = opt.run_with(&kernel, &warm).expect("priming run");
+        let evaluated_after_prime = warm.stats().evaluated;
+        let b = opt.run_with(&kernel, &warm).expect("warm run");
+
+        prop_assert_eq!(&a.variant.name, &b.variant.name);
+        prop_assert_eq!(&a.params, &b.params);
+        prop_assert_eq!(&a.prefetches, &b.prefetches);
+        prop_assert_eq!(a.program.to_string(), b.program.to_string());
+        prop_assert_eq!(a.counters.cycles(), b.counters.cycles());
+        prop_assert_eq!(&a.stats, &b.stats);
+        // the warm run was served entirely from the memo cache
+        prop_assert_eq!(warm.stats().evaluated, evaluated_after_prime);
+        prop_assert!(warm.stats().cache_hits > 0);
+    }
+}
+
+/// Figure CSVs are byte-identical whether the sweep runs single-
+/// threaded, multi-threaded, or entirely out of the memo cache.
+#[test]
+fn sweep_csv_identical_across_threads_and_cache_state() {
+    use eco_bench::mflops_sweep;
+    use eco_exec::{Engine, EngineConfig, Evaluator};
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let kernel = Kernel::matmul();
+    let sizes = [16i64, 24, 32, 40];
+    let ident = |_n: i64| kernel.program.clone();
+    let series: [(&str, &dyn Fn(i64) -> eco_ir::Program); 1] = [("naive", &ident)];
+
+    let serial =
+        Engine::with_config(machine.clone(), EngineConfig::new().threads(1)).expect("engine");
+    let parallel =
+        Engine::with_config(machine.clone(), EngineConfig::new().threads(4)).expect("engine");
+    let a = mflops_sweep(&serial, &kernel, &sizes, &series).to_csv();
+    let b = mflops_sweep(&parallel, &kernel, &sizes, &series).to_csv();
+    let warm = mflops_sweep(&parallel, &kernel, &sizes, &series).to_csv();
+    assert_eq!(a, b, "parallel sweep must match the serial one");
+    assert_eq!(a, warm, "memoized sweep must match the cold one");
+    assert!(parallel.stats().cache_hits >= sizes.len() as u64);
+}
+
+/// §4.3 expectations on the search statistics: the guided search visits
+/// a few dozen to a few hundred points, screens all derived variants
+/// but fully searches only the shortlist, and executes every point it
+/// counts (engine-side accounting agrees).
+#[test]
+fn search_stats_match_section_4_3_expectations() {
+    use eco_core::{EngineConfig, OptimizeRequest, Optimizer, SearchOptions};
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let mut opt = Optimizer::new(machine.clone());
+    opt.opts = SearchOptions::builder()
+        .search_n(48)
+        .max_variants(2)
+        .build()
+        .expect("valid options");
+    let report = opt
+        .run(OptimizeRequest::new(Kernel::matmul()).engine(EngineConfig::new()))
+        .expect("optimize");
+    let stats = &report.tuned.stats;
+    assert!(
+        (10..=500).contains(&stats.points),
+        "guided MM search should cost tens-to-hundreds of points, got {}",
+        stats.points
+    );
+    assert!(stats.variants_derived > 0);
+    assert!(
+        stats.variants_searched <= 2,
+        "max_variants bounds the fully-searched shortlist"
+    );
+    assert!(stats.variants_searched <= stats.variants_derived);
+    // every counted point was executed through the engine (memoized or not)
+    assert!(report.engine.requested >= stats.points as u64);
+    assert!(report.engine.evaluated + report.engine.cache_hits == report.engine.requested);
 }
