@@ -1,0 +1,50 @@
+//! Criterion bench for the compiled execution pipeline (DESIGN.md §4):
+//! the tree-walking reference measurement vs the lowered
+//! [`ExecutablePlan`], on the two kernels the paper's figures sweep.
+//!
+//! Three views per kernel: the one-off lowering cost, a cold compiled
+//! measurement (compile + execute), and a plan-reuse measurement (the
+//! engine's steady state — the plan is compiled once per program and
+//! re-bound at every parameter point).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_exec::{measure_reference, ExecutablePlan, LayoutOptions, Params};
+use eco_kernels::Kernel;
+use eco_machine::MachineDesc;
+use std::hint::black_box;
+
+fn bench_exec_lowering(c: &mut Criterion) {
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let opts = LayoutOptions::default();
+    let cases = [(Kernel::matmul(), 256i64), (Kernel::jacobi3d(), 128i64)];
+
+    for (kernel, n) in &cases {
+        let params = Params::new().with(kernel.size, *n);
+        let name = format!("{}_n{}", kernel.name, n);
+        let plan = ExecutablePlan::compile(&kernel.program).expect("compile");
+
+        let mut group = c.benchmark_group("exec_lowering");
+        group.sample_size(3);
+        group.bench_function(format!("{name}/reference"), |b| {
+            b.iter(|| {
+                black_box(
+                    measure_reference(&kernel.program, &params, &machine, &opts)
+                        .expect("reference"),
+                )
+            })
+        });
+        group.bench_function(format!("{name}/compiled_cold"), |b| {
+            b.iter(|| {
+                let plan = ExecutablePlan::compile(&kernel.program).expect("compile");
+                black_box(plan.measure(&params, &machine, &opts).expect("compiled"))
+            })
+        });
+        group.bench_function(format!("{name}/compiled_reused"), |b| {
+            b.iter(|| black_box(plan.measure(&params, &machine, &opts).expect("compiled")))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_exec_lowering);
+criterion_main!(benches);

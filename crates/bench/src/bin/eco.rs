@@ -14,6 +14,7 @@
 //!   --search-n N         tuning size for `tune`     (default 96)
 //!   --strategy S         guided|grid|random         (default guided)
 //!   --threads N          evaluation threads         (default 0 = auto)
+//!   --engine E           plan|reference             (default plan)
 //!   --trace FILE         write a JSONL line per evaluated point to FILE
 //!   --code               also print generated code  (tune)
 //! ```
@@ -28,7 +29,7 @@ use eco_analysis::NestInfo;
 use eco_core::{
     derive_variants, describe_variant, EngineConfig, OptimizeRequest, Optimizer, SearchStrategy,
 };
-use eco_exec::{Engine, EvalJob, Evaluator, Params};
+use eco_exec::{Engine, EvalJob, Evaluator, ExecBackend, Params};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
 
@@ -38,13 +39,16 @@ struct Opts {
     search_n: i64,
     strategy: SearchStrategy,
     threads: usize,
+    backend: ExecBackend,
     trace: Option<String>,
     code: bool,
 }
 
 impl Opts {
     fn engine_config(&self) -> EngineConfig {
-        let mut cfg = EngineConfig::new().threads(self.threads);
+        let mut cfg = EngineConfig::new()
+            .threads(self.threads)
+            .backend(self.backend);
         if let Some(path) = &self.trace {
             cfg = cfg.trace(path.clone());
         }
@@ -59,6 +63,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut search_n = 96i64;
     let mut strategy = SearchStrategy::Guided;
     let mut threads = 0usize;
+    let mut backend = ExecBackend::Compiled;
     let mut trace = None;
     let mut code = false;
     let mut it = args.iter();
@@ -97,6 +102,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?
             }
+            "--engine" => backend = ExecBackend::parse(&val("--engine")?)?,
             "--trace" => trace = Some(val("--trace")?),
             "--code" => code = true,
             other => return Err(format!("unknown option {other}")),
@@ -114,6 +120,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         search_n,
         strategy,
         threads,
+        backend,
         trace,
         code,
     })

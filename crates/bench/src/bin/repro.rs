@@ -17,10 +17,12 @@
 //! repro strategies   Ablation: guided vs grid vs random search
 //! repro attribution  Analysis: per-array miss attribution (mm1 vs mm4)
 //! repro modelrank    Analysis: static-model ranking vs measured ranking
+//! repro smoke        Timing smoke test: prints evaluated-points/sec
 //! repro all          Everything above, also written to results/
 //!
 //! options (after the command):
 //!   --threads N      evaluation threads (0 = auto, the default)
+//!   --engine E       plan (compiled, default) or reference (tree-walker)
 //!   --trace DIR      write a JSONL evaluation trace per command to DIR
 //! ```
 //!
@@ -39,8 +41,8 @@ use eco_bench::{
     mm_copy_variant, mm_figure_sizes, mm_table_row, Sweep, FIGURE_SCALE,
 };
 use eco_core::{
-    derive_variants, describe_variant, Engine, EngineConfig, Evaluator, Optimizer, SearchOptions,
-    Tuned,
+    derive_variants, describe_variant, Engine, EngineConfig, Evaluator, ExecBackend, Optimizer,
+    SearchOptions, Tuned,
 };
 use eco_ir::Program;
 use eco_kernels::Kernel;
@@ -51,12 +53,15 @@ use std::fs;
 /// optional JSONL trace directory (one file per command label).
 struct EngineOpts {
     threads: usize,
+    backend: ExecBackend,
     trace_dir: Option<String>,
 }
 
 impl EngineOpts {
     fn engine(&self, machine: &MachineDesc, label: &str) -> Engine {
-        let mut cfg = EngineConfig::new().threads(self.threads);
+        let mut cfg = EngineConfig::new()
+            .threads(self.threads)
+            .backend(self.backend);
         if let Some(dir) = &self.trace_dir {
             let _ = fs::create_dir_all(dir);
             cfg = cfg.trace(format!("{dir}/{label}.jsonl"));
@@ -68,6 +73,7 @@ impl EngineOpts {
 
 fn parse_engine_opts(args: &[String]) -> Result<EngineOpts, String> {
     let mut threads = 0usize;
+    let mut backend = ExecBackend::Compiled;
     let mut trace_dir = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -79,13 +85,20 @@ fn parse_engine_opts(args: &[String]) -> Result<EngineOpts, String> {
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?;
             }
+            "--engine" => {
+                backend = ExecBackend::parse(it.next().ok_or("--engine needs a value")?)?;
+            }
             "--trace" => {
                 trace_dir = Some(it.next().ok_or("--trace needs a directory")?.clone());
             }
             other => return Err(format!("unknown option {other}")),
         }
     }
-    Ok(EngineOpts { threads, trace_dir })
+    Ok(EngineOpts {
+        threads,
+        backend,
+        trace_dir,
+    })
 }
 
 fn print_engine_stats(engine: &Engine) {
@@ -130,6 +143,7 @@ fn main() {
         "strategies" => strategies_ablation(&eopts),
         "attribution" => attribution(),
         "modelrank" => model_rank(&eopts),
+        "smoke" | "--smoke" => smoke(&eopts),
         "all" => {
             let _ = fs::create_dir_all("results");
             table2();
@@ -555,6 +569,64 @@ fn attribution() {
             );
         }
     }
+    println!();
+}
+
+/// Offline-safe throughput check for CI: simulates a fixed mix of
+/// unique MM and Jacobi points (no memo hits) and prints
+/// evaluated-points/sec. No threshold — the number is informational, so
+/// slow runners never fail the build; compare `--engine plan` against
+/// `--engine reference` to see the lowering speedup in the log.
+fn smoke(eopts: &EngineOpts) {
+    use eco_exec::{EvalJob, Params};
+    use std::time::Instant;
+    println!("== smoke: evaluation throughput ==");
+    let machine = MachineDesc::sgi_r10000().scaled(FIGURE_SCALE);
+    let engine = eopts.engine(&machine, "smoke");
+    let mm = Kernel::matmul();
+    let jac = Kernel::jacobi3d();
+    let mut jobs = Vec::new();
+    for n in [64i64, 96, 128, 160, 200] {
+        for &(ti, tj, tk, pf) in &[
+            (1u64, 4u64, 32u64, false),
+            (4, 16, 16, false),
+            (4, 16, 16, true),
+            (8, 32, 16, false),
+        ] {
+            jobs.push(
+                EvalJob::new(mm_table_row(ti, tj, tk, pf), Params::new().with(mm.size, n))
+                    .with_label(format!("smoke/mm/{ti}x{tj}x{tk}/{n}")),
+            );
+        }
+    }
+    for n in [24i64, 36, 48] {
+        for &(ti, tj, tk, pf) in &[
+            (1u64, 1u64, 1u64, false),
+            (1, 4, 4, true),
+            (24, 4, 1, false),
+        ] {
+            jobs.push(
+                EvalJob::new(
+                    jacobi_table_row(ti, tj, tk, pf),
+                    Params::new().with(jac.size, n),
+                )
+                .with_label(format!("smoke/jacobi/{ti}x{tj}x{tk}/{n}")),
+            );
+        }
+    }
+    let started = Instant::now();
+    let results = engine.eval_batch(&jobs);
+    let secs = started.elapsed().as_secs_f64();
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    let evaluated = engine.stats().evaluated;
+    println!(
+        "   engine={:?} threads={}: {evaluated} points in {secs:.2}s -> {:.1} points/sec ({ok}/{} ok)",
+        engine.backend(),
+        engine.threads(),
+        evaluated as f64 / secs,
+        results.len()
+    );
+    assert_eq!(ok, results.len(), "smoke points must all simulate cleanly");
     println!();
 }
 

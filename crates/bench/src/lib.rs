@@ -1,7 +1,7 @@
 //! Shared harness for regenerating the paper's tables and figures.
 //!
 //! The `repro` binary (in `src/bin/repro.rs`) drives these helpers; the
-//! Criterion benches reuse them at smaller sizes. See DESIGN.md §6 for
+//! Criterion benches reuse them at smaller sizes. See DESIGN.md §7 for
 //! the experiment index and EXPERIMENTS.md for recorded results.
 
 use eco_exec::{measure, Counters, EvalJob, Evaluator, LayoutOptions, Params};

@@ -182,9 +182,10 @@ impl Cache {
         }
     }
 
-    /// Looks up `addr`, filling on miss. Returns `true` on hit.
+    /// Looks up `addr`, filling on miss. Returns whether it hit and the
+    /// slot (index into `tags`) where the line now resides.
     #[inline]
-    fn access(&mut self, addr: u64) -> bool {
+    fn access(&mut self, addr: u64) -> (bool, u32) {
         let line = addr >> self.line_bits;
         let set = (line & self.set_mask) as usize;
         let base = set * self.ways;
@@ -194,7 +195,7 @@ impl Cache {
         for i in base..base + self.ways {
             if self.tags[i] == line {
                 self.stamps[i] = self.clock;
-                return true;
+                return (true, i as u32);
             }
             if self.stamps[i] < oldest {
                 oldest = self.stamps[i];
@@ -203,7 +204,7 @@ impl Cache {
         }
         self.tags[victim] = line;
         self.stamps[victim] = self.clock;
-        false
+        (false, victim as u32)
     }
 }
 
@@ -215,7 +216,24 @@ struct Tlb {
     stamps: Vec<u64>,
     clock: u64,
     miss_penalty_x1000: u64,
+    /// Entry touched by the most recent access — a most-recently-used
+    /// shortcut that skips the full associative scan when consecutive
+    /// accesses stay on one page (the overwhelmingly common case for
+    /// strided loops). Behaviour is identical to the full scan: a hit
+    /// bumps the clock and restamps the entry either way.
+    mru: usize,
+    /// Direct-mapped page → entry hints, indexed by the page's low bits.
+    /// A hint is only *trusted* after verifying `pages[slot]` still holds
+    /// the page, so stale or colliding entries merely fall back to the
+    /// full scan — the shortcut can never change simulated behaviour.
+    /// This is what keeps inner loops that interleave accesses to many
+    /// arrays (hence many pages, defeating the MRU shortcut) from paying
+    /// a full associative scan per access.
+    hint: Vec<(u64, u32)>,
 }
+
+/// log2 of the TLB hint-table size.
+const TLB_HINT_BITS: u32 = 10;
 
 impl Tlb {
     fn new(desc: &TlbDesc) -> Self {
@@ -229,19 +247,34 @@ impl Tlb {
             stamps: vec![0; desc.entries],
             clock: 0,
             miss_penalty_x1000: desc.miss_penalty_cycles * 1000,
+            mru: 0,
+            hint: vec![(INVALID, 0); 1 << TLB_HINT_BITS],
         }
     }
 
     #[inline]
-    fn access(&mut self, addr: u64) -> bool {
+    fn access(&mut self, addr: u64) -> (bool, u32) {
         let page = addr >> self.page_bits;
         self.clock += 1;
+        if self.pages[self.mru] == page {
+            self.stamps[self.mru] = self.clock;
+            return (true, self.mru as u32);
+        }
+        let h = (page as usize) & ((1usize << TLB_HINT_BITS) - 1);
+        let (hint_page, hint_slot) = self.hint[h];
+        if hint_page == page && self.pages[hint_slot as usize] == page {
+            self.stamps[hint_slot as usize] = self.clock;
+            self.mru = hint_slot as usize;
+            return (true, hint_slot);
+        }
         let mut victim = 0;
         let mut oldest = u64::MAX;
         for i in 0..self.pages.len() {
             if self.pages[i] == page {
                 self.stamps[i] = self.clock;
-                return true;
+                self.mru = i;
+                self.hint[h] = (page, i as u32);
+                return (true, i as u32);
             }
             if self.stamps[i] < oldest {
                 oldest = self.stamps[i];
@@ -250,7 +283,9 @@ impl Tlb {
         }
         self.pages[victim] = page;
         self.stamps[victim] = self.clock;
-        false
+        self.mru = victim;
+        self.hint[h] = (page, victim as u32);
+        (false, victim as u32)
     }
 }
 
@@ -265,12 +300,30 @@ pub struct MemoryHierarchy {
     flop_x1000: u64,
     loop_overhead_x1000: u64,
     bandwidth_per_line_x1000: u64,
+    /// L1 line of the most recent access (`u64::MAX` = none yet). Any
+    /// access leaves its line resident in L1 (hit or fill) and its page
+    /// in the TLB, so a follow-up access to the same line is *provably*
+    /// an L1 + TLB hit whose only architectural effect is bumping the
+    /// two LRU clocks and restamping the touched slots — which is what
+    /// the same-line fast path does, without any lookup.
+    last_line: u64,
+    /// Slot in `caches[0]` holding `last_line`.
+    last_l1_slot: u32,
+    /// TLB entry holding `last_line`'s page.
+    last_tlb_slot: u32,
+    /// Fast path requires at least one cache level and pages no smaller
+    /// than L1 lines (so same line implies same page).
+    fast_ok: bool,
 }
 
 impl MemoryHierarchy {
     /// A cold hierarchy for the given machine.
     pub fn new(machine: &MachineDesc) -> Self {
         let caches: Vec<Cache> = machine.caches.iter().map(Cache::new).collect();
+        let fast_ok = caches
+            .first()
+            .map(|l1| machine.tlb.page_bytes.trailing_zeros() >= l1.line_bits)
+            .unwrap_or(false);
         MemoryHierarchy {
             tlb: Tlb::new(&machine.tlb),
             counters: Counters {
@@ -284,7 +337,51 @@ impl MemoryHierarchy {
             flop_x1000: machine.cost.flop_cycles_x1000,
             loop_overhead_x1000: machine.cost.loop_overhead_cycles_x1000,
             bandwidth_per_line_x1000: machine.cost.memory_bandwidth_cycles_per_line_x1000,
+            last_line: INVALID,
+            last_l1_slot: 0,
+            last_tlb_slot: 0,
+            fast_ok,
         }
+    }
+
+    /// Counts the issue cost of one access of `kind`.
+    #[inline]
+    fn count_issue(&mut self, kind: AccessKind) {
+        match kind {
+            AccessKind::Load => {
+                self.counters.loads += 1;
+                self.counters.cycles_x1000 += self.mem_issue_x1000;
+            }
+            AccessKind::Store => {
+                self.counters.stores += 1;
+                self.counters.cycles_x1000 += self.mem_issue_x1000;
+            }
+            AccessKind::Prefetch => {
+                self.counters.prefetches += 1;
+                self.counters.cycles_x1000 += self.prefetch_issue_x1000;
+            }
+        }
+    }
+
+    /// The same-line fast path: if `addr` falls on the line touched by
+    /// the immediately preceding access, apply the (statically known)
+    /// L1-hit/TLB-hit effects and return `true`. Exactly equivalent to
+    /// the full lookup for that case.
+    #[inline]
+    fn try_same_line(&mut self, addr: u64, kind: AccessKind) -> bool {
+        if !self.fast_ok {
+            return false;
+        }
+        let l1 = &mut self.caches[0];
+        if (addr >> l1.line_bits) != self.last_line {
+            return false;
+        }
+        l1.clock += 1;
+        l1.stamps[self.last_l1_slot as usize] = l1.clock;
+        self.tlb.clock += 1;
+        self.tlb.stamps[self.last_tlb_slot as usize] = self.tlb.clock;
+        self.count_issue(kind);
+        true
     }
 
     /// Simulates one access to byte address `addr`, attributing misses
@@ -300,9 +397,16 @@ impl MemoryHierarchy {
                 tlb_misses: 0,
             });
         }
+        if self.try_same_line(addr, kind) {
+            // a same-line hit misses nowhere: only the access count moves
+            if !matches!(kind, AccessKind::Prefetch) {
+                self.counters.per_tag[tag].accesses += 1;
+            }
+            return;
+        }
         let before: Vec<u64> = self.counters.cache_misses.clone();
         let tlb_before = self.counters.tlb_misses;
-        self.access(addr, kind);
+        self.access_full(addr, kind);
         let t = &mut self.counters.per_tag[tag];
         if !matches!(kind, AccessKind::Prefetch) {
             t.accesses += 1;
@@ -314,29 +418,30 @@ impl MemoryHierarchy {
     }
 
     /// Simulates one access to byte address `addr`.
+    #[inline]
     pub fn access(&mut self, addr: u64, kind: AccessKind) {
-        let is_prefetch = matches!(kind, AccessKind::Prefetch);
-        match kind {
-            AccessKind::Load => {
-                self.counters.loads += 1;
-                self.counters.cycles_x1000 += self.mem_issue_x1000;
-            }
-            AccessKind::Store => {
-                self.counters.stores += 1;
-                self.counters.cycles_x1000 += self.mem_issue_x1000;
-            }
-            AccessKind::Prefetch => {
-                self.counters.prefetches += 1;
-                self.counters.cycles_x1000 += self.prefetch_issue_x1000;
-            }
+        if self.try_same_line(addr, kind) {
+            return;
         }
-        if !self.tlb.access(addr) {
+        self.access_full(addr, kind);
+    }
+
+    /// The full (scan-every-level) access path.
+    fn access_full(&mut self, addr: u64, kind: AccessKind) {
+        let is_prefetch = matches!(kind, AccessKind::Prefetch);
+        self.count_issue(kind);
+        let (tlb_hit, tlb_slot) = self.tlb.access(addr);
+        if !tlb_hit {
             self.counters.tlb_misses += 1;
             self.counters.cycles_x1000 += self.tlb.miss_penalty_x1000;
         }
+        let mut l1_slot = 0;
         let mut filled_from_memory = true;
         for (i, cache) in self.caches.iter_mut().enumerate() {
-            let hit = cache.access(addr);
+            let (hit, slot) = cache.access(addr);
+            if i == 0 {
+                l1_slot = slot;
+            }
             if !hit {
                 if is_prefetch {
                     self.counters.prefetch_fills[i] += 1;
@@ -354,6 +459,105 @@ impl MemoryHierarchy {
             // The line came from main memory: bus occupancy is paid whether
             // or not the latency was hidden.
             self.counters.cycles_x1000 += self.bandwidth_per_line_x1000;
+        }
+        if self.fast_ok {
+            self.last_line = addr >> self.caches[0].line_bits;
+            self.last_l1_slot = l1_slot;
+            self.last_tlb_slot = tlb_slot;
+        }
+    }
+
+    /// Applies `k` same-line accesses in bulk: `k` issue costs, `k` L1
+    /// and TLB clock ticks, and a final restamp of the resident slots.
+    /// Identical to `k` calls through the same-line fast path.
+    #[inline]
+    fn bulk_same_line(&mut self, k: u64, kind: AccessKind) {
+        match kind {
+            AccessKind::Load => {
+                self.counters.loads += k;
+                self.counters.cycles_x1000 += k * self.mem_issue_x1000;
+            }
+            AccessKind::Store => {
+                self.counters.stores += k;
+                self.counters.cycles_x1000 += k * self.mem_issue_x1000;
+            }
+            AccessKind::Prefetch => {
+                self.counters.prefetches += k;
+                self.counters.cycles_x1000 += k * self.prefetch_issue_x1000;
+            }
+        }
+        let l1 = &mut self.caches[0];
+        l1.clock += k;
+        l1.stamps[self.last_l1_slot as usize] = l1.clock;
+        self.tlb.clock += k;
+        self.tlb.stamps[self.last_tlb_slot as usize] = self.tlb.clock;
+    }
+
+    /// Simulates `count` accesses at `base, base + stride, base +
+    /// 2·stride, …` — exactly equivalent to the per-access loop
+    ///
+    /// ```ignore
+    /// for t in 0..count { h.access(base + t * stride, kind) }
+    /// ```
+    ///
+    /// (or `access_tagged` when `tag` is given), but batched: only the
+    /// first access to each cache line runs the full per-level lookup,
+    /// and the remaining same-line accesses — there is nothing between
+    /// them to evict the line, so they are L1/TLB hits by construction —
+    /// are applied as one bulk update. For strides below the L1 line
+    /// size the simulation cost is O(cache lines touched), not
+    /// O(accesses); the set/way arithmetic per touched line is shared
+    /// with the ordinary path.
+    ///
+    /// The caller must guarantee every address in the run is mapped
+    /// (in-bounds); `stride` may be zero or negative.
+    pub fn access_run(
+        &mut self,
+        base: u64,
+        stride: i64,
+        count: u64,
+        kind: AccessKind,
+        tag: Option<usize>,
+    ) {
+        let one = |h: &mut Self, addr: u64| match tag {
+            Some(g) => h.access_tagged(addr, kind, g),
+            None => h.access(addr, kind),
+        };
+        if !self.fast_ok {
+            for t in 0..count {
+                one(
+                    self,
+                    base.wrapping_add_signed(stride.wrapping_mul(t as i64)),
+                );
+            }
+            return;
+        }
+        let line_mask = (1u64 << self.caches[0].line_bits) - 1;
+        let mut t = 0u64;
+        while t < count {
+            let addr = base.wrapping_add_signed(stride.wrapping_mul(t as i64));
+            one(self, addr);
+            t += 1;
+            if t >= count {
+                break;
+            }
+            // How many of the next accesses stay on this line?
+            let same = if stride == 0 {
+                count - t
+            } else if stride > 0 {
+                ((line_mask - (addr & line_mask)) / stride as u64).min(count - t)
+            } else {
+                ((addr & line_mask) / stride.unsigned_abs()).min(count - t)
+            };
+            if same > 0 {
+                self.bulk_same_line(same, kind);
+                if let Some(g) = tag {
+                    if !matches!(kind, AccessKind::Prefetch) {
+                        self.counters.per_tag[g].accesses += same;
+                    }
+                }
+                t += same;
+            }
         }
     }
 
@@ -562,6 +766,281 @@ mod tests {
     fn empty_counters_mflops_is_zero() {
         let c = Counters::default();
         assert_eq!(c.mflops(1000), 0.0);
+    }
+
+    /// A deliberately naive re-implementation of the documented
+    /// semantics (no MRU shortcut, no same-line fast path), used to
+    /// check that the optimized paths are behaviour-preserving — down
+    /// to the LRU stamps, whose influence shows up as eviction (miss)
+    /// differences on long adversarial streams.
+    mod naive {
+        use super::super::{AccessKind, Counters};
+        use eco_machine::MachineDesc;
+
+        pub struct Model {
+            line_bits: Vec<u32>,
+            set_mask: Vec<u64>,
+            ways: Vec<usize>,
+            tags: Vec<Vec<u64>>,
+            stamps: Vec<Vec<u64>>,
+            clocks: Vec<u64>,
+            miss_pen: Vec<u64>,
+            page_bits: u32,
+            tlb_pages: Vec<u64>,
+            tlb_stamps: Vec<u64>,
+            tlb_clock: u64,
+            tlb_pen: u64,
+            pub counters: Counters,
+            mem_issue: u64,
+            pf_issue: u64,
+            bw_line: u64,
+        }
+
+        impl Model {
+            pub fn new(m: &MachineDesc) -> Self {
+                Model {
+                    line_bits: m
+                        .caches
+                        .iter()
+                        .map(|c| c.line_bytes.trailing_zeros())
+                        .collect(),
+                    set_mask: m.caches.iter().map(|c| c.num_sets() as u64 - 1).collect(),
+                    ways: m.caches.iter().map(|c| c.associativity).collect(),
+                    tags: m
+                        .caches
+                        .iter()
+                        .map(|c| vec![u64::MAX; c.num_sets() * c.associativity])
+                        .collect(),
+                    stamps: m
+                        .caches
+                        .iter()
+                        .map(|c| vec![0; c.num_sets() * c.associativity])
+                        .collect(),
+                    clocks: vec![0; m.caches.len()],
+                    miss_pen: m
+                        .caches
+                        .iter()
+                        .map(|c| c.miss_penalty_cycles * 1000)
+                        .collect(),
+                    page_bits: m.tlb.page_bytes.trailing_zeros(),
+                    tlb_pages: vec![u64::MAX; m.tlb.entries],
+                    tlb_stamps: vec![0; m.tlb.entries],
+                    tlb_clock: 0,
+                    tlb_pen: m.tlb.miss_penalty_cycles * 1000,
+                    counters: Counters {
+                        cache_misses: vec![0; m.caches.len()],
+                        prefetch_fills: vec![0; m.caches.len()],
+                        ..Default::default()
+                    },
+                    mem_issue: m.cost.mem_issue_cycles_x1000,
+                    pf_issue: m.cost.prefetch_issue_cycles_x1000,
+                    bw_line: m.cost.memory_bandwidth_cycles_per_line_x1000,
+                }
+            }
+
+            fn cache_access(&mut self, level: usize, addr: u64) -> bool {
+                let line = addr >> self.line_bits[level];
+                let set = (line & self.set_mask[level]) as usize;
+                let base = set * self.ways[level];
+                self.clocks[level] += 1;
+                let mut victim = base;
+                let mut oldest = u64::MAX;
+                for i in base..base + self.ways[level] {
+                    if self.tags[level][i] == line {
+                        self.stamps[level][i] = self.clocks[level];
+                        return true;
+                    }
+                    if self.stamps[level][i] < oldest {
+                        oldest = self.stamps[level][i];
+                        victim = i;
+                    }
+                }
+                self.tags[level][victim] = line;
+                self.stamps[level][victim] = self.clocks[level];
+                false
+            }
+
+            pub fn access(&mut self, addr: u64, kind: AccessKind) {
+                let is_prefetch = matches!(kind, AccessKind::Prefetch);
+                match kind {
+                    AccessKind::Load => {
+                        self.counters.loads += 1;
+                        self.counters.cycles_x1000 += self.mem_issue;
+                    }
+                    AccessKind::Store => {
+                        self.counters.stores += 1;
+                        self.counters.cycles_x1000 += self.mem_issue;
+                    }
+                    AccessKind::Prefetch => {
+                        self.counters.prefetches += 1;
+                        self.counters.cycles_x1000 += self.pf_issue;
+                    }
+                }
+                let page = addr >> self.page_bits;
+                self.tlb_clock += 1;
+                let mut hit = false;
+                let mut victim = 0;
+                let mut oldest = u64::MAX;
+                for i in 0..self.tlb_pages.len() {
+                    if self.tlb_pages[i] == page {
+                        self.tlb_stamps[i] = self.tlb_clock;
+                        hit = true;
+                        break;
+                    }
+                    if self.tlb_stamps[i] < oldest {
+                        oldest = self.tlb_stamps[i];
+                        victim = i;
+                    }
+                }
+                if !hit {
+                    self.tlb_pages[victim] = page;
+                    self.tlb_stamps[victim] = self.tlb_clock;
+                    self.counters.tlb_misses += 1;
+                    self.counters.cycles_x1000 += self.tlb_pen;
+                }
+                let mut filled = true;
+                for level in 0..self.clocks.len() {
+                    let hit = self.cache_access(level, addr);
+                    if !hit {
+                        if is_prefetch {
+                            self.counters.prefetch_fills[level] += 1;
+                        } else {
+                            self.counters.cache_misses[level] += 1;
+                            self.counters.cycles_x1000 += self.miss_pen[level];
+                        }
+                    } else {
+                        filled = false;
+                        break;
+                    }
+                }
+                if filled {
+                    self.counters.cycles_x1000 += self.bw_line;
+                }
+            }
+        }
+    }
+
+    /// A small deterministic generator for access streams that mix
+    /// strided runs (which exercise the fast path) with random jumps
+    /// (which break it) and all three access kinds.
+    fn pseudo_stream(seed: u64, len: usize, span: u64) -> Vec<(u64, AccessKind)> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut out = Vec::with_capacity(len);
+        let mut addr = 0u64;
+        while out.len() < len {
+            let r = next();
+            let kind = match r % 10 {
+                0..=5 => AccessKind::Load,
+                6..=8 => AccessKind::Store,
+                _ => AccessKind::Prefetch,
+            };
+            if r % 4 == 0 {
+                addr = next() % span;
+            }
+            let stride = [0i64, 8, 8, 8, 16, 32, -8, 24][(next() % 8) as usize];
+            let run = 1 + next() % 9;
+            for _ in 0..run {
+                out.push((addr % span, kind));
+                addr = addr.wrapping_add_signed(stride) % span;
+                if out.len() == len {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fast_paths_match_naive_model() {
+        for seed in [3u64, 17, 92, 1234] {
+            let m = tiny_machine();
+            let mut fast = MemoryHierarchy::new(&m);
+            let mut slow = naive::Model::new(&m);
+            for (addr, kind) in pseudo_stream(seed, 4000, 16384) {
+                fast.access(addr, kind);
+                slow.access(addr, kind);
+            }
+            assert_eq!(fast.into_counters(), slow.counters, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fast_paths_match_naive_model_on_real_machines() {
+        for m in [
+            MachineDesc::sgi_r10000().scaled(32),
+            MachineDesc::ultrasparc_iie().scaled(32),
+        ] {
+            let mut fast = MemoryHierarchy::new(&m);
+            let mut slow = naive::Model::new(&m);
+            for (addr, kind) in pseudo_stream(7, 6000, 1 << 20) {
+                fast.access(addr, kind);
+                slow.access(addr, kind);
+            }
+            assert_eq!(fast.into_counters(), slow.counters, "machine {}", m.name);
+        }
+    }
+
+    #[test]
+    fn access_run_equals_per_access_loop() {
+        let cases: &[(u64, i64, u64)] = &[
+            (0, 8, 100),     // unit stride
+            (12, 8, 1),      // single access
+            (0, 8, 0),       // empty run
+            (5, 0, 40),      // zero stride
+            (40, 4, 17),     // sub-element stride
+            (8192, -8, 64),  // descending
+            (3, 32, 50),     // exactly one per line
+            (0, 48, 33),     // line-crossing stride
+            (100, 1000, 20), // page-crossing stride
+        ];
+        for kind in [AccessKind::Load, AccessKind::Store, AccessKind::Prefetch] {
+            for &(base, stride, count) in cases {
+                let m = tiny_machine();
+                let mut a = MemoryHierarchy::new(&m);
+                let mut b = MemoryHierarchy::new(&m);
+                // interleave with a warm-up so the run starts from a
+                // non-trivial cache state
+                for t in 0..32 {
+                    a.access(t * 8, AccessKind::Load);
+                    b.access(t * 8, AccessKind::Load);
+                }
+                a.access_run(base, stride, count, kind, None);
+                for t in 0..count {
+                    b.access(base.wrapping_add_signed(stride * t as i64), kind);
+                }
+                // and the post-run state must agree too: do a sweep that
+                // is sensitive to LRU stamp differences
+                for t in 0..64 {
+                    a.access(t * 32, kind);
+                    b.access(t * 32, kind);
+                }
+                assert_eq!(
+                    a.into_counters(),
+                    b.into_counters(),
+                    "kind {kind:?} base {base} stride {stride} count {count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn access_run_tagged_equals_per_access_loop() {
+        let m = tiny_machine();
+        let mut a = MemoryHierarchy::new(&m);
+        let mut b = MemoryHierarchy::new(&m);
+        for kind in [AccessKind::Load, AccessKind::Store, AccessKind::Prefetch] {
+            a.access_run(64, 8, 50, kind, Some(1));
+            for t in 0..50u64 {
+                b.access_tagged(64 + t * 8, kind, 1);
+            }
+        }
+        assert_eq!(a.into_counters(), b.into_counters());
     }
 
     #[test]

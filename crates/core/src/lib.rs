@@ -57,7 +57,7 @@ pub use variant::{
 /// Evaluation-engine surface re-exported for downstream crates: the
 /// search, the baselines and the benches all consume the same
 /// [`Evaluator`] API.
-pub use eco_exec::{Engine, EngineConfig, EngineStats, EvalJob, Evaluator};
+pub use eco_exec::{Engine, EngineConfig, EngineStats, EvalJob, Evaluator, ExecBackend};
 
 use eco_analysis::NestError;
 use eco_exec::ExecError;

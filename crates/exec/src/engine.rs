@@ -2,9 +2,9 @@
 //!
 //! Phase 2 of the paper executes every search point "on the real
 //! machine"; in this reproduction each point is a full trace-driven
-//! cache simulation ([`measure`]), which dominates wall-clock time. The
-//! [`Engine`] makes those evaluations cheap without changing a single
-//! search decision:
+//! cache simulation, which dominates wall-clock time. The [`Engine`]
+//! makes those evaluations cheap without changing a single search
+//! decision:
 //!
 //! * **batching** — callers submit independent points together as
 //!   [`EvalJob`]s and get results back *in submission order*, so code
@@ -17,6 +17,13 @@
 //!   once fails identically forever);
 //! * **parallelism** — unique jobs run on a `std::thread::scope` pool;
 //!   the thread count never influences results, only latency;
+//! * **plan memoization** — jobs normally execute through the compiled
+//!   [`ExecutablePlan`] pipeline, and the engine caches one lowered plan
+//!   per program (keyed by the program component of [`EvalKey`]), so
+//!   re-evaluating a variant at new parameter points skips lowering
+//!   entirely; [`ExecBackend::Reference`] re-routes every job through
+//!   the tree-walking oracle for differential runs (`--engine=reference`
+//!   in the CLIs);
 //! * **telemetry** — an optional JSONL search trace records one line per
 //!   submitted job (label, program, params, counters, cache-hit flag,
 //!   wall time).
@@ -70,12 +77,13 @@ use std::hash::{Hash, Hasher};
 use std::io::{BufWriter, Write as _};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::error::ExecError;
 use crate::layout::{LayoutOptions, Params};
-use crate::trace::measure;
+use crate::plan::ExecutablePlan;
+use crate::trace::measure_reference;
 use eco_cachesim::Counters;
 use eco_ir::Program;
 use eco_machine::MachineDesc;
@@ -177,6 +185,39 @@ impl EngineStats {
     }
 }
 
+/// Which executor an [`Engine`] routes jobs through.
+///
+/// Both backends are held to bit-identical counters by the differential
+/// tests; `Reference` exists as the semantic oracle and for debugging
+/// (`--engine=reference` in the CLIs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExecBackend {
+    /// The compiled [`ExecutablePlan`] pipeline, with one lowered plan
+    /// memoized per program. The default.
+    #[default]
+    Compiled,
+    /// The tree-walking reference tracer
+    /// ([`measure_reference`](crate::measure_reference)).
+    Reference,
+}
+
+impl ExecBackend {
+    /// Parses a CLI `--engine` value (`plan`/`compiled` or `reference`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "plan" | "compiled" => Ok(ExecBackend::Compiled),
+            "reference" | "ref" => Ok(ExecBackend::Reference),
+            other => Err(format!(
+                "unknown engine '{other}' (expected 'plan' or 'reference')"
+            )),
+        }
+    }
+}
+
 /// Configuration for [`Engine::with_config`].
 #[derive(Debug, Clone, Default)]
 pub struct EngineConfig {
@@ -189,6 +230,8 @@ pub struct EngineConfig {
     /// is created (truncated) when the engine is built, so each engine
     /// produces a fresh trace.
     pub trace_path: Option<PathBuf>,
+    /// Which executor jobs run through (compiled plan by default).
+    pub backend: ExecBackend,
 }
 
 impl EngineConfig {
@@ -198,6 +241,7 @@ impl EngineConfig {
             threads: 0,
             memoize: true,
             trace_path: None,
+            backend: ExecBackend::Compiled,
         }
     }
 
@@ -219,6 +263,13 @@ impl EngineConfig {
     #[must_use]
     pub fn trace(mut self, path: impl Into<PathBuf>) -> Self {
         self.trace_path = Some(path.into());
+        self
+    }
+
+    /// Selects the execution backend (builder style).
+    #[must_use]
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -264,7 +315,11 @@ pub struct Engine {
     machine_fp: u64,
     threads: usize,
     memoize: bool,
+    backend: ExecBackend,
     memo: Mutex<HashMap<EvalKey, Result<Counters, ExecError>>>,
+    /// One lowered plan per program, keyed by the program component of
+    /// [`EvalKey`]: re-evaluations at new parameter points skip lowering.
+    plans: Mutex<HashMap<u64, Arc<ExecutablePlan>>>,
     stats: Mutex<EngineStats>,
     trace: Option<Mutex<BufWriter<File>>>,
     seq: AtomicUsize,
@@ -298,7 +353,9 @@ impl Engine {
             machine_fp: fp.finish(),
             threads: resolve_threads(config.threads),
             memoize: config.memoize,
+            backend: config.backend,
             memo: Mutex::new(HashMap::new()),
+            plans: Mutex::new(HashMap::new()),
             stats: Mutex::new(EngineStats::default()),
             trace,
             seq: AtomicUsize::new(0),
@@ -309,6 +366,28 @@ impl Engine {
     /// The number of worker threads this engine uses.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The execution backend this engine routes jobs through.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
+    }
+
+    /// The memoized plan for `program` (fingerprint `fp`), lowering it on
+    /// first sight. Concurrent first sights may compile twice; the first
+    /// insertion wins and is returned by both.
+    fn plan_for(&self, program: &Program, fp: u64) -> Result<Arc<ExecutablePlan>, ExecError> {
+        if let Some(plan) = self.plans.lock().expect("plan lock").get(&fp) {
+            return Ok(Arc::clone(plan));
+        }
+        let plan = Arc::new(ExecutablePlan::compile(program)?);
+        Ok(Arc::clone(
+            self.plans
+                .lock()
+                .expect("plan lock")
+                .entry(fp)
+                .or_insert(plan),
+        ))
     }
 
     /// The memo key of `job` on this engine.
@@ -383,7 +462,14 @@ impl Evaluator for Engine {
         let run_one = |u: usize| {
             let job = &jobs[unique[u]];
             let started = Instant::now();
-            let result = measure(&job.program, &job.params, &self.machine, &job.layout);
+            let result = match self.backend {
+                ExecBackend::Compiled => self
+                    .plan_for(&job.program, keys[unique[u]].0)
+                    .and_then(|plan| plan.measure(&job.params, &self.machine, &job.layout)),
+                ExecBackend::Reference => {
+                    measure_reference(&job.program, &job.params, &self.machine, &job.layout)
+                }
+            };
             let wall_us = started.elapsed().as_micros() as u64;
             *ran[u].lock().expect("slot lock") = Some((result, wall_us));
         };
@@ -582,7 +668,8 @@ mod tests {
             .collect();
         let got = engine.eval_batch(&jobs);
         for (&sz, r) in sizes.iter().zip(&got) {
-            let want = measure(
+            // The oracle walker: the compiled engine must match it exactly.
+            let want = measure_reference(
                 &p,
                 &Params::new().with(n, sz),
                 engine.machine(),
@@ -592,6 +679,27 @@ mod tests {
         }
         assert_eq!(engine.stats().evaluated, 4);
         assert_eq!(engine.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn reference_backend_matches_compiled_and_plans_are_memoized() {
+        let (p, n) = stream("s");
+        let compiled = Engine::new(machine());
+        let reference = Engine::with_config(
+            machine(),
+            EngineConfig::new().backend(ExecBackend::Reference),
+        )
+        .expect("engine");
+        assert_eq!(compiled.backend(), ExecBackend::Compiled);
+        assert_eq!(reference.backend(), ExecBackend::Reference);
+        let jobs: Vec<EvalJob> = [8i64, 24, 48]
+            .iter()
+            .map(|&sz| EvalJob::new(p.clone(), Params::new().with(n, sz)))
+            .collect();
+        assert_eq!(compiled.eval_batch(&jobs), reference.eval_batch(&jobs));
+        // One program at three parameter points: lowered exactly once.
+        assert_eq!(compiled.plans.lock().expect("plan lock").len(), 1);
+        assert_eq!(reference.plans.lock().expect("plan lock").len(), 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Execution engines for ECO IR programs.
 //!
-//! Two executors share one layout model ([`ArrayLayout`]):
+//! Two execution modes share one layout model ([`ArrayLayout`]):
 //!
 //! * [`interpret`] runs a program numerically over [`Storage`] — the
 //!   semantic oracle used to verify that every transformation preserves
@@ -10,6 +10,15 @@
 //!   returning PAPI-like [`Counters`](eco_cachesim::Counters). This is
 //!   the reproduction's substitute for executing candidate variants on
 //!   real hardware during the paper's empirical search.
+//!
+//! Both modes are served by two interchangeable executors: the
+//! production [`ExecutablePlan`] bytecode pipeline (lower once per
+//! program, replay at every parameter point, batch strided runs through
+//! the cache simulator) and the tree-walking reference
+//! ([`measure_reference`], [`interpret`]) it is differentially tested
+//! against. [`measure`] compiles-and-runs a plan; the [`Engine`]
+//! additionally memoizes plans per program so batch re-evaluations skip
+//! lowering.
 //!
 //! # Examples
 //!
@@ -50,13 +59,15 @@ mod engine;
 mod error;
 mod interp;
 mod layout;
+mod plan;
 mod trace;
 
-pub use engine::{Engine, EngineConfig, EngineStats, EvalJob, EvalKey, Evaluator};
+pub use engine::{Engine, EngineConfig, EngineStats, EvalJob, EvalKey, Evaluator, ExecBackend};
 pub use error::ExecError;
 pub use interp::interpret;
 pub use layout::{ArrayLayout, LayoutOptions, Params, Storage};
-pub use trace::{measure, measure_attributed};
+pub use plan::{measure, measure_attributed, ExecutablePlan};
+pub use trace::{measure_attributed_reference, measure_reference};
 
 /// The one canonical counter type: `eco-cachesim` produces it, everything
 /// downstream (search, baselines, benches) should import it from here so

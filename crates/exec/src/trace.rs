@@ -1,10 +1,16 @@
-//! Trace-driven measurement of IR programs.
+//! Reference trace-driven measurement of IR programs.
 //!
 //! This walker executes the *control* of a program (loops and guards),
 //! skips the floating-point arithmetic, and feeds every memory access to
 //! the cache simulator, producing the PAPI-like counters the paper's
 //! empirical search consumes. Scalar temporaries model registers and
 //! generate no memory traffic.
+//!
+//! Since the execution stack was lowered to a compiled
+//! [`ExecutablePlan`](crate::ExecutablePlan), this tree-walker is no
+//! longer the production path: it survives as the *semantic oracle*
+//! (reachable via `--engine=reference` in the CLIs) that the
+//! differential tests hold the bytecode executor against, bit for bit.
 
 use crate::error::ExecError;
 use crate::layout::{ArrayLayout, LayoutOptions, Params};
@@ -99,16 +105,17 @@ impl Tracer<'_> {
     }
 }
 
-/// Simulates `program` on `machine` and returns the measured counters.
+/// Simulates `program` on `machine` with the tree-walking reference
+/// tracer and returns the measured counters.
 ///
-/// This is the reproduction's stand-in for "compile the variant, run it
-/// on the real machine, and read PAPI".
+/// The compiled [`measure`](crate::measure) is the production path;
+/// this walker is the differential oracle it is tested against.
 ///
 /// # Errors
 ///
 /// Fails on unbound parameters, validation errors, or out-of-bounds
 /// demand accesses.
-pub fn measure(
+pub fn measure_reference(
     program: &Program,
     params: &Params,
     machine: &MachineDesc,
@@ -117,13 +124,14 @@ pub fn measure(
     run_measurement(program, params, machine, layout_opts, false)
 }
 
-/// Like [`measure`], but additionally attributes demand misses to each
-/// array: `counters.per_tag[i]` corresponds to array id `i`.
+/// Like [`measure_reference`], but additionally attributes demand
+/// misses to each array: `counters.per_tag[i]` corresponds to array id
+/// `i`.
 ///
 /// # Errors
 ///
-/// Same conditions as [`measure`].
-pub fn measure_attributed(
+/// Same conditions as [`measure_reference`].
+pub fn measure_attributed_reference(
     program: &Program,
     params: &Params,
     machine: &MachineDesc,

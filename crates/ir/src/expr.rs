@@ -115,6 +115,19 @@ impl AffineExpr {
         self.constant + self.terms.iter().map(|&(v, c)| c * env(v)).sum::<i64>()
     }
 
+    /// Evaluates under a dense environment indexed by [`VarId::index`].
+    /// Same result as [`AffineExpr::eval`] but without closure dispatch
+    /// — this is the form the compiled execution plan uses on its hot
+    /// paths.
+    #[inline]
+    pub fn eval_slice(&self, env: &[i64]) -> i64 {
+        let mut acc = self.constant;
+        for &(v, c) in &self.terms {
+            acc += c * env[v.index()];
+        }
+        acc
+    }
+
     /// Substitutes `replacement` for `v`, i.e. computes
     /// `self[v := replacement]`.
     ///
@@ -258,6 +271,29 @@ impl Bound {
         }
     }
 
+    /// Evaluates the bound under a dense environment indexed by
+    /// [`VarId::index`] (see [`AffineExpr::eval_slice`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Min`/`Max` bound has no alternatives.
+    #[inline]
+    pub fn eval_slice(&self, env: &[i64]) -> i64 {
+        match self {
+            Bound::Affine(e) => e.eval_slice(env),
+            Bound::Min(es) => es
+                .iter()
+                .map(|e| e.eval_slice(env))
+                .min()
+                .expect("nonempty min"),
+            Bound::Max(es) => es
+                .iter()
+                .map(|e| e.eval_slice(env))
+                .max()
+                .expect("nonempty max"),
+        }
+    }
+
     /// Substitutes `replacement` for `v` in every alternative.
     pub fn subst(&self, v: VarId, replacement: &AffineExpr) -> Bound {
         match self {
@@ -337,6 +373,13 @@ impl Cond {
     /// Evaluates the condition under `env`.
     pub fn eval(&self, env: &impl Fn(VarId) -> i64) -> bool {
         self.lhs.eval(env) <= self.rhs.eval(env)
+    }
+
+    /// Evaluates the condition under a dense environment indexed by
+    /// [`VarId::index`] (see [`AffineExpr::eval_slice`]).
+    #[inline]
+    pub fn eval_slice(&self, env: &[i64]) -> bool {
+        self.lhs.eval_slice(env) <= self.rhs.eval_slice(env)
     }
 
     /// Substitutes `replacement` for `v` on both sides.

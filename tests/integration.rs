@@ -267,3 +267,52 @@ fn tuned_jacobi_uses_prefetch_and_beats_native() {
         "Jacobi tuning should adopt prefetching"
     );
 }
+
+/// Both engine backends report the same `ExecError::OutOfBounds` —
+/// array name, evaluated indices, and extents — when a program walks
+/// one element past the end of an array. The compiled plan detects
+/// this analytically (per-site valid-iteration intervals) where the
+/// reference walker trips on the access itself, so the payloads must
+/// be compared field for field.
+#[test]
+fn both_engine_backends_report_identical_out_of_bounds_errors() {
+    use eco_exec::{Engine, EngineConfig, EvalJob, Evaluator, ExecBackend, ExecError};
+    use eco_ir::{AffineExpr, ArrayRef, Loop, ScalarExpr, Stmt};
+    let mut p = Program::new("oob_walk");
+    let n = p.add_param("N");
+    let i = p.add_loop_var("I");
+    let a = p.add_array("A", vec![AffineExpr::var(n)]);
+    let b = p.add_array("B", vec![AffineExpr::var(n) + AffineExpr::constant(1)]);
+    // DO I = 0, N: B[I] = A[I]. B has N+1 elements, A only N, so the
+    // last iteration's load is the first (and only) faulting access.
+    p.body.push(Stmt::For(Loop {
+        var: i,
+        lo: 0.into(),
+        hi: AffineExpr::var(n).into(),
+        step: 1,
+        body: vec![Stmt::Store {
+            target: ArrayRef::new(b, vec![AffineExpr::var(i)]),
+            value: ScalarExpr::Load(ArrayRef::new(a, vec![AffineExpr::var(i)])),
+        }],
+    }));
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let run = |backend: ExecBackend| {
+        let engine = Engine::with_config(machine.clone(), EngineConfig::new().backend(backend))
+            .expect("engine");
+        engine.eval(EvalJob::new(p.clone(), Params::new().with(n, 7)).with_label("oob"))
+    };
+    let compiled = run(ExecBackend::Compiled);
+    let reference = run(ExecBackend::Reference);
+    assert_eq!(compiled, reference, "backends disagree on the error");
+    let Err(ExecError::OutOfBounds {
+        array,
+        indices,
+        extents,
+    }) = compiled
+    else {
+        panic!("expected OutOfBounds, got {compiled:?}");
+    };
+    assert_eq!(array, "A");
+    assert_eq!(indices, vec![7]);
+    assert_eq!(extents, vec![7]);
+}

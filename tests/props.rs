@@ -3,7 +3,10 @@
 
 use eco_analysis::NestInfo;
 use eco_core::{derive_variants, generate, ParamValues};
-use eco_exec::{interpret, measure, ArrayLayout, LayoutOptions, Params, Storage};
+use eco_exec::{
+    interpret, measure, measure_attributed_reference, measure_reference, ArrayLayout,
+    ExecutablePlan, LayoutOptions, Params, Storage,
+};
 use eco_ir::{AffineExpr, VarId};
 use eco_kernels::Kernel;
 use eco_machine::{CacheDesc, CostModel, MachineDesc, TlbDesc};
@@ -171,6 +174,99 @@ fn random_variant_parameters_preserve_semantics() {
         let pr = Params::new().with(kernel.size, n);
         measure(&program, &pr, &machine, &LayoutOptions::default()).expect("trace ok");
     }
+}
+
+/// Differential property for the compiled execution pipeline
+/// (DESIGN.md §4): across random kernels × derived variants × random
+/// tile/unroll/size parameters, the lowered [`ExecutablePlan`] and the
+/// tree-walking reference produce identical `Counters` (including
+/// per-tag attribution) and bit-identical `f64` array contents.
+#[test]
+fn compiled_plan_matches_reference_on_random_variants() {
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let opts = LayoutOptions::default();
+    let kernels = Kernel::all();
+    let mut runner = proptest::test_runner::TestRunner::deterministic();
+    let strategy = (
+        0..kernels.len(),
+        0..16usize,
+        1u64..6,
+        1u64..6,
+        prop::collection::vec(1u64..40, 3),
+        7i64..26,
+    );
+    let mut checked = 0usize;
+    for _ in 0..24 {
+        let (ki, vi, ui, uj, ts, n) = strategy.new_tree(&mut runner).expect("tree").current();
+        let kernel = &kernels[ki];
+        let nest = NestInfo::from_program(&kernel.program).expect("analyzable");
+        let variants = derive_variants(&nest, &machine, &kernel.program);
+        let v = &variants[vi % variants.len()];
+        let mut params = ParamValues::new();
+        let mut ti = ts.into_iter().cycle();
+        for nm in &v.param_names() {
+            let val = if nm.starts_with('U') {
+                if nm == "UI" {
+                    ui
+                } else {
+                    uj
+                }
+            } else {
+                ti.next().expect("cycle")
+            };
+            params.insert(nm.clone(), val);
+        }
+        let Ok(program) = generate(kernel, &nest, v, &params, &machine) else {
+            continue; // infeasible point: fine, the search skips these too
+        };
+        let pr = Params::new().with(kernel.size, n);
+        let plan = ExecutablePlan::compile(&program).expect("compile");
+        checked += 1;
+        // Architectural parity: every counter, with and without per-tag
+        // miss attribution.
+        assert_eq!(
+            plan.measure(&pr, &machine, &opts),
+            measure_reference(&program, &pr, &machine, &opts),
+            "{} {:?} N={n} measurement differs",
+            v.name,
+            params
+        );
+        assert_eq!(
+            plan.measure_attributed(&pr, &machine, &opts),
+            measure_attributed_reference(&program, &pr, &machine, &opts),
+            "{} {:?} N={n} attributed measurement differs",
+            v.name,
+            params
+        );
+        // Numeric parity: bit-identical storage after execution.
+        let layout = ArrayLayout::new(&program, &pr, &opts).expect("layout");
+        let mut ref_st = Storage::seeded(&layout, 1234);
+        let mut plan_st = Storage::seeded(&layout, 1234);
+        let r1 = interpret(&program, &pr, &layout, &mut ref_st);
+        let r2 = plan.interpret(&pr, &layout, &mut plan_st);
+        assert_eq!(r1, r2, "{} {:?} N={n} outcome differs", v.name, params);
+        if r1.is_err() {
+            continue; // storage contents are unspecified after an error
+        }
+        for a in 0..layout.num_arrays() {
+            let id = eco_ir::ArrayId(a as u32);
+            let (x, y) = (ref_st.array(id), plan_st.array(id));
+            assert_eq!(x.len(), y.len());
+            for (i, (u, w)) in x.iter().zip(y).enumerate() {
+                assert_eq!(
+                    u.to_bits(),
+                    w.to_bits(),
+                    "{} {:?} N={n} array {a} elem {i}: {u} vs {w}",
+                    v.name,
+                    params
+                );
+            }
+        }
+    }
+    assert!(
+        checked >= 8,
+        "only {checked}/24 random points were feasible; the property is near-vacuous"
+    );
 }
 
 proptest! {
