@@ -16,18 +16,25 @@
 //!   --threads N          evaluation threads         (default 0 = auto)
 //!   --engine E           plan|reference             (default plan)
 //!   --trace FILE         write a JSONL line per evaluated point to FILE
+//!   --events FILE        write the structured observability event stream to FILE
+//!   --manifest FILE      write the deterministic run manifest to FILE (tune)
 //!   --code               also print generated code  (tune)
 //! ```
 //!
 //! `tune` and `measure` run on the parallel memoized evaluation engine;
 //! `tune` reports the engine's work alongside the search statistics.
 //! Each `--trace` record carries the point's label, parameters,
-//! memo-hit flag, wall-clock time and simulated counters (see
-//! DESIGN.md §3 for the exact schema).
+//! memo-hit flag, wall-clock time and simulated counters; `--events`
+//! captures the span/event stream (search stages, per-point results,
+//! plan compilations) and `--manifest` the byte-deterministic run
+//! manifest (see DESIGN.md for both schemas). All three files are
+//! created up front, so an unwritable path fails before the search
+//! starts.
 
 use eco_analysis::NestInfo;
 use eco_core::{
-    derive_variants, describe_variant, EngineConfig, OptimizeRequest, Optimizer, SearchStrategy,
+    derive_variants, describe_variant, run_manifest, EngineConfig, OptimizeRequest, Optimizer,
+    SearchStrategy,
 };
 use eco_exec::{Engine, EvalJob, Evaluator, ExecBackend, Params};
 use eco_kernels::Kernel;
@@ -41,6 +48,8 @@ struct Opts {
     threads: usize,
     backend: ExecBackend,
     trace: Option<String>,
+    events: Option<String>,
+    manifest: Option<String>,
     code: bool,
 }
 
@@ -51,6 +60,9 @@ impl Opts {
             .backend(self.backend);
         if let Some(path) = &self.trace {
             cfg = cfg.trace(path.clone());
+        }
+        if let Some(path) = &self.events {
+            cfg = cfg.events(path.clone());
         }
         cfg
     }
@@ -65,6 +77,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut threads = 0usize;
     let mut backend = ExecBackend::Compiled;
     let mut trace = None;
+    let mut events = None;
+    let mut manifest = None;
     let mut code = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -104,6 +118,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--engine" => backend = ExecBackend::parse(&val("--engine")?)?,
             "--trace" => trace = Some(val("--trace")?),
+            "--events" => events = Some(val("--events")?),
+            "--manifest" => manifest = Some(val("--manifest")?),
             "--code" => code = true,
             other => return Err(format!("unknown option {other}")),
         }
@@ -122,6 +138,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         threads,
         backend,
         trace,
+        events,
+        manifest,
         code,
     })
 }
@@ -202,11 +220,23 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
                 .ok_or("usage: eco tune <kernel> [opts]")?;
             let k = find_kernel(name)?;
             let opts = parse_opts(optargs)?;
+            // Like --trace/--events, an unwritable manifest path must
+            // fail before the search runs, not after.
+            if let Some(path) = &opts.manifest {
+                std::fs::File::create(path)
+                    .map_err(|e| format!("cannot create manifest file {path}: {e}"))?;
+            }
             let mut optimizer = Optimizer::new(opts.machine.clone());
             optimizer.opts.search_n = opts.search_n;
             optimizer.opts.strategy = opts.strategy.clone();
-            let request = OptimizeRequest::new(k.clone()).engine(opts.engine_config());
+            let config = opts.engine_config();
+            let request = OptimizeRequest::new(k.clone()).engine(config.clone());
             let report = optimizer.run(request).map_err(|e| e.to_string())?;
+            if let Some(path) = &opts.manifest {
+                let doc = run_manifest(&k.name, &opts.machine, &optimizer.opts, &config, &report);
+                std::fs::write(path, doc.render())
+                    .map_err(|e| format!("cannot write manifest file {path}: {e}"))?;
+            }
             let tuned = report.tuned;
             println!(
                 "selected {} with {:?}, prefetches {:?}",

@@ -19,20 +19,27 @@
 //! repro modelrank    Analysis: static-model ranking vs measured ranking
 //! repro smoke        Timing smoke test: prints evaluated-points/sec
 //! repro all          Everything above, also written to results/
+//! repro check        Golden-results gate: regenerate every committed
+//!                    figure CSV and run manifest in memory and diff
+//!                    them byte-for-byte against results/; exits
+//!                    nonzero on any drift
 //!
 //! options (after the command):
 //!   --threads N      evaluation threads (0 = auto, the default)
 //!   --engine E       plan (compiled, default) or reference (tree-walker)
 //!   --trace DIR      write a JSONL evaluation trace per command to DIR
+//!   --events DIR     write a structured event stream per command to DIR
+//!   --json FILE      smoke only: also write the throughput as JSON
 //! ```
 //!
 //! All measurements flow through one [`eco_core::Engine`] per command:
 //! batches are evaluated in parallel, repeated points are served from
 //! the memo cache, and results come back in submission order, so every
-//! table and CSV is byte-identical whatever `--threads` says.
+//! table, CSV and manifest is byte-identical whatever `--threads` says
+//! — the property `repro check` (and the CI golden-results job) gates.
 //!
-//! CSV output for each figure is written to `results/` when it exists
-//! (created by `repro all`).
+//! CSV and manifest output for each figure is written to `results/`
+//! when it exists (created by `repro all`).
 
 use eco_analysis::NestInfo;
 use eco_baselines::{atlas_mm_with, model_only, native, vendor_mm_with};
@@ -40,9 +47,10 @@ use eco_bench::{
     counters_at_with, jacobi_figure_sizes, jacobi_table_row, mflops_at_with, mflops_sweep,
     mm_copy_variant, mm_figure_sizes, mm_table_row, Sweep, FIGURE_SCALE,
 };
+use eco_core::events::Json;
 use eco_core::{
-    derive_variants, describe_variant, Engine, EngineConfig, Evaluator, ExecBackend, Optimizer,
-    SearchOptions, Tuned,
+    derive_variants, describe_variant, run_manifest, Engine, EngineConfig, Evaluator, ExecBackend,
+    OptimizeReport, Optimizer, SearchOptions, Tuned,
 };
 use eco_ir::Program;
 use eco_kernels::Kernel;
@@ -50,11 +58,13 @@ use eco_machine::MachineDesc;
 use std::fs;
 
 /// Engine settings shared by every command: thread count and the
-/// optional JSONL trace directory (one file per command label).
+/// optional JSONL telemetry directories (one file per command label).
 struct EngineOpts {
     threads: usize,
     backend: ExecBackend,
     trace_dir: Option<String>,
+    events_dir: Option<String>,
+    json: Option<String>,
 }
 
 impl EngineOpts {
@@ -66,8 +76,18 @@ impl EngineOpts {
             let _ = fs::create_dir_all(dir);
             cfg = cfg.trace(format!("{dir}/{label}.jsonl"));
         }
+        if let Some(dir) = &self.events_dir {
+            let _ = fs::create_dir_all(dir);
+            cfg = cfg.events(format!("{dir}/{label}.events.jsonl"));
+        }
         Engine::with_config(machine.clone(), cfg)
             .unwrap_or_else(|e| panic!("engine for {label}: {e}"))
+    }
+
+    /// The deterministic subset of the engine configuration recorded in
+    /// run manifests (backend and memoization; never threads or paths).
+    fn manifest_config(&self) -> EngineConfig {
+        EngineConfig::new().backend(self.backend)
     }
 }
 
@@ -75,6 +95,8 @@ fn parse_engine_opts(args: &[String]) -> Result<EngineOpts, String> {
     let mut threads = 0usize;
     let mut backend = ExecBackend::Compiled;
     let mut trace_dir = None;
+    let mut events_dir = None;
+    let mut json = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -91,6 +113,12 @@ fn parse_engine_opts(args: &[String]) -> Result<EngineOpts, String> {
             "--trace" => {
                 trace_dir = Some(it.next().ok_or("--trace needs a directory")?.clone());
             }
+            "--events" => {
+                events_dir = Some(it.next().ok_or("--events needs a directory")?.clone());
+            }
+            "--json" => {
+                json = Some(it.next().ok_or("--json needs a file")?.clone());
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -98,6 +126,8 @@ fn parse_engine_opts(args: &[String]) -> Result<EngineOpts, String> {
         threads,
         backend,
         trace_dir,
+        events_dir,
+        json,
     })
 }
 
@@ -144,6 +174,7 @@ fn main() {
         "attribution" => attribution(),
         "modelrank" => model_rank(&eopts),
         "smoke" | "--smoke" => smoke(&eopts),
+        "check" => check(&eopts),
         "all" => {
             let _ = fs::create_dir_all("results");
             table2();
@@ -176,10 +207,68 @@ fn main() {
     }
 }
 
-fn save(name: &str, sweep: Sweep) {
+fn save(name: &str, out: (Sweep, String)) {
     if fs::metadata("results").is_ok() {
-        let _ = fs::write(format!("results/{name}.csv"), sweep.to_csv());
+        let _ = fs::write(format!("results/{name}.csv"), out.0.to_csv());
+        let _ = fs::write(format!("results/{name}.manifest.json"), out.1);
     }
+}
+
+/// Regenerates every committed figure CSV and run manifest in memory
+/// and diffs them byte-for-byte against `results/`; exits nonzero on
+/// any drift or missing file. This is the golden-results gate CI runs.
+fn check(eopts: &EngineOpts) {
+    let outputs = [
+        ("fig4a", fig4(&MachineDesc::sgi_r10000(), "fig4a", eopts)),
+        (
+            "fig4b",
+            fig4(&MachineDesc::ultrasparc_iie(), "fig4b", eopts),
+        ),
+        ("fig5a", fig5(&MachineDesc::sgi_r10000(), "fig5a", eopts)),
+        (
+            "fig5b",
+            fig5(&MachineDesc::ultrasparc_iie(), "fig5b", eopts),
+        ),
+    ];
+    println!("== check: regenerated outputs vs committed results/ ==");
+    let mut drift = 0usize;
+    for (name, (sweep, manifest)) in outputs {
+        let files = [
+            (format!("results/{name}.csv"), sweep.to_csv()),
+            (format!("results/{name}.manifest.json"), manifest),
+        ];
+        for (path, fresh) in files {
+            match fs::read_to_string(&path) {
+                Ok(committed) if committed == fresh => println!("   OK      {path}"),
+                Ok(_) => {
+                    println!("   DRIFT   {path}");
+                    drift += 1;
+                }
+                Err(e) => {
+                    println!("   MISSING {path} ({e})");
+                    drift += 1;
+                }
+            }
+        }
+    }
+    if drift > 0 {
+        eprintln!("repro check: {drift} file(s) drifted from the committed golden results");
+        std::process::exit(1);
+    }
+    println!("   all golden results reproduced byte-for-byte");
+}
+
+/// The search options ECO uses for the figures (also recorded in the
+/// run manifests, so keep this the single source of truth).
+fn eco_search_opts(search_n: i64) -> SearchOptions {
+    SearchOptions::builder()
+        .search_n(search_n)
+        .max_variants(2)
+        // tune on a conflict-prone (power-of-two) size too (see
+        // SearchOptions docs)
+        .robustness_sizes(vec![(search_n as u64).next_power_of_two() as i64])
+        .build()
+        .unwrap_or_else(|e| panic!("search options: {e}"))
 }
 
 /// ECO, tuned once per machine and reused across sizes (the paper: "our
@@ -187,18 +276,34 @@ fn save(name: &str, sweep: Sweep) {
 /// TK=128 for all array sizes"). The search runs against the shared
 /// `engine`, so revisited points are memo hits.
 fn tune_eco(kernel: &Kernel, engine: &Engine, search_n: i64) -> Tuned {
-    let opts = SearchOptions::builder()
-        .search_n(search_n)
-        .max_variants(2)
-        // tune on a conflict-prone (power-of-two) size too (see
-        // SearchOptions docs)
-        .robustness_sizes(vec![(search_n as u64).next_power_of_two() as i64])
-        .build()
-        .unwrap_or_else(|e| panic!("search options: {e}"));
     let mut opt = Optimizer::new(engine.machine().clone());
-    opt.opts = opts;
+    opt.opts = eco_search_opts(search_n);
     opt.run_with(kernel, engine)
         .unwrap_or_else(|e| panic!("ECO tuning failed: {e}"))
+}
+
+/// The figure's run manifest: built right after tuning, while the
+/// engine stats still describe the search alone (deterministic at any
+/// thread count because batching is).
+fn figure_manifest(
+    kernel: &Kernel,
+    engine: &Engine,
+    eopts: &EngineOpts,
+    search_n: i64,
+    tuned: &Tuned,
+) -> String {
+    let report = OptimizeReport {
+        tuned: tuned.clone(),
+        engine: engine.stats(),
+    };
+    run_manifest(
+        &kernel.name,
+        engine.machine(),
+        &eco_search_opts(search_n),
+        &eopts.manifest_config(),
+        &report,
+    )
+    .render()
 }
 
 // ---------------------------------------------------------------- T1
@@ -308,7 +413,7 @@ fn table4() {
 
 // ---------------------------------------------------------------- F4
 
-fn fig4(machine_full: &MachineDesc, label: &str, eopts: &EngineOpts) -> Sweep {
+fn fig4(machine_full: &MachineDesc, label: &str, eopts: &EngineOpts) -> (Sweep, String) {
     println!(
         "== Figure 4 ({label}): Matrix Multiply MFLOPS vs size on {} ==",
         machine_full.name
@@ -319,6 +424,7 @@ fn fig4(machine_full: &MachineDesc, label: &str, eopts: &EngineOpts) -> Sweep {
     let sizes = mm_figure_sizes();
 
     let eco = tune_eco(&kernel, &engine, 120);
+    let manifest = figure_manifest(&kernel, &engine, eopts, 120, &eco);
     println!(
         "   ECO picked {} with {:?}, prefetches {:?} ({} search points)",
         eco.variant.name, eco.params, eco.prefetches, eco.stats.points
@@ -345,12 +451,12 @@ fn fig4(machine_full: &MachineDesc, label: &str, eopts: &EngineOpts) -> Sweep {
     print!("{}", sweep.to_table());
     print_engine_stats(&engine);
     println!();
-    sweep
+    (sweep, manifest)
 }
 
 // ---------------------------------------------------------------- F5
 
-fn fig5(machine_full: &MachineDesc, label: &str, eopts: &EngineOpts) -> Sweep {
+fn fig5(machine_full: &MachineDesc, label: &str, eopts: &EngineOpts) -> (Sweep, String) {
     println!(
         "== Figure 5 ({label}): Jacobi MFLOPS vs size on {} ==",
         machine_full.name
@@ -361,6 +467,7 @@ fn fig5(machine_full: &MachineDesc, label: &str, eopts: &EngineOpts) -> Sweep {
     let sizes = jacobi_figure_sizes();
 
     let eco = tune_eco(&kernel, &engine, 40);
+    let manifest = figure_manifest(&kernel, &engine, eopts, 40, &eco);
     println!(
         "   ECO picked {} with {:?}, prefetches {:?} ({} search points)",
         eco.variant.name, eco.params, eco.prefetches, eco.stats.points
@@ -373,7 +480,7 @@ fn fig5(machine_full: &MachineDesc, label: &str, eopts: &EngineOpts) -> Sweep {
     print!("{}", sweep.to_table());
     print_engine_stats(&engine);
     println!();
-    sweep
+    (sweep, manifest)
 }
 
 // ---------------------------------------------------------------- §4.3
@@ -627,6 +734,16 @@ fn smoke(eopts: &EngineOpts) {
         results.len()
     );
     assert_eq!(ok, results.len(), "smoke points must all simulate cleanly");
+    if let Some(path) = &eopts.json {
+        let doc = Json::obj()
+            .field("backend", Json::str(format!("{:?}", engine.backend())))
+            .field("threads", Json::UInt(engine.threads() as u64))
+            .field("points", Json::UInt(evaluated))
+            .field("secs", Json::Float(secs))
+            .field("points_per_sec", Json::Float(evaluated as f64 / secs));
+        fs::write(path, doc.render())
+            .unwrap_or_else(|e| panic!("cannot write smoke json {path}: {e}"));
+    }
     println!();
 }
 

@@ -41,14 +41,16 @@
 //! ```
 
 mod codegen;
+pub mod manifest;
 pub mod model;
 mod search;
 mod variant;
 
 pub use codegen::generate;
+pub use manifest::{machine_fingerprint, run_manifest};
 pub use search::{
-    stages, OptimizeReport, OptimizeRequest, Optimizer, SearchOptions, SearchOptionsBuilder,
-    SearchStats, SearchStrategy, Tuned,
+    stages, strategy_name, OptimizeReport, OptimizeRequest, Optimizer, SearchOptions,
+    SearchOptionsBuilder, SearchStats, SearchStrategy, Tuned,
 };
 pub use variant::{
     derive_variants, describe_variant, Constraint, CopyPlan, LevelPlan, ParamValues, Variant,
@@ -58,6 +60,11 @@ pub use variant::{
 /// search, the baselines and the benches all consume the same
 /// [`Evaluator`] API.
 pub use eco_exec::{Engine, EngineConfig, EngineStats, EvalJob, Evaluator, ExecBackend};
+
+/// The structured observability layer (event streams, spans, the
+/// deterministic JSON used by run manifests), re-exported from
+/// `eco-exec` so callers address one crate.
+pub use eco_exec::events;
 
 use eco_analysis::NestError;
 use eco_exec::ExecError;

@@ -29,12 +29,13 @@ use crate::codegen::generate;
 use crate::variant::{derive_variants, ParamValues, Variant};
 use crate::EcoError;
 use eco_analysis::NestInfo;
+use eco_exec::events::{Attrs, Scope, SpanId};
 use eco_exec::{Counters, Engine, EngineConfig, EngineStats, EvalJob, Evaluator, Params};
 use eco_ir::{ArrayId, Program};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
 use eco_transform::insert_prefetch;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Candidates per wave for the non-guided (grid/random) strategies: a
 /// fixed batch size, *not* the thread count, so search decisions are
@@ -251,6 +252,13 @@ pub struct SearchStats {
     pub variants_derived: usize,
     /// Variants fully searched after screening.
     pub variants_searched: usize,
+    /// Points generated per search stage, stage names sorted
+    /// (deterministic; recorded in run manifests).
+    pub per_stage: Vec<(String, usize)>,
+    /// How the winning point's cycle count evolved through the stages:
+    /// `(stage, cycles)` milestones of the selected variant, in search
+    /// order.
+    pub lineage: Vec<(String, u64)>,
 }
 
 /// The result of optimizing a kernel.
@@ -337,11 +345,42 @@ struct PointEval<'a> {
     /// memo cache's job, so repeated points surface as cache hits.
     programs: HashMap<String, Option<Program>>,
     points: usize,
+    /// Points generated per stage label (for [`SearchStats::per_stage`]).
+    per_stage: BTreeMap<String, usize>,
     /// Current search stage, recorded in trace labels.
     stage: &'static str,
+    /// The observability scope (no-op when events are off) and the span
+    /// measurements are currently attributed to.
+    scope: Scope,
+    span: Option<SpanId>,
 }
 
 impl PointEval<'_> {
+    /// Opens a stage span under the current span and redirects point
+    /// attribution into it; returns the state [`PointEval::leave`]
+    /// restores.
+    fn enter(
+        &mut self,
+        stage: &'static str,
+        attrs: Attrs,
+    ) -> (&'static str, Option<SpanId>, Option<SpanId>) {
+        let opened = self.scope.span(stage, self.span, attrs);
+        let saved = (self.stage, self.span, opened);
+        self.stage = stage;
+        if opened.is_some() {
+            self.span = opened;
+        }
+        saved
+    }
+
+    /// Closes the span opened by the matching [`PointEval::enter`] and
+    /// restores the previous stage attribution.
+    fn leave(&mut self, saved: (&'static str, Option<SpanId>, Option<SpanId>), attrs: Attrs) {
+        let (stage, span, opened) = saved;
+        self.scope.close(opened, attrs);
+        self.stage = stage;
+        self.span = span;
+    }
     /// The generated program for a point, `None` if generation or
     /// prefetch insertion is infeasible.
     fn program_for(
@@ -371,6 +410,7 @@ impl PointEval<'_> {
         })();
         if program.is_some() {
             self.points += 1;
+            *self.per_stage.entry(self.stage.to_string()).or_insert(0) += 1;
         }
         self.programs.insert(key, program.clone());
         program
@@ -389,7 +429,8 @@ impl PointEval<'_> {
                     for &n in &self.sizes {
                         jobs.push(
                             EvalJob::new(program.clone(), Params::new().with(self.kernel.size, n))
-                                .with_label(format!("{}/{}", pt.variant.name, self.stage)),
+                                .with_label(format!("{}/{}", pt.variant.name, self.stage))
+                                .in_span(self.span),
                         );
                     }
                     spans.push(Some(start..jobs.len()));
@@ -488,6 +529,39 @@ impl Optimizer {
                 self.machine.name
             )));
         }
+        let scope = Scope::new(engine.events().cloned());
+        let root = scope.span(
+            "optimize",
+            None,
+            Attrs::new()
+                .str("kernel", &kernel.program.name)
+                .int("search_n", self.opts.search_n)
+                .str("strategy", strategy_name(&self.opts.strategy)),
+        );
+        let result = self.search(kernel, engine, &scope, root);
+        match &result {
+            Ok(t) => scope.close(
+                root,
+                Attrs::new()
+                    .uint("points", t.stats.points as u64)
+                    .str("selected", &t.variant.name)
+                    .uint("cycles", t.counters.cycles()),
+            ),
+            Err(e) => scope.close(root, Attrs::new().str("error", e.to_string())),
+        }
+        scope.flush();
+        result
+    }
+
+    /// The body of [`Optimizer::run_with`], running inside the
+    /// `optimize` root span (the caller closes it on every path).
+    fn search(
+        &self,
+        kernel: &Kernel,
+        engine: &dyn Evaluator,
+        scope: &Scope,
+        root: Option<SpanId>,
+    ) -> Result<Tuned, EcoError> {
         let nest = NestInfo::from_program(&kernel.program)?;
         let mut variants = derive_variants(&nest, &self.machine, &kernel.program);
         let variants_derived = variants.len();
@@ -518,7 +592,10 @@ impl Optimizer {
             sizes,
             programs: HashMap::new(),
             points: 0,
+            per_stage: BTreeMap::new(),
             stage: "screen",
+            scope: scope.clone(),
+            span: root,
         };
 
         // ---- screening: one model-derived point per variant ----
@@ -528,6 +605,10 @@ impl Optimizer {
         // search detects the largest unroll factors that do not cause
         // register pressure". All variants still screening in a round
         // are evaluated as one batch.
+        let screen_span = ev.enter(
+            "screen",
+            Attrs::new().uint("variants", variants.len() as u64),
+        );
         let mut slots: Vec<(Variant, ParamValues, Option<u64>)> = variants
             .into_iter()
             .map(|v| {
@@ -579,18 +660,45 @@ impl Optimizer {
             .into_iter()
             .filter_map(|(v, init, c)| c.map(|c| (v, init, c)))
             .collect();
-        if screened.is_empty() {
-            return Err(EcoError::NoVariants);
-        }
         screened.sort_by_key(|&(_, _, c)| c);
         screened.truncate(self.opts.max_variants);
         let variants_searched = screened.len();
+        for (v, _, c) in &screened {
+            ev.scope.event(
+                "variant_kept",
+                ev.span,
+                Attrs::new().str("variant", &v.name).uint("cycles", *c),
+            );
+        }
+        ev.leave(
+            screen_span,
+            Attrs::new().uint("kept", variants_searched as u64),
+        );
+        if screened.is_empty() {
+            return Err(EcoError::NoVariants);
+        }
 
         // ---- full search per surviving variant ----
-        type BestPoint = (Variant, ParamValues, Vec<(ArrayId, i64)>, u64);
+        type BestPoint = (
+            Variant,
+            ParamValues,
+            Vec<(ArrayId, i64)>,
+            u64,
+            Vec<(String, u64)>,
+        );
         let mut best: Option<BestPoint> = None;
-        for (variant, init, _) in screened {
+        for (variant, init, screen_cycles) in screened {
             let mut params = init;
+            let mut lineage = vec![("screen".to_string(), screen_cycles)];
+            let vsaved = ev.span;
+            let vspan = ev.scope.span(
+                "variant",
+                ev.span,
+                Attrs::new().str("variant", &variant.name),
+            );
+            if vspan.is_some() {
+                ev.span = vspan;
+            }
             ev.stage = "tiles";
             match &self.opts.strategy {
                 SearchStrategy::Guided => {
@@ -605,20 +713,39 @@ impl Optimizer {
                     random_search(&mut ev, &variant, &mut params, *points, *seed);
                 }
             }
+            ev.stage = "tiles";
             let mut cycles = match ev.eval_one(&variant, &params, &[]) {
                 Some(c) => c,
-                None => continue,
+                None => {
+                    ev.scope
+                        .close(vspan, Attrs::new().str("outcome", "infeasible"));
+                    ev.span = vsaved;
+                    continue;
+                }
             };
+            lineage.push(("tiles".to_string(), cycles));
             // prefetch search, one data structure at a time
-            ev.stage = "prefetch";
+            let pf_span = ev.enter("prefetch", Attrs::new());
             let mut plan: Vec<(ArrayId, i64)> = Vec::new();
-            for array in self.prefetch_candidates(&ev, &variant, &params) {
+            for (array, array_name) in self.prefetch_candidates(&ev, &variant, &params) {
+                let decision = |ev: &mut PointEval<'_>, kept: bool, d: i64, cycles: u64| {
+                    ev.scope.event(
+                        "prefetch_decision",
+                        ev.span,
+                        Attrs::new()
+                            .str("array", &array_name)
+                            .bool("kept", kept)
+                            .int("distance", d)
+                            .uint("cycles", cycles),
+                    );
+                };
                 let mut cand: Vec<(ArrayId, i64)> = plan.clone();
                 cand.push((array, 1));
                 let Some(c1) = ev.eval_one(&variant, &params, &cand) else {
                     continue;
                 };
                 if c1 >= cycles {
+                    decision(&mut ev, false, 1, c1);
                     continue; // no benefit: remove the prefetch
                 }
                 // Distance 1 helps: sweep the other distances as one
@@ -650,9 +777,12 @@ impl Optimizer {
                 cand.last_mut().expect("candidate").1 = best_d.0;
                 plan.push((array, best_d.0));
                 cycles = best_d.1;
+                decision(&mut ev, true, best_d.0, best_d.1);
             }
+            ev.leave(pf_span, Attrs::new().uint("kept", plan.len() as u64));
+            lineage.push(("prefetch".to_string(), cycles));
             // adjust tiling after prefetch: grow the innermost tile
-            ev.stage = "adjust";
+            let adj_span = ev.enter("adjust", Attrs::new());
             if let Some(nm) = variant.tile_param(variant.register_carrier()) {
                 let nm = nm.to_string();
                 loop {
@@ -668,12 +798,16 @@ impl Optimizer {
                     }
                 }
             }
-            if best.as_ref().is_none_or(|&(_, _, _, b)| cycles < b) {
-                best = Some((variant, params, plan, cycles));
+            ev.leave(adj_span, Attrs::new().uint("cycles", cycles));
+            lineage.push(("adjust".to_string(), cycles));
+            ev.scope.close(vspan, Attrs::new().uint("cycles", cycles));
+            ev.span = vsaved;
+            if best.as_ref().is_none_or(|&(_, _, _, b, _)| cycles < b) {
+                best = Some((variant, params, plan, cycles, lineage));
             }
         }
 
-        let (variant, params, plan, _) = best.ok_or(EcoError::NoVariants)?;
+        let (variant, params, plan, _, lineage) = best.ok_or(EcoError::NoVariants)?;
         let mut program = generate(kernel, &nest, &variant, &params, &self.machine)?;
         let mut prefetches = Vec::new();
         for &(array, d) in &plan {
@@ -683,7 +817,8 @@ impl Optimizer {
         let exec_params = Params::new().with(kernel.size, self.opts.search_n);
         let counters = engine.eval(
             EvalJob::new(program.clone(), exec_params)
-                .with_label(format!("{}/final", variant.name)),
+                .with_label(format!("{}/final", variant.name))
+                .in_span(root),
         )?;
         Ok(Tuned {
             variant,
@@ -695,6 +830,8 @@ impl Optimizer {
                 points: ev.points,
                 variants_derived,
                 variants_searched,
+                per_stage: ev.per_stage.into_iter().collect(),
+                lineage,
             },
         })
     }
@@ -789,13 +926,17 @@ impl Optimizer {
         params: &mut ParamValues,
         stage: &[String],
     ) {
+        let group = ev.enter("stage", Attrs::new().str("params", stage.join(",")));
+        ev.stage = "tiles";
         let Some(mut best) = ev.eval_one(variant, params, &[]) else {
+            ev.leave(group, Attrs::new().str("outcome", "infeasible"));
             return;
         };
         let shape_pass = |ev: &mut PointEval<'_>, params: &mut ParamValues, best: &mut u64| {
             if stage.len() < 2 {
                 return;
             }
+            let span = ev.enter("shape", Attrs::new());
             loop {
                 // Propose every double-one/halve-another move from the
                 // current point, evaluate them together, keep the best.
@@ -831,9 +972,11 @@ impl Optimizer {
                     None => break,
                 }
             }
+            ev.leave(span, Attrs::new().uint("cycles", *best));
         };
         shape_pass(ev, params, &mut best);
         // footprint halving
+        let halve_span = ev.enter("halve", Attrs::new());
         loop {
             let largest = stage
                 .iter()
@@ -858,8 +1001,10 @@ impl Optimizer {
                 }
             }
         }
+        ev.leave(halve_span, Attrs::new().uint("cycles", best));
         // linear refinement: both nudges of a parameter go out as one
         // batch; the up-move wins ties, like the serial scan it replaces.
+        let refine_span = ev.enter("refine", Attrs::new());
         for nm in stage {
             loop {
                 let cur = params[nm];
@@ -893,16 +1038,20 @@ impl Optimizer {
                 }
             }
         }
+        ev.leave(refine_span, Attrs::new().uint("cycles", best));
+        ev.leave(group, Attrs::new().uint("cycles", best));
     }
 
     /// Arrays referenced in the generated innermost loop — the prefetch
-    /// candidates, tried one at a time.
+    /// candidates, tried one at a time — with their names (ids index the
+    /// *generated* program, which may add copy buffers the kernel
+    /// program does not have).
     fn prefetch_candidates(
         &self,
         ev: &PointEval<'_>,
         variant: &Variant,
         params: &ParamValues,
-    ) -> Vec<ArrayId> {
+    ) -> Vec<(ArrayId, String)> {
         let Ok(program) = generate(ev.kernel, ev.nest, variant, params, &self.machine) else {
             return Vec::new();
         };
@@ -912,12 +1061,22 @@ impl Optimizer {
         let mut arrays = Vec::new();
         for s in &inner.body {
             s.for_each_ref(&mut |r, _| {
-                if !arrays.contains(&r.array) {
-                    arrays.push(r.array);
+                if !arrays.iter().any(|&(a, _)| a == r.array) {
+                    arrays.push((r.array, program.array(r.array).name.clone()));
                 }
             });
         }
         arrays
+    }
+}
+
+/// The short tag naming a [`SearchStrategy`] in the root `optimize`
+/// span and in run manifests.
+pub fn strategy_name(s: &SearchStrategy) -> &'static str {
+    match s {
+        SearchStrategy::Guided => "guided",
+        SearchStrategy::Grid { .. } => "grid",
+        SearchStrategy::Random { .. } => "random",
     }
 }
 

@@ -26,7 +26,14 @@
 //!   in the CLIs);
 //! * **telemetry** — an optional JSONL search trace records one line per
 //!   submitted job (label, program, params, counters, cache-hit flag,
-//!   wall time).
+//!   wall time); an optional structured **event stream**
+//!   ([`eco_events::EventStream`], `--events` in the CLIs) additionally
+//!   records per-job `point` events (memo hit/miss, status, wall time),
+//!   per-batch `batch` events (jobs, unique work, worker threads used),
+//!   `plan_compile` events (lowering statistics and compile time per
+//!   program), and running `engine_stats` counter snapshots. The search
+//!   layers its stage spans on the same stream via
+//!   [`Evaluator::events`].
 //!
 //! Consumers program against the [`Evaluator`] trait rather than the
 //! concrete engine, so tests can substitute counting or failing
@@ -73,7 +80,7 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs::File;
-use std::hash::{Hash, Hasher};
+use std::hash::{Hash, Hasher as _};
 use std::io::{BufWriter, Write as _};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -85,6 +92,7 @@ use crate::layout::{LayoutOptions, Params};
 use crate::plan::ExecutablePlan;
 use crate::trace::measure_reference;
 use eco_cachesim::Counters;
+use eco_events::{json_escape, Attrs, EventStream, Fnv64, SpanId};
 use eco_ir::Program;
 use eco_machine::MachineDesc;
 
@@ -101,6 +109,10 @@ pub struct EvalJob {
     /// Free-form tag carried into the JSONL trace (e.g. variant name or
     /// search stage); not part of the memo key.
     pub label: String,
+    /// Event-stream span this job's `point` event is attributed to
+    /// (e.g. the search stage that proposed it); not part of the memo
+    /// key.
+    pub span: Option<SpanId>,
 }
 
 impl EvalJob {
@@ -111,6 +123,7 @@ impl EvalJob {
             params,
             layout: LayoutOptions::default(),
             label: String::new(),
+            span: None,
         }
     }
 
@@ -118,6 +131,13 @@ impl EvalJob {
     #[must_use]
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
         self.label = label.into();
+        self
+    }
+
+    /// Attributes the job's `point` event to a span (builder style).
+    #[must_use]
+    pub fn in_span(mut self, span: Option<SpanId>) -> Self {
+        self.span = span;
         self
     }
 
@@ -138,29 +158,6 @@ impl EvalJob {
 /// persisted).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EvalKey(u64, u64);
-
-/// FNV-1a, used both as a raw byte hasher and as a `std::hash::Hasher`
-/// so `#[derive(Hash)]` types (like `MachineDesc`) can feed it.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-}
-
-impl Hasher for Fnv {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-}
 
 /// Running totals of an engine's work.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -230,17 +227,23 @@ pub struct EngineConfig {
     /// is created (truncated) when the engine is built, so each engine
     /// produces a fresh trace.
     pub trace_path: Option<PathBuf>,
+    /// Writes the structured observability event stream (spans, point
+    /// events, plan compilations, counter snapshots) to this file. Like
+    /// the trace, the file is created when the engine is built and an
+    /// unwritable path fails fast.
+    pub events_path: Option<PathBuf>,
     /// Which executor jobs run through (compiled plan by default).
     pub backend: ExecBackend,
 }
 
 impl EngineConfig {
-    /// Auto thread count, memoization on, no trace.
+    /// Auto thread count, memoization on, no trace, no events.
     pub fn new() -> Self {
         EngineConfig {
             threads: 0,
             memoize: true,
             trace_path: None,
+            events_path: None,
             backend: ExecBackend::Compiled,
         }
     }
@@ -263,6 +266,13 @@ impl EngineConfig {
     #[must_use]
     pub fn trace(mut self, path: impl Into<PathBuf>) -> Self {
         self.trace_path = Some(path.into());
+        self
+    }
+
+    /// Sets the JSONL event-stream path (builder style).
+    #[must_use]
+    pub fn events(mut self, path: impl Into<PathBuf>) -> Self {
+        self.events_path = Some(path.into());
         self
     }
 
@@ -305,6 +315,13 @@ pub trait Evaluator {
     fn stats(&self) -> EngineStats {
         EngineStats::default()
     }
+
+    /// The observability event stream this evaluator writes to, if any.
+    /// The search attaches its stage spans to the same stream, so one
+    /// file tells the whole story of a run.
+    fn events(&self) -> Option<&Arc<EventStream>> {
+        None
+    }
 }
 
 /// The production [`Evaluator`]: a thread-pool simulator with a
@@ -322,6 +339,7 @@ pub struct Engine {
     plans: Mutex<HashMap<u64, Arc<ExecutablePlan>>>,
     stats: Mutex<EngineStats>,
     trace: Option<Mutex<BufWriter<File>>>,
+    events: Option<Arc<EventStream>>,
     seq: AtomicUsize,
 }
 
@@ -336,18 +354,29 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Fails only if the configured trace file cannot be created.
+    /// Fails only if a configured trace or event-stream file cannot be
+    /// created — detected here, before any evaluation runs, so a bad
+    /// path fails fast with [`ExecError::Telemetry`].
     pub fn with_config(machine: MachineDesc, config: EngineConfig) -> Result<Self, ExecError> {
+        let telemetry_err = |kind: &str, path: &PathBuf, e: std::io::Error| ExecError::Telemetry {
+            kind: kind.to_string(),
+            path: path.display().to_string(),
+            msg: e.to_string(),
+        };
         let trace = match &config.trace_path {
             Some(path) => {
-                let file = File::create(path).map_err(|e| {
-                    ExecError::Invalid(format!("cannot open trace file {}: {e}", path.display()))
-                })?;
+                let file = File::create(path).map_err(|e| telemetry_err("trace", path, e))?;
                 Some(Mutex::new(BufWriter::new(file)))
             }
             None => None,
         };
-        let mut fp = Fnv::new();
+        let events = match &config.events_path {
+            Some(path) => Some(Arc::new(
+                EventStream::to_file(path).map_err(|e| telemetry_err("events", path, e))?,
+            )),
+            None => None,
+        };
+        let mut fp = Fnv64::new();
         machine.hash(&mut fp);
         Ok(Engine {
             machine_fp: fp.finish(),
@@ -358,6 +387,7 @@ impl Engine {
             plans: Mutex::new(HashMap::new()),
             stats: Mutex::new(EngineStats::default()),
             trace,
+            events,
             seq: AtomicUsize::new(0),
             machine,
         })
@@ -375,12 +405,31 @@ impl Engine {
 
     /// The memoized plan for `program` (fingerprint `fp`), lowering it on
     /// first sight. Concurrent first sights may compile twice; the first
-    /// insertion wins and is returned by both.
+    /// insertion wins and is returned by both. Each actual compilation
+    /// emits a `plan_compile` event carrying the lowering statistics.
     fn plan_for(&self, program: &Program, fp: u64) -> Result<Arc<ExecutablePlan>, ExecError> {
         if let Some(plan) = self.plans.lock().expect("plan lock").get(&fp) {
             return Ok(Arc::clone(plan));
         }
+        let started = Instant::now();
         let plan = Arc::new(ExecutablePlan::compile(program)?);
+        if let Some(events) = &self.events {
+            let s = plan.lowering_stats();
+            events.event(
+                "plan_compile",
+                None,
+                Attrs::new()
+                    .str("program", &program.name)
+                    .str("fingerprint", format!("{fp:#018x}"))
+                    .uint("wall_us", started.elapsed().as_micros() as u64)
+                    .uint("insts", s.insts as u64)
+                    .uint("sites", s.sites as u64)
+                    .uint("vops", s.vops as u64)
+                    .uint("fused_loops", s.fused_loops as u64)
+                    .uint("guarded_runs", s.guarded_runs as u64)
+                    .uint("hoisted_guards", s.hoisted_guards as u64),
+            );
+        }
         Ok(Arc::clone(
             self.plans
                 .lock()
@@ -392,11 +441,7 @@ impl Engine {
 
     /// The memo key of `job` on this engine.
     pub fn key(&self, job: &EvalJob) -> EvalKey {
-        let mut h1 = Fnv::new();
-        h1.write(job.program.name.as_bytes());
-        h1.write(&[0]);
-        h1.write(job.program.to_string().as_bytes());
-        let mut h2 = Fnv::new();
+        let mut h2 = Fnv64::new();
         h2.write_u64(self.machine_fp);
         h2.write_u64(job.layout.base_addr);
         h2.write_u64(job.layout.inter_array_pad_bytes);
@@ -404,8 +449,26 @@ impl Engine {
             h2.write_u32(v.index() as u32);
             h2.write_i64(val);
         }
-        EvalKey(h1.finish(), h2.finish())
+        EvalKey(program_fingerprint(&job.program), h2.finish())
     }
+
+    /// The machine-description fingerprint folded into every memo key;
+    /// recorded in run manifests.
+    pub fn machine_fingerprint(&self) -> u64 {
+        self.machine_fp
+    }
+}
+
+/// The content fingerprint of a program: FNV-1a over its name and full
+/// pretty-printed text. This is the program component of [`EvalKey`],
+/// the plan-memoization key, and the `program_fingerprint` field of run
+/// manifests.
+pub fn program_fingerprint(program: &Program) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(program.name.as_bytes());
+    h.write(&[0]);
+    h.write(program.to_string().as_bytes());
+    h.finish()
 }
 
 /// How an output slot of a batch gets its result.
@@ -424,6 +487,7 @@ impl Evaluator for Engine {
     }
 
     fn eval_batch(&self, jobs: &[EvalJob]) -> Vec<Result<Counters, ExecError>> {
+        let batch_start = Instant::now();
         // Phase 1: classify each job against the memo cache and within
         // the batch, preserving submission order in `slots`.
         let keys: Vec<EvalKey> = jobs.iter().map(|j| self.key(j)).collect();
@@ -524,16 +588,59 @@ impl Evaluator for Engine {
                 let mut w = trace.lock().expect("trace lock");
                 let _ = writeln!(w, "{line}");
             }
+            if let Some(events) = &self.events {
+                let mut attrs = Attrs::new()
+                    .str("label", &jobs[i].label)
+                    .str("program", &jobs[i].program.name)
+                    .bool("cache_hit", cache_hit)
+                    .uint("wall_us", wall_us);
+                attrs = match &result {
+                    Ok(c) => attrs.str("status", "ok").uint("cycles", c.cycles()),
+                    Err(e) => attrs.str("status", "error").str("error", e.to_string()),
+                };
+                events.event("point", jobs[i].span, attrs);
+            }
             out.push(result);
         }
         if let Some(trace) = &self.trace {
             let _ = trace.lock().expect("trace lock").flush();
+        }
+        if let Some(events) = &self.events {
+            events.event(
+                "batch",
+                None,
+                Attrs::new()
+                    .uint("jobs", jobs.len() as u64)
+                    .uint("unique", unique.len() as u64)
+                    .uint("memo_hits", (jobs.len() - unique.len()) as u64)
+                    .uint(
+                        "errors",
+                        ran.iter().filter(|(r, _)| r.is_err()).count() as u64,
+                    )
+                    .uint("workers", workers as u64)
+                    .uint("wall_us", batch_start.elapsed().as_micros() as u64),
+            );
+            let s = self.stats();
+            events.event(
+                "engine_stats",
+                None,
+                Attrs::new()
+                    .uint("requested", s.requested)
+                    .uint("evaluated", s.evaluated)
+                    .uint("cache_hits", s.cache_hits)
+                    .uint("errors", s.errors),
+            );
+            events.flush();
         }
         out
     }
 
     fn stats(&self) -> EngineStats {
         *self.stats.lock().expect("stats lock")
+    }
+
+    fn events(&self) -> Option<&Arc<EventStream>> {
+        self.events.as_ref()
     }
 }
 
@@ -607,25 +714,6 @@ fn trace_record(
     }
     s.push('}');
     s
-}
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -807,5 +895,65 @@ mod tests {
         assert!(lines[0].contains("\"label\":\"unit\\\"test\""));
         assert!(lines[2].contains("\"cycles\":"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn event_stream_records_points_batches_and_plan_compiles() {
+        use eco_events::{check_stream, field};
+        let (p, n) = stream("s");
+        let dir = std::env::temp_dir().join(format!("eco-engine-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("events.jsonl");
+        let engine =
+            Engine::with_config(machine(), EngineConfig::new().events(&path)).expect("config");
+        let job = |sz: i64| EvalJob::new(p.clone(), Params::new().with(n, sz)).with_label("t");
+        engine.eval_batch(&[job(16), job(16), job(32)]);
+        engine.eval_batch(&[job(32)]);
+        let text = std::fs::read_to_string(&path).expect("events written");
+        let summary = check_stream(&text).expect("valid stream");
+        // 3 + 1 point events; one batch + engine_stats per eval_batch call;
+        // one program lowered once => one plan_compile.
+        assert_eq!(summary.events_named("point"), 4);
+        assert_eq!(summary.events_named("batch"), 2);
+        assert_eq!(summary.events_named("engine_stats"), 2);
+        assert_eq!(summary.events_named("plan_compile"), 1);
+        // Memo hits in point events must equal the engine's cache_hits.
+        let hits = text
+            .lines()
+            .filter(|l| field(l, "name") == Some("point"))
+            .filter(|l| field(l, "cache_hit") == Some("true"))
+            .count() as u64;
+        assert_eq!(hits, engine.stats().cache_hits);
+        assert_eq!(engine.stats().cache_hits, 2);
+        // The final engine_stats snapshot matches stats().
+        let last = text
+            .lines()
+            .rfind(|l| field(l, "name") == Some("engine_stats"))
+            .expect("snapshot");
+        assert_eq!(field(last, "requested"), Some("4"));
+        assert_eq!(field(last, "evaluated"), Some("2"));
+        assert_eq!(field(last, "cache_hits"), Some("2"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_telemetry_paths_fail_fast_with_clear_errors() {
+        let bad = PathBuf::from("/nonexistent-dir/eco-telemetry.jsonl");
+        for (kind, config) in [
+            ("trace", EngineConfig::new().trace(&bad)),
+            ("events", EngineConfig::new().events(&bad)),
+        ] {
+            let err = Engine::with_config(machine(), config).expect_err("must fail");
+            match &err {
+                ExecError::Telemetry { kind: k, path, .. } => {
+                    assert_eq!(k, kind);
+                    assert_eq!(path, &bad.display().to_string());
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+            let msg = err.to_string();
+            assert!(msg.contains(&format!("cannot create {kind} file")), "{msg}");
+            assert!(!msg.contains("invalid program"), "{msg}");
+        }
     }
 }

@@ -27,6 +27,17 @@ pub enum ExecError {
     },
     /// The program failed structural validation.
     Invalid(String),
+    /// A telemetry output file (`--trace` or `--events`) could not be
+    /// created. Raised when the engine is built, before any work runs,
+    /// so a bad path fails fast instead of surfacing after the search.
+    Telemetry {
+        /// What the file was for (`"trace"`, `"events"`).
+        kind: String,
+        /// The offending path.
+        path: String,
+        /// The underlying I/O error.
+        msg: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -42,6 +53,9 @@ impl fmt::Display for ExecError {
                 extents,
             } => write!(f, "access {array}{indices:?} outside extents {extents:?}"),
             ExecError::Invalid(msg) => write!(f, "invalid program: {msg}"),
+            ExecError::Telemetry { kind, path, msg } => {
+                write!(f, "cannot create {kind} file {path}: {msg}")
+            }
         }
     }
 }

@@ -7,7 +7,7 @@
 //!   program meaning;
 //! * [`measure`] runs a program *architecturally*: it generates the exact
 //!   memory-access trace and drives the `eco-cachesim` hierarchy,
-//!   returning PAPI-like [`Counters`](eco_cachesim::Counters). This is
+//!   returning PAPI-like [`Counters`]. This is
 //!   the reproduction's substitute for executing candidate variants on
 //!   real hardware during the paper's empirical search.
 //!
@@ -62,12 +62,20 @@ mod layout;
 mod plan;
 mod trace;
 
-pub use engine::{Engine, EngineConfig, EngineStats, EvalJob, EvalKey, Evaluator, ExecBackend};
+pub use engine::{
+    program_fingerprint, Engine, EngineConfig, EngineStats, EvalJob, EvalKey, Evaluator,
+    ExecBackend,
+};
 pub use error::ExecError;
 pub use interp::interpret;
 pub use layout::{ArrayLayout, LayoutOptions, Params, Storage};
-pub use plan::{measure, measure_attributed, ExecutablePlan};
+pub use plan::{measure, measure_attributed, ExecutablePlan, LoweringStats};
 pub use trace::{measure_attributed_reference, measure_reference};
+
+/// The structured observability layer (spans, events, deterministic JSON
+/// manifests) the engine and search write through; re-exported so
+/// downstream crates need no direct `eco-events` dependency.
+pub use eco_events as events;
 
 /// The one canonical counter type: `eco-cachesim` produces it, everything
 /// downstream (search, baselines, benches) should import it from here so

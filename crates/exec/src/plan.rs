@@ -128,6 +128,27 @@ struct GuardedRun {
     flops: u64,
 }
 
+/// Static facts about one lowering, reported through the engine's
+/// `plan_compile` observability event: how much of the program the
+/// lowering managed to put on its fast paths.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoweringStats {
+    /// Bytecode instructions.
+    pub insts: usize,
+    /// Static memory-access sites.
+    pub sites: usize,
+    /// Value micro-ops.
+    pub vops: usize,
+    /// Innermost loops fused into native strided-stream execution
+    /// (`Inst::Fused`) — the lowering's main win.
+    pub fused_loops: usize,
+    /// Guarded straight-line runs inside fused loops.
+    pub guarded_runs: usize,
+    /// Guard conditions hoisted out of fused loops (each is evaluated
+    /// once at loop entry instead of per iteration).
+    pub hoisted_guards: usize,
+}
+
 /// A program lowered to flat bytecode, ready to execute at any
 /// parameter point.
 ///
@@ -177,6 +198,22 @@ impl ExecutablePlan {
     /// Number of memory-access sites in the bytecode.
     pub fn num_sites(&self) -> usize {
         self.sites.len()
+    }
+
+    /// Static lowering statistics for this plan.
+    pub fn lowering_stats(&self) -> LoweringStats {
+        LoweringStats {
+            insts: self.insts.len(),
+            sites: self.sites.len(),
+            vops: self.vops.len(),
+            fused_loops: self
+                .insts
+                .iter()
+                .filter(|i| matches!(i, Inst::Fused { .. }))
+                .count(),
+            guarded_runs: self.gruns.len(),
+            hoisted_guards: self.gruns.iter().map(|g| g.conds.len()).sum(),
+        }
     }
 
     /// Simulates the plan on `machine` and returns the measured

@@ -210,7 +210,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::Rng;
 
-    /// Anything usable as a length specification for [`vec`]: a fixed
+    /// Anything usable as a length specification for [`vec()`]: a fixed
     /// `usize` or a `Range<usize>`.
     pub trait SizeRange {
         /// Picks a concrete length.
@@ -236,7 +236,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S, L> {
         element: S,
