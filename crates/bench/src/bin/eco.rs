@@ -6,6 +6,8 @@
 //! eco variants <kernel> [opts]        Phase 1: derived variants (Table-4 style)
 //! eco tune <kernel> [opts]            Phase 1 + 2: full optimization
 //! eco measure <kernel> --n <N> [opts] simulate the untransformed kernel
+//! eco report --events PATH [opts]     analyze an event stream (see below)
+//! eco report --compare OLD NEW        benchmark-trajectory regression gate
 //!
 //! options:
 //!   --machine sgi|sun    target machine model       (default sgi)
@@ -20,6 +22,18 @@
 //!   --manifest FILE      write the deterministic run manifest to FILE (tune)
 //!   --code               also print generated code  (tune)
 //! ```
+//!
+//! report options:
+//!   --events PATH        event stream file, or a directory of `*.jsonl` streams
+//!   --manifest FILE      run manifest; adds a `tuned` attribution table
+//!   --out DIR            also write report.txt/report.html and per-stream CSVs
+//!   --machine/--scale    machine override for attribution (default: resolved
+//!                        from the stream's engine_init fingerprint)
+//!   --threads N          re-measurement threads for attribution
+//!   --buf-size N         stream read buffer (any value: same report bytes)
+//!   --no-attribution     skip the attributed re-measurement pass
+//!   --compare OLD NEW    compare two trajectory JSON files instead
+//!   --threshold PCT      allowed regression in percent (default 25)
 //!
 //! `tune` and `measure` run on the parallel memoized evaluation engine;
 //! `tune` reports the engine's work alongside the search statistics.
@@ -164,7 +178,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.split_first() {
         Some((cmd, rest)) => dispatch(cmd, rest),
-        None => Err("usage: eco <kernels|show|variants|tune|measure> ...".into()),
+        None => Err("usage: eco <kernels|show|variants|tune|measure|report> ...".into()),
     };
     if let Err(e) = result {
         eprintln!("eco: {e}");
@@ -289,6 +303,230 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
+        "report" => report_cmd(rest),
         other => Err(format!("unknown command {other}")),
     }
+}
+
+struct ReportArgs {
+    events: Option<String>,
+    manifest: Option<String>,
+    out: Option<String>,
+    machine: Option<MachineDesc>,
+    threads: usize,
+    buf_size: usize,
+    attribute: bool,
+    compare: Option<(String, String)>,
+    threshold: f64,
+}
+
+fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
+    let mut events = None;
+    let mut manifest = None;
+    let mut out = None;
+    let mut machine_name: Option<String> = None;
+    let mut scale = 32usize;
+    let mut threads = 0usize;
+    let mut buf_size = 64 * 1024;
+    let mut attribute = true;
+    let mut compare = None;
+    let mut threshold = 25.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--events" => events = Some(val("--events")?),
+            "--manifest" => manifest = Some(val("--manifest")?),
+            "--out" => out = Some(val("--out")?),
+            "--machine" => machine_name = Some(val("--machine")?),
+            "--scale" => {
+                scale = val("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?
+            }
+            "--threads" => {
+                threads = val("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?
+            }
+            "--buf-size" => {
+                buf_size = val("--buf-size")?
+                    .parse()
+                    .map_err(|e| format!("bad --buf-size: {e}"))?
+            }
+            "--no-attribution" => attribute = false,
+            "--compare" => {
+                let old = val("--compare")?;
+                let new = val("--compare")?;
+                compare = Some((old, new));
+            }
+            "--threshold" => {
+                threshold = val("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("bad --threshold: {e}"))?
+            }
+            other => return Err(format!("unknown report option {other}")),
+        }
+    }
+    let machine = match machine_name.as_deref() {
+        None => None,
+        Some("sgi") => Some(MachineDesc::sgi_r10000()),
+        Some("sun") => Some(MachineDesc::ultrasparc_iie()),
+        Some(other) => return Err(format!("unknown machine {other} (sgi|sun)")),
+    };
+    let machine = machine.map(|b| if scale > 1 { b.scaled(scale) } else { b });
+    Ok(ReportArgs {
+        events,
+        manifest,
+        out,
+        machine,
+        threads,
+        buf_size,
+        attribute,
+        compare,
+        threshold,
+    })
+}
+
+/// The tuned point recorded in a run manifest: `(variant, params)`.
+fn manifest_tuned(path: &str) -> Result<(String, Vec<(String, u64)>), String> {
+    use eco_core::events::Json;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read manifest {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("manifest {path}: {e}"))?;
+    let variant = doc
+        .get_path("selected.variant")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("manifest {path}: no selected.variant"))?
+        .to_string();
+    let params = match doc.get_path("selected.params") {
+        Some(Json::Obj(fields)) => fields
+            .iter()
+            .filter_map(|(k, v)| v.as_u64().map(|u| (k.clone(), u)))
+            .collect(),
+        _ => Vec::new(),
+    };
+    Ok((variant, params))
+}
+
+/// Event stream files for `--events`: the path itself, or every
+/// `*.jsonl` inside it (sorted, so reports are ordered
+/// deterministically).
+fn stream_files(path: &str) -> Result<Vec<std::path::PathBuf>, String> {
+    let meta = std::fs::metadata(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if meta.is_file() {
+        return Ok(vec![path.into()]);
+    }
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("{path}: no *.jsonl event streams found"));
+    }
+    Ok(files)
+}
+
+fn report_cmd(rest: &[String]) -> Result<(), String> {
+    use eco_core::events::Json;
+    let args = parse_report_args(rest)?;
+
+    if let Some((old_path, new_path)) = &args.compare {
+        let old = Json::parse(
+            &std::fs::read_to_string(old_path)
+                .map_err(|e| format!("cannot read {old_path}: {e}"))?,
+        )
+        .map_err(|e| format!("{old_path}: {e}"))?;
+        let new = Json::parse(
+            &std::fs::read_to_string(new_path)
+                .map_err(|e| format!("cannot read {new_path}: {e}"))?,
+        )
+        .map_err(|e| format!("{new_path}: {e}"))?;
+        let cmp = eco_report::compare_trajectories(&old, &new, args.threshold);
+        print!("{}", eco_report::render_comparison(&cmp));
+        if !cmp.passed() {
+            std::process::exit(1);
+        }
+        return Ok(());
+    }
+
+    let events = args
+        .events
+        .as_deref()
+        .ok_or("usage: eco report --events PATH | --compare OLD NEW")?;
+    let mut opts = eco_report::ReportOptions {
+        buf_size: args.buf_size,
+        attribute: args.attribute,
+        ..Default::default()
+    };
+    opts.attribution.machine = args.machine.clone();
+    opts.attribution.threads = args.threads;
+    if let Some(path) = &args.manifest {
+        opts.attribution.tuned = Some(manifest_tuned(path)?);
+    }
+
+    let mut reports = Vec::new();
+    for file in stream_files(events)? {
+        let text = std::fs::read_to_string(&file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let source = file.file_name().map_or_else(
+            || file.display().to_string(),
+            |n| n.to_string_lossy().into(),
+        );
+        reports.push((
+            file.clone(),
+            eco_report::analyze_stream(&text, &source, &opts)?,
+        ));
+    }
+
+    for (_, report) in &reports {
+        print!("{}", eco_report::render_profile_ascii(report));
+        if !report.attribution.is_empty() {
+            print!(
+                "{}",
+                eco_report::render_attribution_ascii(&report.attribution)
+            );
+        }
+        if let Some(e) = &report.attribution_error {
+            println!("\n(attribution skipped: {e})");
+        }
+        println!();
+    }
+
+    if let Some(dir) = &args.out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+        let mut text = String::new();
+        for (file, report) in &reports {
+            text.push_str(&eco_report::render_profile_ascii(report));
+            text.push_str(&eco_report::render_attribution_ascii(&report.attribution));
+            text.push('\n');
+            let stem = file
+                .file_stem()
+                .map_or_else(|| "stream".to_string(), |s| s.to_string_lossy().into());
+            std::fs::write(
+                format!("{dir}/{stem}.profile.csv"),
+                eco_report::render_profile_csv(&report.profile),
+            )
+            .map_err(|e| format!("cannot write profile CSV: {e}"))?;
+            std::fs::write(
+                format!("{dir}/{stem}.attribution.csv"),
+                eco_report::render_attribution_csv(&report.attribution),
+            )
+            .map_err(|e| format!("cannot write attribution CSV: {e}"))?;
+        }
+        std::fs::write(format!("{dir}/report.txt"), text)
+            .map_err(|e| format!("cannot write report.txt: {e}"))?;
+        let only: Vec<eco_report::RunReport> = reports.iter().map(|(_, r)| r.clone()).collect();
+        std::fs::write(format!("{dir}/report.html"), eco_report::render_html(&only))
+            .map_err(|e| format!("cannot write report.html: {e}"))?;
+        println!("wrote report.txt, report.html and per-stream CSVs to {dir}/");
+    }
+    Ok(())
 }

@@ -18,11 +18,17 @@
 //! repro attribution  Analysis: per-array miss attribution (mm1 vs mm4)
 //! repro modelrank    Analysis: static-model ranking vs measured ranking
 //! repro smoke        Timing smoke test: prints evaluated-points/sec
+//! repro bench        Benchmark trajectory: smoke throughput plus wall
+//!                    time, points/sec and manifest fingerprint per
+//!                    figure, as JSON (`--bench-out FILE`); compare two
+//!                    trajectories with `eco report --compare`
 //! repro all          Everything above, also written to results/
 //! repro check        Golden-results gate: regenerate every committed
 //!                    figure CSV and run manifest in memory and diff
-//!                    them byte-for-byte against results/; exits
-//!                    nonzero on any drift
+//!                    them byte-for-byte against results/; also
+//!                    validates the event streams the regeneration just
+//!                    emitted with the emitter's invariant checker;
+//!                    exits nonzero on any drift
 //!
 //! options (after the command):
 //!   --threads N      evaluation threads (0 = auto, the default)
@@ -30,6 +36,8 @@
 //!   --trace DIR      write a JSONL evaluation trace per command to DIR
 //!   --events DIR     write a structured event stream per command to DIR
 //!   --json FILE      smoke only: also write the throughput as JSON
+//!   --bench-out FILE bench only: write the trajectory JSON to FILE
+//!   --smoke-only     bench only: skip the per-figure measurements
 //! ```
 //!
 //! All measurements flow through one [`eco_core::Engine`] per command:
@@ -65,6 +73,8 @@ struct EngineOpts {
     trace_dir: Option<String>,
     events_dir: Option<String>,
     json: Option<String>,
+    bench_out: Option<String>,
+    smoke_only: bool,
 }
 
 impl EngineOpts {
@@ -97,6 +107,8 @@ fn parse_engine_opts(args: &[String]) -> Result<EngineOpts, String> {
     let mut trace_dir = None;
     let mut events_dir = None;
     let mut json = None;
+    let mut bench_out = None;
+    let mut smoke_only = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -119,6 +131,10 @@ fn parse_engine_opts(args: &[String]) -> Result<EngineOpts, String> {
             "--json" => {
                 json = Some(it.next().ok_or("--json needs a file")?.clone());
             }
+            "--bench-out" => {
+                bench_out = Some(it.next().ok_or("--bench-out needs a file")?.clone());
+            }
+            "--smoke-only" => smoke_only = true,
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -128,6 +144,8 @@ fn parse_engine_opts(args: &[String]) -> Result<EngineOpts, String> {
         trace_dir,
         events_dir,
         json,
+        bench_out,
+        smoke_only,
     })
 }
 
@@ -174,6 +192,7 @@ fn main() {
         "attribution" => attribution(),
         "modelrank" => model_rank(&eopts),
         "smoke" | "--smoke" => smoke(&eopts),
+        "bench" => bench(&eopts),
         "check" => check(&eopts),
         "all" => {
             let _ = fs::create_dir_all("results");
@@ -217,17 +236,38 @@ fn save(name: &str, out: (Sweep, String)) {
 /// Regenerates every committed figure CSV and run manifest in memory
 /// and diffs them byte-for-byte against `results/`; exits nonzero on
 /// any drift or missing file. This is the golden-results gate CI runs.
+///
+/// The regeneration always emits event streams (to `--events DIR`, or a
+/// scratch directory when none is given), and every stream is then run
+/// through [`eco_events::check_stream`], so the gate also covers the
+/// emitter's structural invariants, not just the CSV/manifest bytes.
 fn check(eopts: &EngineOpts) {
+    let scratch_events = eopts.events_dir.is_none();
+    let events_dir = eopts.events_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("eco-check-events-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+    let eopts = EngineOpts {
+        threads: eopts.threads,
+        backend: eopts.backend,
+        trace_dir: eopts.trace_dir.clone(),
+        events_dir: Some(events_dir.clone()),
+        json: eopts.json.clone(),
+        bench_out: None,
+        smoke_only: false,
+    };
     let outputs = [
-        ("fig4a", fig4(&MachineDesc::sgi_r10000(), "fig4a", eopts)),
+        ("fig4a", fig4(&MachineDesc::sgi_r10000(), "fig4a", &eopts)),
         (
             "fig4b",
-            fig4(&MachineDesc::ultrasparc_iie(), "fig4b", eopts),
+            fig4(&MachineDesc::ultrasparc_iie(), "fig4b", &eopts),
         ),
-        ("fig5a", fig5(&MachineDesc::sgi_r10000(), "fig5a", eopts)),
+        ("fig5a", fig5(&MachineDesc::sgi_r10000(), "fig5a", &eopts)),
         (
             "fig5b",
-            fig5(&MachineDesc::ultrasparc_iie(), "fig5b", eopts),
+            fig5(&MachineDesc::ultrasparc_iie(), "fig5b", &eopts),
         ),
     ];
     println!("== check: regenerated outputs vs committed results/ ==");
@@ -250,6 +290,28 @@ fn check(eopts: &EngineOpts) {
                 }
             }
         }
+    }
+    for name in ["fig4a", "fig4b", "fig5a", "fig5b"] {
+        let path = format!("{events_dir}/{name}.events.jsonl");
+        match fs::read_to_string(&path) {
+            Ok(text) => match eco_core::events::check_stream(&text) {
+                Ok(summary) => println!(
+                    "   OK      {path} ({} records, stream invariants hold)",
+                    summary.records
+                ),
+                Err(e) => {
+                    println!("   INVALID {path} ({e})");
+                    drift += 1;
+                }
+            },
+            Err(e) => {
+                println!("   MISSING {path} ({e})");
+                drift += 1;
+            }
+        }
+    }
+    if scratch_events {
+        let _ = fs::remove_dir_all(&events_dir);
     }
     if drift > 0 {
         eprintln!("repro check: {drift} file(s) drifted from the committed golden results");
@@ -684,7 +746,39 @@ fn attribution() {
 /// evaluated-points/sec. No threshold — the number is informational, so
 /// slow runners never fail the build; compare `--engine plan` against
 /// `--engine reference` to see the lowering speedup in the log.
+/// What one smoke run measured, for the JSON outputs.
+struct SmokeResult {
+    backend: String,
+    threads: usize,
+    points: u64,
+    secs: f64,
+}
+
+impl SmokeResult {
+    fn points_per_sec(&self) -> f64 {
+        self.points as f64 / self.secs.max(1e-9)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("backend", Json::str(&self.backend))
+            .field("threads", Json::UInt(self.threads as u64))
+            .field("points", Json::UInt(self.points))
+            .field("secs", Json::Float(self.secs))
+            .field("points_per_sec", Json::Float(self.points_per_sec()))
+    }
+}
+
 fn smoke(eopts: &EngineOpts) {
+    let result = run_smoke(eopts);
+    if let Some(path) = &eopts.json {
+        fs::write(path, result.to_json().render())
+            .unwrap_or_else(|e| panic!("cannot write smoke json {path}: {e}"));
+    }
+    println!();
+}
+
+fn run_smoke(eopts: &EngineOpts) -> SmokeResult {
     use eco_exec::{EvalJob, Params};
     use std::time::Instant;
     println!("== smoke: evaluation throughput ==");
@@ -734,17 +828,76 @@ fn smoke(eopts: &EngineOpts) {
         results.len()
     );
     assert_eq!(ok, results.len(), "smoke points must all simulate cleanly");
-    if let Some(path) = &eopts.json {
-        let doc = Json::obj()
-            .field("backend", Json::str(format!("{:?}", engine.backend())))
-            .field("threads", Json::UInt(engine.threads() as u64))
-            .field("points", Json::UInt(evaluated))
-            .field("secs", Json::Float(secs))
-            .field("points_per_sec", Json::Float(evaluated as f64 / secs));
-        fs::write(path, doc.render())
-            .unwrap_or_else(|e| panic!("cannot write smoke json {path}: {e}"));
+    SmokeResult {
+        backend: format!("{:?}", engine.backend()),
+        threads: engine.threads(),
+        points: evaluated,
+        secs,
     }
-    println!();
+}
+
+/// `repro bench`: one benchmark-trajectory measurement — smoke
+/// throughput plus, unless `--smoke-only`, wall time / points/sec /
+/// manifest fingerprint for each reproduced figure. The JSON goes to
+/// `--bench-out FILE` (and stdout otherwise); compare two of these
+/// files with `eco report --compare OLD NEW`.
+fn bench(eopts: &EngineOpts) {
+    use std::hash::Hasher;
+    use std::time::Instant;
+    println!("== bench: benchmark trajectory ==");
+    let smoke = run_smoke(eopts);
+    let mut figures = Json::obj();
+    if !eopts.smoke_only {
+        for name in ["fig4a", "fig4b", "fig5a", "fig5b"] {
+            let started = Instant::now();
+            let (_, manifest) = match name {
+                "fig4a" => fig4(&MachineDesc::sgi_r10000(), name, eopts),
+                "fig4b" => fig4(&MachineDesc::ultrasparc_iie(), name, eopts),
+                "fig5a" => fig5(&MachineDesc::sgi_r10000(), name, eopts),
+                _ => fig5(&MachineDesc::ultrasparc_iie(), name, eopts),
+            };
+            let wall = started.elapsed().as_secs_f64();
+            let points = Json::parse(&manifest)
+                .ok()
+                .and_then(|doc| {
+                    doc.get_path("engine_stats.requested")
+                        .and_then(Json::as_u64)
+                })
+                .unwrap_or(0);
+            let mut h = eco_core::events::Fnv64::new();
+            h.write(manifest.as_bytes());
+            figures = figures.field(
+                name,
+                Json::obj()
+                    .field("wall_secs", Json::Float(wall))
+                    .field("points", Json::UInt(points))
+                    .field(
+                        "points_per_sec",
+                        Json::Float(points as f64 / wall.max(1e-9)),
+                    )
+                    .field("manifest_fingerprint", Json::fingerprint(h.finish())),
+            );
+        }
+    }
+    let mut doc = Json::obj()
+        .field("bench_version", Json::UInt(1))
+        .field("generator", Json::str("repro bench"))
+        .field(
+            "machine",
+            Json::str(&MachineDesc::sgi_r10000().scaled(FIGURE_SCALE).name),
+        )
+        .field("smoke", smoke.to_json());
+    if !eopts.smoke_only {
+        doc = doc.field("figures", figures);
+    }
+    match &eopts.bench_out {
+        Some(path) => {
+            fs::write(path, doc.render())
+                .unwrap_or_else(|e| panic!("cannot write trajectory {path}: {e}"));
+            println!("   wrote trajectory to {path}");
+        }
+        None => print!("{}", doc.render()),
+    }
 }
 
 fn model_rank(eopts: &EngineOpts) {

@@ -49,7 +49,7 @@ mod variant;
 pub use codegen::generate;
 pub use manifest::{machine_fingerprint, run_manifest};
 pub use search::{
-    stages, strategy_name, OptimizeReport, OptimizeRequest, Optimizer, SearchOptions,
+    stages, strategy_name, LineageStep, OptimizeReport, OptimizeRequest, Optimizer, SearchOptions,
     SearchOptionsBuilder, SearchStats, SearchStrategy, Tuned,
 };
 pub use variant::{
@@ -547,14 +547,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_optimize_shim_still_works() {
+    fn run_with_private_engine_matches_request_path() {
         let machine = MachineDesc::sgi_r10000().scaled(32);
-        let mut opt = Optimizer::new(machine);
+        let mut opt = Optimizer::new(machine.clone());
         opt.opts.search_n = 24;
         opt.opts.max_variants = 1;
-        let tuned = opt.optimize(&Kernel::matmul()).expect("shim works");
+        let engine = Engine::new(machine);
+        let tuned = opt.run_with(&Kernel::matmul(), &engine).expect("tunes");
         assert!(tuned.stats.points > 0);
+        assert_eq!(
+            tuned.stats.lineage.first().map(|s| s.stage.as_str()),
+            Some("screen")
+        );
     }
 
     #[test]

@@ -111,10 +111,10 @@ pub fn run_manifest(
             .stats
             .lineage
             .iter()
-            .map(|(stage, cycles)| {
+            .map(|step| {
                 Json::obj()
-                    .field("stage", Json::str(stage))
-                    .field("cycles", Json::UInt(*cycles))
+                    .field("stage", Json::str(&step.stage))
+                    .field("cycles", Json::UInt(step.cycles))
             })
             .collect(),
     );

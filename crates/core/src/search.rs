@@ -256,9 +256,28 @@ pub struct SearchStats {
     /// (deterministic; recorded in run manifests).
     pub per_stage: Vec<(String, usize)>,
     /// How the winning point's cycle count evolved through the stages:
-    /// `(stage, cycles)` milestones of the selected variant, in search
-    /// order.
-    pub lineage: Vec<(String, u64)>,
+    /// milestones of the selected variant, in search order.
+    pub lineage: Vec<LineageStep>,
+}
+
+/// One milestone on the winning point's path through the staged
+/// search: the best cycle count after `stage` finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineageStep {
+    /// Stage label (`screen`, `tiles`, `prefetch`, `adjust`).
+    pub stage: String,
+    /// Best cycles at the end of that stage.
+    pub cycles: u64,
+}
+
+impl LineageStep {
+    /// A milestone for `stage` at `cycles`.
+    pub fn new(stage: impl Into<String>, cycles: u64) -> Self {
+        LineageStep {
+            stage: stage.into(),
+            cycles,
+        }
+    }
 }
 
 /// The result of optimizing a kernel.
@@ -684,12 +703,12 @@ impl Optimizer {
             ParamValues,
             Vec<(ArrayId, i64)>,
             u64,
-            Vec<(String, u64)>,
+            Vec<LineageStep>,
         );
         let mut best: Option<BestPoint> = None;
         for (variant, init, screen_cycles) in screened {
             let mut params = init;
-            let mut lineage = vec![("screen".to_string(), screen_cycles)];
+            let mut lineage = vec![LineageStep::new("screen", screen_cycles)];
             let vsaved = ev.span;
             let vspan = ev.scope.span(
                 "variant",
@@ -723,7 +742,7 @@ impl Optimizer {
                     continue;
                 }
             };
-            lineage.push(("tiles".to_string(), cycles));
+            lineage.push(LineageStep::new("tiles", cycles));
             // prefetch search, one data structure at a time
             let pf_span = ev.enter("prefetch", Attrs::new());
             let mut plan: Vec<(ArrayId, i64)> = Vec::new();
@@ -780,7 +799,7 @@ impl Optimizer {
                 decision(&mut ev, true, best_d.0, best_d.1);
             }
             ev.leave(pf_span, Attrs::new().uint("kept", plan.len() as u64));
-            lineage.push(("prefetch".to_string(), cycles));
+            lineage.push(LineageStep::new("prefetch", cycles));
             // adjust tiling after prefetch: grow the innermost tile
             let adj_span = ev.enter("adjust", Attrs::new());
             if let Some(nm) = variant.tile_param(variant.register_carrier()) {
@@ -799,7 +818,7 @@ impl Optimizer {
                 }
             }
             ev.leave(adj_span, Attrs::new().uint("cycles", cycles));
-            lineage.push(("adjust".to_string(), cycles));
+            lineage.push(LineageStep::new("adjust", cycles));
             ev.scope.close(vspan, Attrs::new().uint("cycles", cycles));
             ev.span = vsaved;
             if best.as_ref().is_none_or(|&(_, _, _, b, _)| cycles < b) {
@@ -834,21 +853,6 @@ impl Optimizer {
                 lineage,
             },
         })
-    }
-
-    /// Runs the full two-phase optimization on `kernel` with a private
-    /// default engine.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the kernel is not analyzable or no variant could be
-    /// generated and measured.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run(OptimizeRequest::new(kernel))` or `run_with(&kernel, &engine)`"
-    )]
-    pub fn optimize(&self, kernel: &Kernel) -> Result<Tuned, EcoError> {
-        self.run_with(kernel, &Engine::new(self.machine.clone()))
     }
 
     /// True if every cache level's retained tile can fit the TLB's page

@@ -21,6 +21,10 @@
 //! * [`Fnv64`] — the workspace's stable content-fingerprint hash
 //!   (FNV-1a), shared by the engine's memo keys and the manifests'
 //!   program/machine fingerprints.
+//! * [`read`] — the consuming side: parse record lines back into
+//!   typed [`read::Record`]s and whole documents back into [`Json`]
+//!   (byte-identical round trips), so analysis tools never scrape
+//!   JSONL by hand.
 //!
 //! # Record schema
 //!
@@ -56,6 +60,8 @@
 //! assert_eq!(summary.span_names, vec!["optimize"]);
 //! assert_eq!(summary.events, 1);
 //! ```
+
+pub mod read;
 
 use std::fmt::Write as _;
 use std::fs::File;

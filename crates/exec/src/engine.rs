@@ -90,7 +90,7 @@ use std::time::Instant;
 use crate::error::ExecError;
 use crate::layout::{LayoutOptions, Params};
 use crate::plan::ExecutablePlan;
-use crate::trace::measure_reference;
+use crate::trace::{measure_attributed_reference, measure_reference};
 use eco_cachesim::Counters;
 use eco_events::{json_escape, Attrs, EventStream, Fnv64, SpanId};
 use eco_ir::Program;
@@ -113,6 +113,12 @@ pub struct EvalJob {
     /// (e.g. the search stage that proposed it); not part of the memo
     /// key.
     pub span: Option<SpanId>,
+    /// Runs the simulation with per-array attribution: the resulting
+    /// [`Counters::per_tag`] partition the aggregate counters by
+    /// `ArrayId`, and the engine's `point` event carries the per-tag
+    /// breakdown. Part of the memo key (attributed and plain results
+    /// never alias, even though their aggregates are identical).
+    pub attributed: bool,
 }
 
 impl EvalJob {
@@ -124,7 +130,15 @@ impl EvalJob {
             layout: LayoutOptions::default(),
             label: String::new(),
             span: None,
+            attributed: false,
         }
+    }
+
+    /// Requests per-array attribution (builder style).
+    #[must_use]
+    pub fn attributed(mut self, attributed: bool) -> Self {
+        self.attributed = attributed;
+        self
     }
 
     /// Sets the trace label (builder style).
@@ -378,8 +392,29 @@ impl Engine {
         };
         let mut fp = Fnv64::new();
         machine.hash(&mut fp);
+        let machine_fp = fp.finish();
+        if let Some(events) = &events {
+            // Self-describing stream: record which machine model this
+            // engine simulates, so analysis tools (`eco report`) can
+            // resolve the machine from the stream alone.
+            events.event(
+                "engine_init",
+                None,
+                Attrs::new()
+                    .str("machine", &machine.name)
+                    .str("machine_fingerprint", format!("{machine_fp:#018x}"))
+                    .str(
+                        "backend",
+                        match config.backend {
+                            ExecBackend::Compiled => "compiled",
+                            ExecBackend::Reference => "reference",
+                        },
+                    )
+                    .bool("memoize", config.memoize),
+            );
+        }
         Ok(Engine {
-            machine_fp: fp.finish(),
+            machine_fp,
             threads: resolve_threads(config.threads),
             memoize: config.memoize,
             backend: config.backend,
@@ -449,6 +484,7 @@ impl Engine {
             h2.write_u32(v.index() as u32);
             h2.write_i64(val);
         }
+        h2.write_u8(u8::from(job.attributed));
         EvalKey(program_fingerprint(&job.program), h2.finish())
     }
 
@@ -526,13 +562,24 @@ impl Evaluator for Engine {
         let run_one = |u: usize| {
             let job = &jobs[unique[u]];
             let started = Instant::now();
-            let result = match self.backend {
-                ExecBackend::Compiled => self
+            let result = match (self.backend, job.attributed) {
+                (ExecBackend::Compiled, false) => self
                     .plan_for(&job.program, keys[unique[u]].0)
                     .and_then(|plan| plan.measure(&job.params, &self.machine, &job.layout)),
-                ExecBackend::Reference => {
+                (ExecBackend::Compiled, true) => self
+                    .plan_for(&job.program, keys[unique[u]].0)
+                    .and_then(|plan| {
+                        plan.measure_attributed(&job.params, &self.machine, &job.layout)
+                    }),
+                (ExecBackend::Reference, false) => {
                     measure_reference(&job.program, &job.params, &self.machine, &job.layout)
                 }
+                (ExecBackend::Reference, true) => measure_attributed_reference(
+                    &job.program,
+                    &job.params,
+                    &self.machine,
+                    &job.layout,
+                ),
             };
             let wall_us = started.elapsed().as_micros() as u64;
             *ran[u].lock().expect("slot lock") = Some((result, wall_us));
@@ -595,7 +642,30 @@ impl Evaluator for Engine {
                     .bool("cache_hit", cache_hit)
                     .uint("wall_us", wall_us);
                 attrs = match &result {
-                    Ok(c) => attrs.str("status", "ok").uint("cycles", c.cycles()),
+                    Ok(c) => {
+                        let mut a = attrs
+                            .str("status", "ok")
+                            .uint("cycles", c.cycles())
+                            .uint("loads", c.loads)
+                            .uint("stores", c.stores)
+                            .uint("flops", c.flops)
+                            .uint("tlb_misses", c.tlb_misses);
+                        for (ci, &m) in c.cache_misses.iter().enumerate() {
+                            a = a.uint(&format!("miss_l{}", ci + 1), m);
+                        }
+                        // Per-array attribution, when the job asked for
+                        // it: tag indices are `ArrayId` indices in the
+                        // job's program.
+                        for (ti, tag) in c.per_tag.iter().enumerate() {
+                            a = a
+                                .uint(&format!("tag{ti}_accesses"), tag.accesses)
+                                .uint(&format!("tag{ti}_tlb_misses"), tag.tlb_misses);
+                            for (ci, &m) in tag.misses.iter().enumerate() {
+                                a = a.uint(&format!("tag{ti}_miss_l{}", ci + 1), m);
+                            }
+                        }
+                        a
+                    }
                     Err(e) => attrs.str("status", "error").str("error", e.to_string()),
                 };
                 events.event("point", jobs[i].span, attrs);
@@ -933,6 +1003,69 @@ mod tests {
         assert_eq!(field(last, "requested"), Some("4"));
         assert_eq!(field(last, "evaluated"), Some("2"));
         assert_eq!(field(last, "cache_hits"), Some("2"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn attributed_jobs_partition_counters_and_enrich_point_events() {
+        use eco_events::field;
+        let (p, n) = stream("s");
+        let dir =
+            std::env::temp_dir().join(format!("eco-engine-attributed-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("events.jsonl");
+        let engine =
+            Engine::with_config(machine(), EngineConfig::new().events(&path)).expect("config");
+        let plain = EvalJob::new(p.clone(), Params::new().with(n, 32));
+        let tagged = plain.clone().attributed(true);
+        assert_ne!(
+            engine.key(&plain),
+            engine.key(&tagged),
+            "distinct memo keys"
+        );
+        let results = engine.eval_batch(&[plain, tagged]);
+        let (plain, tagged) = (
+            results[0].as_ref().expect("ok"),
+            results[1].as_ref().expect("ok"),
+        );
+        assert!(plain.per_tag.is_empty());
+        assert!(!tagged.per_tag.is_empty());
+        // Attribution never changes the aggregates.
+        assert_eq!(plain.loads, tagged.loads);
+        assert_eq!(plain.cache_misses, tagged.cache_misses);
+        assert_eq!(plain.cycles(), tagged.cycles());
+        assert_eq!(engine.stats().evaluated, 2, "no memo aliasing");
+        engine.events().expect("events on").flush();
+        let text = std::fs::read_to_string(&path).expect("events written");
+        let points: Vec<&str> = text
+            .lines()
+            .filter(|l| field(l, "name") == Some("point"))
+            .collect();
+        assert_eq!(points.len(), 2);
+        // Every point now carries the aggregate counters...
+        for l in &points {
+            for key in [
+                "loads",
+                "stores",
+                "flops",
+                "tlb_misses",
+                "miss_l1",
+                "miss_l2",
+            ] {
+                assert!(field(l, key).is_some(), "missing {key}: {l}");
+            }
+        }
+        // ...and only the attributed one carries per-tag counters.
+        assert!(field(points[0], "tag0_accesses").is_none(), "{}", points[0]);
+        assert!(field(points[1], "tag0_accesses").is_some(), "{}", points[1]);
+        assert!(field(points[1], "tag0_miss_l1").is_some(), "{}", points[1]);
+        // The stream self-describes its machine.
+        let init = text
+            .lines()
+            .find(|l| field(l, "name") == Some("engine_init"))
+            .expect("engine_init");
+        assert_eq!(field(init, "machine"), Some(machine().name.as_str()));
+        assert!(field(init, "machine_fingerprint").is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,520 @@
+//! Span-tree reconstruction and the search profile.
+//!
+//! The search emits a nested span stream (`optimize > screen/variant >
+//! stage > shape/halve/refine`, `prefetch`, `adjust`) with `point`
+//! events attached to the stage that proposed each measurement. This
+//! module folds that stream back into a tree and derives the questions
+//! an engineer actually asks of a run: where did the wall time go,
+//! which stages generated the points, how much did the memo cache help,
+//! and how did the winning point's cycle count evolve stage by stage.
+
+use eco_events::read::{Record, RecordKind};
+use eco_events::Json;
+
+/// One reconstructed span: its open/close attributes, timing, child
+/// spans, and the events attributed directly to it.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Serialized span id.
+    pub id: u64,
+    /// Span name (`optimize`, `screen`, `variant`, `stage`, …).
+    pub name: String,
+    /// Attributes of the `span_open` record, in emission order.
+    pub open_attrs: Vec<(String, Json)>,
+    /// Attributes of the `span_close` record, in emission order.
+    pub close_attrs: Vec<(String, Json)>,
+    /// `t_us` of the open record.
+    pub t_open_us: u64,
+    /// `t_us` of the close record.
+    pub t_close_us: u64,
+    /// Child spans, as indices into [`SpanTree::nodes`], in open order.
+    pub children: Vec<usize>,
+    /// Events attributed to this span, in emission order.
+    pub events: Vec<Record>,
+}
+
+impl SpanNode {
+    /// Wall time between open and close.
+    pub fn wall_us(&self) -> u64 {
+        self.t_close_us.saturating_sub(self.t_open_us)
+    }
+
+    /// An open-record attribute.
+    pub fn open_attr(&self, key: &str) -> Option<&Json> {
+        self.open_attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// A close-record attribute.
+    pub fn close_attr(&self, key: &str) -> Option<&Json> {
+        self.close_attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// The reconstructed span forest of one event stream, plus the
+/// span-less records (`batch`, `engine_stats`, `plan_compile`,
+/// `engine_init`).
+#[derive(Debug, Clone, Default)]
+pub struct SpanTree {
+    /// All spans, in open order; tree edges are in
+    /// [`SpanNode::children`].
+    pub nodes: Vec<SpanNode>,
+    /// Root spans (no parent), in open order.
+    pub roots: Vec<usize>,
+    /// Events with `span: 0`, in emission order.
+    pub toplevel: Vec<Record>,
+}
+
+impl SpanTree {
+    /// Rebuilds the span forest from parsed records. The caller is
+    /// expected to have validated the raw stream with
+    /// [`eco_events::check_stream`] first; this constructor re-checks
+    /// the same nesting invariants and reports the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending record.
+    pub fn build(records: &[Record]) -> Result<SpanTree, String> {
+        let mut tree = SpanTree::default();
+        let mut stack: Vec<usize> = Vec::new();
+        for r in records {
+            match r.kind {
+                RecordKind::SpanOpen => {
+                    let node = SpanNode {
+                        id: r.span,
+                        name: r.name.clone().unwrap_or_default(),
+                        open_attrs: r.attrs.clone(),
+                        close_attrs: Vec::new(),
+                        t_open_us: r.t_us,
+                        t_close_us: r.t_us,
+                        children: Vec::new(),
+                        events: Vec::new(),
+                    };
+                    let idx = tree.nodes.len();
+                    tree.nodes.push(node);
+                    match stack.last() {
+                        Some(&parent) => tree.nodes[parent].children.push(idx),
+                        None => tree.roots.push(idx),
+                    }
+                    stack.push(idx);
+                }
+                RecordKind::SpanClose => {
+                    let idx = stack
+                        .pop()
+                        .ok_or_else(|| format!("seq {}: close with no open span", r.seq))?;
+                    if tree.nodes[idx].id != r.span {
+                        return Err(format!(
+                            "seq {}: closes span {} but innermost open span is {}",
+                            r.seq, r.span, tree.nodes[idx].id
+                        ));
+                    }
+                    tree.nodes[idx].close_attrs = r.attrs.clone();
+                    tree.nodes[idx].t_close_us = r.t_us;
+                }
+                RecordKind::Event => {
+                    if r.span == 0 {
+                        tree.toplevel.push(r.clone());
+                    } else {
+                        let idx = stack
+                            .iter()
+                            .rev()
+                            .copied()
+                            .find(|&i| tree.nodes[i].id == r.span)
+                            .ok_or_else(|| {
+                                format!(
+                                    "seq {}: event references closed/unknown span {}",
+                                    r.seq, r.span
+                                )
+                            })?;
+                        tree.nodes[idx].events.push(r.clone());
+                    }
+                }
+            }
+        }
+        if let Some(&idx) = stack.last() {
+            return Err(format!(
+                "span {} ({}) was never closed",
+                tree.nodes[idx].id, tree.nodes[idx].name
+            ));
+        }
+        Ok(tree)
+    }
+
+    /// `point` events in the subtree rooted at `idx`:
+    /// `(total, memo_hits, errors, best_cycles)`.
+    pub fn subtree_points(&self, idx: usize) -> (u64, u64, u64, Option<u64>) {
+        let node = &self.nodes[idx];
+        let mut total = 0;
+        let mut hits = 0;
+        let mut errors = 0;
+        let mut best: Option<u64> = None;
+        for e in &node.events {
+            if e.name.as_deref() != Some("point") {
+                continue;
+            }
+            total += 1;
+            if e.attr_bool("cache_hit") == Some(true) {
+                hits += 1;
+            }
+            if e.attr_str("status") == Some("error") {
+                errors += 1;
+            }
+            if let Some(c) = e.attr_u64("cycles") {
+                best = Some(best.map_or(c, |b: u64| b.min(c)));
+            }
+        }
+        for &c in &node.children {
+            let (t, h, er, b) = self.subtree_points(c);
+            total += t;
+            hits += h;
+            errors += er;
+            best = match (best, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, y) => x.or(y),
+            };
+        }
+        (total, hits, errors, best)
+    }
+}
+
+/// Aggregate over all spans sharing one stage name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRow {
+    /// Stage name (`screen`, `shape`, `halve`, `refine`, `prefetch`,
+    /// `adjust`).
+    pub stage: String,
+    /// How many spans carried this name.
+    pub spans: u64,
+    /// `point` events attributed directly to those spans.
+    pub points: u64,
+    /// Of those, memo-cache hits.
+    pub memo_hits: u64,
+    /// Summed wall time of those spans.
+    pub wall_us: u64,
+}
+
+/// Aggregate over one `variant` span (one fully searched variant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariantRow {
+    /// Variant name.
+    pub name: String,
+    /// `point` events in the variant's subtree.
+    pub points: u64,
+    /// Of those, memo-cache hits.
+    pub memo_hits: u64,
+    /// Wall time of the variant span.
+    pub wall_us: u64,
+    /// Best cycles at variant close (absent when infeasible).
+    pub cycles: Option<u64>,
+    /// Close outcome (`ok` or `infeasible`).
+    pub outcome: String,
+}
+
+/// One milestone of the winning point's lineage, reconstructed from the
+/// selected variant's span subtree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineageNode {
+    /// Milestone label (`screen`, `stage TI,TJ`, `shape`, …).
+    pub label: String,
+    /// Best cycles at that milestone, when the stream recorded one.
+    pub cycles: Option<u64>,
+    /// Nesting depth in the rendered tree.
+    pub depth: usize,
+}
+
+/// Everything the profile views need from one tuning run's stream.
+#[derive(Debug, Clone, Default)]
+pub struct SearchProfile {
+    /// Kernel name from the root span.
+    pub kernel: String,
+    /// Search strategy from the root span.
+    pub strategy: String,
+    /// Problem size from the root span.
+    pub search_n: i64,
+    /// Selected variant (root close), if the run succeeded.
+    pub selected: Option<String>,
+    /// Selected cycles (root close).
+    pub selected_cycles: Option<u64>,
+    /// Total `point` events.
+    pub points: u64,
+    /// Memo-cache hits among them.
+    pub memo_hits: u64,
+    /// Errored points.
+    pub errors: u64,
+    /// Total wall time of the root span.
+    pub wall_us: u64,
+    /// Per-stage aggregates, in first-seen order.
+    pub stages: Vec<StageRow>,
+    /// Per-variant aggregates, in open order.
+    pub variants: Vec<VariantRow>,
+    /// Screening decisions: `(variant, cycles)` of kept variants.
+    pub screened: Vec<(String, u64)>,
+    /// Best-point lineage of the selected variant, as a flattened tree.
+    pub lineage: Vec<LineageNode>,
+}
+
+impl SearchProfile {
+    /// Memo hit rate over all points.
+    pub fn hit_rate(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / self.points as f64
+        }
+    }
+
+    /// Derives the profile from a reconstructed span tree. Streams
+    /// without an `optimize` root (e.g. bare engine runs) produce a
+    /// profile with stage/variant tables only.
+    pub fn from_tree(tree: &SpanTree) -> SearchProfile {
+        let mut p = SearchProfile::default();
+        let root = tree
+            .roots
+            .iter()
+            .copied()
+            .find(|&i| tree.nodes[i].name == "optimize");
+        if let Some(root) = root {
+            let node = &tree.nodes[root];
+            p.kernel = node
+                .open_attr("kernel")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            p.strategy = node
+                .open_attr("strategy")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            p.search_n = node
+                .open_attr("search_n")
+                .and_then(Json::as_i64)
+                .unwrap_or(0);
+            p.selected = node
+                .close_attr("selected")
+                .and_then(Json::as_str)
+                .map(str::to_string);
+            p.selected_cycles = node.close_attr("cycles").and_then(Json::as_u64);
+            p.wall_us = node.wall_us();
+            let (points, hits, errors, _) = tree.subtree_points(root);
+            p.points = points;
+            p.memo_hits = hits;
+            p.errors = errors;
+        }
+
+        // Stage rows: every span that is not the root or a variant
+        // grouping, aggregated by name in first-seen order.
+        for (i, node) in tree.nodes.iter().enumerate() {
+            match node.name.as_str() {
+                "optimize" | "variant" | "stage" => {}
+                name => {
+                    let (points, hits, _, _) = tree.subtree_points(i);
+                    match p.stages.iter_mut().find(|s| s.stage == name) {
+                        Some(row) => {
+                            row.spans += 1;
+                            row.points += points;
+                            row.memo_hits += hits;
+                            row.wall_us += node.wall_us();
+                        }
+                        None => p.stages.push(StageRow {
+                            stage: name.to_string(),
+                            spans: 1,
+                            points,
+                            memo_hits: hits,
+                            wall_us: node.wall_us(),
+                        }),
+                    }
+                }
+            }
+            if node.name == "screen" {
+                for e in &node.events {
+                    if e.name.as_deref() == Some("variant_kept") {
+                        if let (Some(v), Some(c)) = (e.attr_str("variant"), e.attr_u64("cycles")) {
+                            p.screened.push((v.to_string(), c));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Variant rows, in open order.
+        for (i, node) in tree.nodes.iter().enumerate() {
+            if node.name != "variant" {
+                continue;
+            }
+            let (points, hits, _, _) = tree.subtree_points(i);
+            let outcome = node
+                .close_attr("outcome")
+                .and_then(Json::as_str)
+                .unwrap_or("ok")
+                .to_string();
+            p.variants.push(VariantRow {
+                name: node
+                    .open_attr("variant")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                points,
+                memo_hits: hits,
+                wall_us: node.wall_us(),
+                cycles: node.close_attr("cycles").and_then(Json::as_u64),
+                outcome,
+            });
+        }
+
+        // Best-point lineage: the selected variant's subtree, flattened
+        // with stage milestones (cycles at each span close).
+        if let Some(selected) = p.selected.clone() {
+            if let Some(c) = p.screened.iter().find(|(v, _)| *v == selected) {
+                p.lineage.push(LineageNode {
+                    label: "screen".to_string(),
+                    cycles: Some(c.1),
+                    depth: 0,
+                });
+            }
+            if let Some(vi) = tree.nodes.iter().position(|n| {
+                n.name == "variant"
+                    && n.open_attr("variant").and_then(Json::as_str) == Some(selected.as_str())
+            }) {
+                fn walk(tree: &SpanTree, idx: usize, depth: usize, out: &mut Vec<LineageNode>) {
+                    for &c in &tree.nodes[idx].children {
+                        let node = &tree.nodes[c];
+                        let label = match node.name.as_str() {
+                            "stage" => format!(
+                                "stage {}",
+                                node.open_attr("params")
+                                    .and_then(Json::as_str)
+                                    .unwrap_or("?")
+                            ),
+                            other => other.to_string(),
+                        };
+                        out.push(LineageNode {
+                            label,
+                            cycles: node.close_attr("cycles").and_then(Json::as_u64),
+                            depth,
+                        });
+                        walk(tree, c, depth + 1, out);
+                    }
+                }
+                walk(tree, vi, 0, &mut p.lineage);
+                p.lineage.push(LineageNode {
+                    label: format!("selected {selected}"),
+                    cycles: tree.nodes[vi].close_attr("cycles").and_then(Json::as_u64),
+                    depth: 0,
+                });
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_events::read::read_records;
+    use eco_events::{Attrs, EventStream};
+    use std::sync::{Arc, Mutex};
+
+    fn synthetic_run() -> String {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let s = EventStream::to_shared_buffer(Arc::clone(&buf));
+        let point = |cycles: u64, hit: bool| {
+            Attrs::new()
+                .str("label", "x")
+                .bool("cache_hit", hit)
+                .str("status", "ok")
+                .uint("cycles", cycles)
+        };
+        s.event(
+            "engine_init",
+            None,
+            Attrs::new()
+                .str("machine", "m")
+                .str("machine_fingerprint", "0x01"),
+        );
+        let root = s.span(
+            "optimize",
+            None,
+            Attrs::new()
+                .str("kernel", "mm")
+                .int("search_n", 48)
+                .str("strategy", "guided"),
+        );
+        let screen = s.span("screen", Some(root), Attrs::new().uint("variants", 2));
+        s.event("point", Some(screen), point(900, false));
+        s.event("point", Some(screen), point(800, false));
+        s.event(
+            "variant_kept",
+            Some(screen),
+            Attrs::new().str("variant", "v1").uint("cycles", 800),
+        );
+        s.close_span(screen, Attrs::new().uint("kept", 1));
+        let v = s.span("variant", Some(root), Attrs::new().str("variant", "v1"));
+        let st = s.span("stage", Some(v), Attrs::new().str("params", "TI,TJ"));
+        let sh = s.span("shape", Some(st), Attrs::new());
+        s.event("point", Some(sh), point(700, false));
+        s.event("point", Some(sh), point(650, true));
+        s.close_span(sh, Attrs::new().uint("cycles", 650));
+        s.close_span(st, Attrs::new().uint("cycles", 650));
+        let adj = s.span("adjust", Some(v), Attrs::new());
+        s.event("point", Some(adj), point(640, false));
+        s.close_span(adj, Attrs::new().uint("cycles", 640));
+        s.close_span(v, Attrs::new().uint("cycles", 640));
+        s.close_span(
+            root,
+            Attrs::new()
+                .uint("points", 5)
+                .str("selected", "v1")
+                .uint("cycles", 640),
+        );
+        s.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        text
+    }
+
+    #[test]
+    fn tree_and_profile_reconstruct_the_run() {
+        let text = synthetic_run();
+        let records = read_records(text.as_bytes(), 4096).expect("reads");
+        let tree = SpanTree::build(&records).expect("builds");
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.toplevel.len(), 1, "engine_init is span-less");
+        let p = SearchProfile::from_tree(&tree);
+        assert_eq!(p.kernel, "mm");
+        assert_eq!(p.search_n, 48);
+        assert_eq!(p.selected.as_deref(), Some("v1"));
+        assert_eq!(p.selected_cycles, Some(640));
+        assert_eq!(p.points, 5);
+        assert_eq!(p.memo_hits, 1);
+        assert!((p.hit_rate() - 0.2).abs() < 1e-9);
+        assert_eq!(p.screened, vec![("v1".to_string(), 800)]);
+        let stage_names: Vec<&str> = p.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(stage_names, vec!["screen", "shape", "adjust"]);
+        assert_eq!(p.variants.len(), 1);
+        assert_eq!(p.variants[0].points, 3);
+        assert_eq!(p.variants[0].cycles, Some(640));
+        let labels: Vec<&str> = p.lineage.iter().map(|l| l.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["screen", "stage TI,TJ", "shape", "adjust", "selected v1"]
+        );
+        assert_eq!(p.lineage.last().unwrap().cycles, Some(640));
+    }
+
+    #[test]
+    fn malformed_nesting_is_rejected() {
+        let text = synthetic_run();
+        let mut records = read_records(text.as_bytes(), 4096).expect("reads");
+        // Drop a close record: the tree must refuse.
+        records.retain(|r| !(r.kind == RecordKind::SpanClose && r.span == 2));
+        let err = SpanTree::build(&records).expect_err("unclosed span");
+        assert!(
+            err.contains("closes span") || err.contains("never closed"),
+            "{err}"
+        );
+    }
+}

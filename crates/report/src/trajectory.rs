@@ -1,0 +1,288 @@
+//! Benchmark-trajectory comparison: the regression gate behind
+//! `eco report --compare OLD NEW`.
+//!
+//! A trajectory file is the JSON written by `repro bench --bench-out`:
+//! a `smoke` section (points/sec of the evaluation engine) and a
+//! `figures` section (wall time, point count, and manifest fingerprint
+//! per reproduced figure). Comparison walks both JSON trees, pairs
+//! numeric leaves by dotted path, and classifies each delta by the
+//! metric's direction:
+//!
+//! - paths ending in `points_per_sec` are higher-is-better,
+//! - paths ending in `wall_secs` or `secs` are lower-is-better,
+//! - `manifest_fingerprint` strings must match exactly (a mismatch is
+//!   a note, not a regression — it means the search changed, which the
+//!   golden-results gate judges, not this one),
+//! - metrics present on only one side are notes, so a smoke-only CI
+//!   run can be compared against a fully populated committed file.
+
+use eco_events::Json;
+use std::fmt::Write as _;
+
+/// One paired metric and how it moved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Dotted path of the metric (`smoke.points_per_sec`, …).
+    pub path: String,
+    /// Old (committed) value.
+    pub old: f64,
+    /// New (freshly measured) value.
+    pub new: f64,
+    /// Signed change in percent, positive = improvement for this
+    /// metric's direction.
+    pub gain_pct: f64,
+}
+
+/// Result of comparing two trajectory files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Regression threshold in percent that was applied.
+    pub threshold_pct: f64,
+    /// Metrics that regressed past the threshold (gate fails when
+    /// non-empty).
+    pub regressions: Vec<MetricDelta>,
+    /// All paired directional metrics, in path order.
+    pub deltas: Vec<MetricDelta>,
+    /// Non-gating observations (one-sided metrics, fingerprint or
+    /// count changes).
+    pub notes: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether the gate passes (no regression beyond the threshold).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Metric direction, inferred from the path suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    HigherBetter,
+    LowerBetter,
+    None,
+}
+
+fn direction(path: &str) -> Direction {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    match leaf {
+        "points_per_sec" => Direction::HigherBetter,
+        "wall_secs" | "secs" => Direction::LowerBetter,
+        _ => Direction::None,
+    }
+}
+
+fn collect(
+    json: &Json,
+    prefix: &str,
+    nums: &mut Vec<(String, f64)>,
+    strs: &mut Vec<(String, String)>,
+) {
+    match json {
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                collect(v, &path, nums, strs);
+            }
+        }
+        Json::Str(s) => strs.push((prefix.to_string(), s.clone())),
+        other => {
+            if let Some(x) = other.as_f64() {
+                nums.push((prefix.to_string(), x));
+            }
+        }
+    }
+}
+
+/// Compares two parsed trajectory files; `threshold_pct` is the
+/// allowed regression in percent (e.g. `50.0`).
+pub fn compare_trajectories(old: &Json, new: &Json, threshold_pct: f64) -> Comparison {
+    let (mut old_nums, mut old_strs) = (Vec::new(), Vec::new());
+    let (mut new_nums, mut new_strs) = (Vec::new(), Vec::new());
+    collect(old, "", &mut old_nums, &mut old_strs);
+    collect(new, "", &mut new_nums, &mut new_strs);
+
+    let mut deltas = Vec::new();
+    let mut regressions = Vec::new();
+    let mut notes = Vec::new();
+
+    for (path, old_v) in &old_nums {
+        let Some((_, new_v)) = new_nums.iter().find(|(p, _)| p == path) else {
+            if direction(path) != Direction::None {
+                notes.push(format!("{path}: only in old file ({old_v})"));
+            }
+            continue;
+        };
+        match direction(path) {
+            Direction::None => {
+                if (old_v - new_v).abs() > 1e-9 {
+                    notes.push(format!("{path}: {old_v} -> {new_v}"));
+                }
+            }
+            dir => {
+                if *old_v <= 0.0 {
+                    notes.push(format!("{path}: old value {old_v} not comparable"));
+                    continue;
+                }
+                let raw_pct = (new_v - old_v) / old_v * 100.0;
+                let gain_pct = match dir {
+                    Direction::HigherBetter => raw_pct,
+                    Direction::LowerBetter => -raw_pct,
+                    Direction::None => unreachable!(),
+                };
+                let delta = MetricDelta {
+                    path: path.clone(),
+                    old: *old_v,
+                    new: *new_v,
+                    gain_pct,
+                };
+                if gain_pct < -threshold_pct {
+                    regressions.push(delta.clone());
+                }
+                deltas.push(delta);
+            }
+        }
+    }
+    for (path, new_v) in &new_nums {
+        if direction(path) != Direction::None && !old_nums.iter().any(|(p, _)| p == path) {
+            notes.push(format!("{path}: only in new file ({new_v})"));
+        }
+    }
+    for (path, old_s) in &old_strs {
+        if let Some((_, new_s)) = new_strs.iter().find(|(p, _)| p == path) {
+            if old_s != new_s {
+                notes.push(format!("{path}: {old_s} -> {new_s}"));
+            }
+        }
+    }
+
+    deltas.sort_by(|a, b| a.path.cmp(&b.path));
+    regressions.sort_by(|a, b| a.path.cmp(&b.path));
+    notes.sort();
+    Comparison {
+        threshold_pct,
+        regressions,
+        deltas,
+        notes,
+    }
+}
+
+/// Renders a comparison as deterministic ASCII.
+pub fn render_comparison(cmp: &Comparison) -> String {
+    let mut out = String::new();
+    let verdict = if cmp.passed() { "PASS" } else { "FAIL" };
+    let _ = writeln!(
+        out,
+        "Trajectory comparison ({verdict}, threshold {:.0}%)",
+        cmp.threshold_pct
+    );
+    if !cmp.deltas.is_empty() {
+        let _ = writeln!(out, "\nMetrics:");
+        for d in &cmp.deltas {
+            let mark = if cmp.regressions.contains(d) {
+                "  REGRESSED"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  {}: {:.3} -> {:.3} ({:+.1}%){mark}",
+                d.path, d.old, d.new, d.gain_pct
+            );
+        }
+    }
+    if !cmp.notes.is_empty() {
+        let _ = writeln!(out, "\nNotes:");
+        for n in &cmp.notes {
+            let _ = writeln!(out, "  {n}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(pps: f64, wall: f64, fp: &str) -> Json {
+        Json::obj()
+            .field("bench_version", Json::UInt(1))
+            .field(
+                "smoke",
+                Json::obj()
+                    .field("points", Json::UInt(64))
+                    .field("secs", Json::Float(0.5))
+                    .field("points_per_sec", Json::Float(pps)),
+            )
+            .field(
+                "figures",
+                Json::obj().field(
+                    "fig6",
+                    Json::obj()
+                        .field("wall_secs", Json::Float(wall))
+                        .field("points_per_sec", Json::Float(pps * 0.8))
+                        .field("manifest_fingerprint", Json::str(fp)),
+                ),
+            )
+    }
+
+    #[test]
+    fn equal_trajectories_pass() {
+        let a = traj(1000.0, 2.0, "0xabc");
+        let cmp = compare_trajectories(&a, &a, 25.0);
+        assert!(cmp.passed());
+        assert!(cmp.notes.is_empty());
+        assert_eq!(cmp.deltas.len(), 4);
+    }
+
+    #[test]
+    fn throughput_collapse_fails_the_gate() {
+        let old = traj(1000.0, 2.0, "0xabc");
+        let new = traj(400.0, 2.0, "0xabc");
+        let cmp = compare_trajectories(&old, &new, 25.0);
+        assert!(!cmp.passed());
+        assert!(cmp
+            .regressions
+            .iter()
+            .any(|d| d.path == "smoke.points_per_sec"));
+        let text = render_comparison(&cmp);
+        assert!(text.starts_with("Trajectory comparison (FAIL"));
+        assert!(text.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn wall_time_direction_is_lower_better() {
+        let old = traj(1000.0, 2.0, "0xabc");
+        let fast = traj(1000.0, 1.0, "0xabc");
+        let slow = traj(1000.0, 4.0, "0xabc");
+        assert!(compare_trajectories(&old, &fast, 25.0).passed());
+        let cmp = compare_trajectories(&old, &slow, 25.0);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].path, "figures.fig6.wall_secs");
+    }
+
+    #[test]
+    fn one_sided_metrics_and_fingerprints_are_notes() {
+        let old = traj(1000.0, 2.0, "0xabc");
+        let mut new = traj(1000.0, 2.0, "0xdef");
+        // Drop the figures section entirely: smoke-only CI run.
+        if let Json::Obj(fields) = &mut new {
+            fields.retain(|(k, _)| k != "figures");
+        }
+        let cmp = compare_trajectories(&old, &new, 25.0);
+        assert!(cmp.passed(), "one-sided metrics must not gate");
+        assert!(cmp.notes.iter().any(|n| n.contains("only in old file")));
+
+        let renamed = traj(1000.0, 2.0, "0xdef");
+        let cmp = compare_trajectories(&old, &renamed, 25.0);
+        assert!(cmp.passed());
+        assert!(cmp
+            .notes
+            .iter()
+            .any(|n| n.contains("manifest_fingerprint") && n.contains("0xdef")));
+    }
+}

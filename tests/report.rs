@@ -1,0 +1,170 @@
+//! Report-subsystem integration tests: byte-determinism of every
+//! rendering across read-buffer sizes, a committed golden fixture, the
+//! trajectory regression gate, and a live tune → report round trip.
+
+use eco_core::events::Json;
+use eco_core::{EngineConfig, OptimizeRequest, Optimizer};
+use eco_kernels::Kernel;
+use eco_machine::MachineDesc;
+use eco_report::{
+    analyze_stream, compare_trajectories, render_attribution_ascii, render_html,
+    render_profile_ascii, render_profile_csv, ReportOptions, RunReport,
+};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/../../tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {path}: {e}"))
+}
+
+fn analyze_fixture(buf_size: usize) -> RunReport {
+    let stream = fixture("mm_tune.events.jsonl");
+    let opts = ReportOptions {
+        buf_size,
+        attribute: false,
+        ..Default::default()
+    };
+    analyze_stream(&stream, "mm_tune.events.jsonl", &opts).expect("fixture stream analyzes")
+}
+
+/// The exact composition `eco report --out` writes to `report.txt`.
+fn compose_txt(report: &RunReport) -> String {
+    let mut text = render_profile_ascii(report);
+    text.push_str(&render_attribution_ascii(&report.attribution));
+    text.push('\n');
+    text
+}
+
+#[test]
+fn report_bytes_are_identical_for_any_buffer_size() {
+    let baseline = analyze_fixture(64 * 1024);
+    let (ascii, csv, html) = (
+        render_profile_ascii(&baseline),
+        render_profile_csv(&baseline.profile),
+        render_html(std::slice::from_ref(&baseline)),
+    );
+    for buf_size in [1usize, 3, 17, 4096, 1 << 20] {
+        let report = analyze_fixture(buf_size);
+        assert_eq!(
+            render_profile_ascii(&report),
+            ascii,
+            "ascii @ buf {buf_size}"
+        );
+        assert_eq!(
+            render_profile_csv(&report.profile),
+            csv,
+            "csv @ buf {buf_size}"
+        );
+        assert_eq!(
+            render_html(std::slice::from_ref(&report)),
+            html,
+            "html @ buf {buf_size}"
+        );
+    }
+}
+
+#[test]
+fn golden_fixture_renders_byte_identically() {
+    let report = analyze_fixture(64 * 1024);
+    assert_eq!(compose_txt(&report), fixture("mm_tune.report.txt"));
+    assert_eq!(
+        render_profile_csv(&report.profile),
+        fixture("mm_tune.profile.csv")
+    );
+    assert_eq!(
+        render_html(std::slice::from_ref(&report)),
+        fixture("mm_tune.report.html")
+    );
+}
+
+#[test]
+fn fixture_profile_reconstructs_the_search() {
+    let report = analyze_fixture(64 * 1024);
+    let p = &report.profile;
+    assert_eq!(p.kernel, "mm");
+    assert_eq!(p.search_n, 24);
+    assert!(p.points > 0, "profile found no points");
+    assert!(p.selected.is_some(), "no selected variant");
+    assert!(
+        p.stages.iter().any(|s| s.stage == "screen"),
+        "no screen stage row"
+    );
+    assert!(!p.variants.is_empty(), "no variant rows");
+    assert!(
+        p.lineage
+            .last()
+            .is_some_and(|l| l.label.starts_with("selected")),
+        "lineage does not end at the selected variant"
+    );
+    assert_eq!(report.records, report.summary.records);
+}
+
+#[test]
+fn synthetically_regressed_trajectory_fails_the_gate() {
+    let old = Json::obj()
+        .field(
+            "smoke",
+            Json::obj()
+                .field("points", Json::UInt(29))
+                .field("secs", Json::Float(2.0))
+                .field("points_per_sec", Json::Float(14.5)),
+        )
+        .field(
+            "figures",
+            Json::obj().field(
+                "fig4a",
+                Json::obj()
+                    .field("wall_secs", Json::Float(3.0))
+                    .field("manifest_fingerprint", Json::str("0x1")),
+            ),
+        );
+    // Identical trajectories pass at any threshold.
+    assert!(compare_trajectories(&old, &old, 0.5).passed());
+    // Halved throughput fails a 25% gate but passes a generous 60% one.
+    let regressed = Json::obj().field(
+        "smoke",
+        Json::obj()
+            .field("points", Json::UInt(29))
+            .field("secs", Json::Float(2.6))
+            .field("points_per_sec", Json::Float(7.25)),
+    );
+    let cmp = compare_trajectories(&old, &regressed, 25.0);
+    assert!(!cmp.passed());
+    assert!(cmp
+        .regressions
+        .iter()
+        .any(|d| d.path == "smoke.points_per_sec"));
+    // The figure metrics exist only in the old file: notes, not gates.
+    assert!(cmp.notes.iter().any(|n| n.contains("only in old file")));
+    assert!(compare_trajectories(&old, &regressed, 60.0).passed());
+}
+
+#[test]
+fn live_tune_stream_analyzes_end_to_end() {
+    let events_path = std::env::temp_dir().join(format!(
+        "eco-report-live-{}.events.jsonl",
+        std::process::id()
+    ));
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let mut optimizer = Optimizer::new(machine);
+    optimizer.opts.search_n = 24;
+    optimizer.opts.max_variants = 1;
+    let config = EngineConfig::new().events(events_path.display().to_string());
+    let report = optimizer
+        .run(OptimizeRequest::new(Kernel::matmul()).engine(config))
+        .expect("tune succeeds");
+    let stream = std::fs::read_to_string(&events_path).expect("events written");
+    let _ = std::fs::remove_file(&events_path);
+
+    let analyzed =
+        analyze_stream(&stream, "live", &ReportOptions::default()).expect("live stream analyzes");
+    assert_eq!(
+        analyzed.profile.selected.as_deref(),
+        Some(report.tuned.variant.name.as_str()),
+        "report's selected variant disagrees with the tuner"
+    );
+    assert_eq!(
+        analyzed.profile.selected_cycles,
+        Some(report.tuned.counters.cycles())
+    );
+    assert!(analyzed.profile.points as u64 >= report.tuned.stats.points as u64);
+}
