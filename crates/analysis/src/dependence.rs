@@ -194,3 +194,80 @@ pub fn permutation_is_legal(nest: &NestInfo, deps: &[Dependence], order: &[VarId
     }
     true
 }
+
+/// True if unroll-and-jam of loop `u` preserves every non-reduction
+/// dependence of the nest.
+///
+/// The classical sufficient condition (Callahan–Cocke–Kennedy): moving
+/// `u` to the innermost position must not reverse any dependence. Unlike
+/// [`permutation_is_legal`], which rejects any [`Dist::Any`] component
+/// it meets before deciding, this test enumerates the possible *signs*
+/// of `Any` components. An assignment that makes the vector
+/// lexicographically negative in the original order describes the same
+/// dependence flowing the other way (solver vectors with a leading
+/// `Any` are not src/dst-normalized), so it is checked negated rather
+/// than discarded. The refinement matters on tiled nests: every
+/// dependence carries `Any` on the fresh tile-control loops (they never
+/// appear in subscripts), which would otherwise block unrolling of a
+/// perfectly legal inner point loop.
+pub fn unroll_and_jam_is_legal(nest: &NestInfo, deps: &[Dependence], u: VarId) -> bool {
+    let vars = nest.loop_vars();
+    let n = vars.len();
+    let Some(upos) = vars.iter().position(|&v| v == u) else {
+        // Not a nest loop: nothing to prove (the structural rewrite
+        // reports the missing loop).
+        return true;
+    };
+    let new_order: Vec<usize> = (0..n)
+        .filter(|&k| k != upos)
+        .chain(std::iter::once(upos))
+        .collect();
+    let lex = |resolved: &[i64], order: &mut dyn Iterator<Item = usize>| -> i64 {
+        order
+            .map(|k| resolved[k].signum())
+            .find(|&s| s != 0)
+            .unwrap_or(0)
+    };
+    for dep in deps {
+        if dep.is_reduction {
+            continue;
+        }
+        let any_pos: Vec<usize> = (0..n).filter(|&k| dep.distance[k] == Dist::Any).collect();
+        let mut signs = vec![-1i64; any_pos.len()];
+        loop {
+            let mut resolved: Vec<i64> = (0..n)
+                .map(|k| match dep.distance[k] {
+                    Dist::Exact(t) => t,
+                    Dist::Any => signs[any_pos.iter().position(|&q| q == k).expect("any")],
+                })
+                .collect();
+            if lex(&resolved, &mut (0..n)) < 0 {
+                // The dependence actually flows from `dst` to `src`:
+                // the real distance vector is the negation.
+                for c in &mut resolved {
+                    *c = -*c;
+                }
+            }
+            if lex(&resolved, &mut new_order.iter().copied()) < 0 {
+                return false;
+            }
+            // Next sign assignment in {-1, 0, 1}^m.
+            let mut i = 0;
+            loop {
+                if i == signs.len() {
+                    break;
+                }
+                if signs[i] < 1 {
+                    signs[i] += 1;
+                    break;
+                }
+                signs[i] = -1;
+                i += 1;
+            }
+            if i == signs.len() {
+                break;
+            }
+        }
+    }
+    true
+}

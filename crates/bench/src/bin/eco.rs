@@ -5,6 +5,7 @@
 //! eco show <kernel>                   print a kernel's source nest
 //! eco variants <kernel> [opts]        Phase 1: derived variants (Table-4 style)
 //! eco tune <kernel> [opts]            Phase 1 + 2: full optimization
+//! eco lint <kernel> [opts]            statically certify every derived variant
 //! eco measure <kernel> --n <N> [opts] simulate the untransformed kernel
 //! eco report --events PATH [opts]     analyze an event stream (see below)
 //! eco report --compare OLD NEW        benchmark-trajectory regression gate
@@ -17,6 +18,8 @@
 //!   --strategy S         guided|grid|random         (default guided)
 //!   --threads N          evaluation threads         (default 0 = auto)
 //!   --engine E           plan|reference             (default plan)
+//!   --certify            statically certify every candidate before it is
+//!                        measured (tune; always on in debug builds)
 //!   --trace FILE         write a JSONL line per evaluated point to FILE
 //!   --events FILE        write the structured observability event stream to FILE
 //!   --manifest FILE      write the deterministic run manifest to FILE (tune)
@@ -61,6 +64,7 @@ struct Opts {
     strategy: SearchStrategy,
     threads: usize,
     backend: ExecBackend,
+    certify: bool,
     trace: Option<String>,
     events: Option<String>,
     manifest: Option<String>,
@@ -90,6 +94,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut strategy = SearchStrategy::Guided;
     let mut threads = 0usize;
     let mut backend = ExecBackend::Compiled;
+    let mut certify = false;
     let mut trace = None;
     let mut events = None;
     let mut manifest = None;
@@ -131,6 +136,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .map_err(|e| format!("bad --threads: {e}"))?
             }
             "--engine" => backend = ExecBackend::parse(&val("--engine")?)?,
+            "--certify" => certify = true,
             "--trace" => trace = Some(val("--trace")?),
             "--events" => events = Some(val("--events")?),
             "--manifest" => manifest = Some(val("--manifest")?),
@@ -151,6 +157,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         strategy,
         threads,
         backend,
+        certify,
         trace,
         events,
         manifest,
@@ -178,7 +185,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.split_first() {
         Some((cmd, rest)) => dispatch(cmd, rest),
-        None => Err("usage: eco <kernels|show|variants|tune|measure|report> ...".into()),
+        None => Err("usage: eco <kernels|show|variants|tune|lint|measure|report> ...".into()),
     };
     if let Err(e) = result {
         eprintln!("eco: {e}");
@@ -243,6 +250,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
             let mut optimizer = Optimizer::new(opts.machine.clone());
             optimizer.opts.search_n = opts.search_n;
             optimizer.opts.strategy = opts.strategy.clone();
+            optimizer.opts.certify = optimizer.opts.certify || opts.certify;
             let config = opts.engine_config();
             let request = OptimizeRequest::new(k.clone()).engine(config.clone());
             let report = optimizer.run(request).map_err(|e| e.to_string())?;
@@ -260,6 +268,12 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
                 "search: {} points over {} variants ({} fully searched)",
                 tuned.stats.points, tuned.stats.variants_derived, tuned.stats.variants_searched
             );
+            if optimizer.opts.certify {
+                println!(
+                    "certify: {} candidates certified, {} rejected",
+                    tuned.stats.points_certified, tuned.stats.points_rejected
+                );
+            }
             println!(
                 "engine: {} points requested, {} evaluated, {} memo hits ({:.0}% hit rate)",
                 report.engine.requested,
@@ -275,6 +289,40 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
             );
             if opts.code {
                 print!("\n{}", tuned.program);
+            }
+            Ok(())
+        }
+        "lint" => {
+            let (name, optargs) = rest
+                .split_first()
+                .ok_or("usage: eco lint <kernel> [opts]")?;
+            let k = find_kernel(name)?;
+            let opts = parse_opts(optargs)?;
+            let entries =
+                eco_core::lint_kernel(&k, &opts.machine, opts.n, 8).map_err(|e| e.to_string())?;
+            let mut bad = 0usize;
+            for e in &entries {
+                let c = &e.cert;
+                if c.ok() {
+                    println!(
+                        "{:<16} {:<16} ok ({} subscripts, {} dependences checked)",
+                        e.variant, e.artifact, c.checked_refs, c.checked_deps
+                    );
+                } else {
+                    bad += 1;
+                    println!("{:<16} {:<16} FAILED", e.variant, e.artifact);
+                    print!("{}", c.render());
+                }
+            }
+            println!(
+                "{}: {} of {} artifacts certified at N={}",
+                k.name,
+                entries.len() - bad,
+                entries.len(),
+                opts.n
+            );
+            if bad > 0 {
+                std::process::exit(1);
             }
             Ok(())
         }

@@ -329,6 +329,11 @@ fn eco_search_opts(search_n: i64) -> SearchOptions {
         // tune on a conflict-prone (power-of-two) size too (see
         // SearchOptions docs)
         .robustness_sizes(vec![(search_n as u64).next_power_of_two() as i64])
+        // statically certify every candidate, also in release builds:
+        // the golden manifests record the flag, and CI's golden-results
+        // job doubles as the "certification never rejects a real
+        // search point" check
+        .certify(true)
         .build()
         .unwrap_or_else(|e| panic!("search options: {e}"))
 }

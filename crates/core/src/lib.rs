@@ -41,12 +41,14 @@
 //! ```
 
 mod codegen;
+mod lint;
 pub mod manifest;
 pub mod model;
 mod search;
 mod variant;
 
 pub use codegen::generate;
+pub use lint::{lint_kernel, LintEntry};
 pub use manifest::{machine_fingerprint, run_manifest};
 pub use search::{
     stages, strategy_name, LineageStep, OptimizeReport, OptimizeRequest, Optimizer, SearchOptions,

@@ -18,7 +18,11 @@ use std::hash::{Hash, Hasher as _};
 
 /// Format version stamped into every manifest; bump on any field or
 /// rendering change so drift is self-describing.
-pub const MANIFEST_VERSION: u64 = 1;
+///
+/// Version 2 added the `options.certify` flag and the
+/// `search.points_certified` / `search.points_rejected` counters of the
+/// static certification pass.
+pub const MANIFEST_VERSION: u64 = 2;
 
 /// The stable content fingerprint of a machine description — the same
 /// value the engine folds into every memo key.
@@ -85,7 +89,8 @@ pub fn run_manifest(
             ),
         )
         .field("strategy", strategy_json(&opts.strategy))
-        .field("tlb_prune", Json::Bool(opts.tlb_prune));
+        .field("tlb_prune", Json::Bool(opts.tlb_prune))
+        .field("certify", Json::Bool(opts.certify));
     // ParamValues is a BTreeMap, so parameter order is deterministic.
     let mut params = Json::obj();
     for (name, value) in &tuned.params {
@@ -146,6 +151,14 @@ pub fn run_manifest(
                 .field(
                     "variants_searched",
                     Json::UInt(tuned.stats.variants_searched as u64),
+                )
+                .field(
+                    "points_certified",
+                    Json::UInt(tuned.stats.points_certified as u64),
+                )
+                .field(
+                    "points_rejected",
+                    Json::UInt(tuned.stats.points_rejected as u64),
                 )
                 .field("per_stage", per_stage),
         )
@@ -211,7 +224,9 @@ mod tests {
         let (report, machine, opts, config) = tiny_run(1);
         let text = run_manifest("mm", &machine, &opts, &config, &report).render();
         for needle in [
-            "\"manifest_version\": 1",
+            "\"manifest_version\": 2",
+            "\"certify\"",
+            "\"points_certified\"",
             "\"kernel\": \"mm\"",
             "\"fingerprint\": \"0x",
             "\"backend\": \"compiled\"",

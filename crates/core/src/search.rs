@@ -97,6 +97,13 @@ pub struct SearchOptions {
     /// variants"). Off by default so search statistics stay comparable
     /// with and without it; `repro` and the tests exercise both.
     pub tlb_prune: bool,
+    /// Statically certify every generated candidate (`eco-verify`)
+    /// before it is measured: bounds, dependence preservation, scalar
+    /// replacement and copy coherence are proven at each tuning size,
+    /// and a rejected point is treated as infeasible instead of being
+    /// executed. Always on in debug builds; opt-in (`--certify`) in
+    /// release builds.
+    pub certify: bool,
 }
 
 impl Default for SearchOptions {
@@ -109,6 +116,7 @@ impl Default for SearchOptions {
             robustness_sizes: Vec::new(),
             strategy: SearchStrategy::Guided,
             tlb_prune: false,
+            certify: cfg!(debug_assertions),
         }
     }
 }
@@ -224,6 +232,14 @@ impl SearchOptionsBuilder {
         self
     }
 
+    /// Enables (or disables) static certification of every candidate
+    /// before measurement. Defaults to on in debug builds.
+    #[must_use]
+    pub fn certify(mut self, certify: bool) -> Self {
+        self.opts.certify = certify;
+        self
+    }
+
     /// Validates and returns the options.
     ///
     /// # Errors
@@ -255,6 +271,11 @@ pub struct SearchStats {
     /// Points generated per search stage, stage names sorted
     /// (deterministic; recorded in run manifests).
     pub per_stage: Vec<(String, usize)>,
+    /// Unique points statically certified safe before measurement
+    /// (0 when certification is off).
+    pub points_certified: usize,
+    /// Unique points the certifier rejected (never executed).
+    pub points_rejected: usize,
     /// How the winning point's cycle count evolved through the stages:
     /// milestones of the selected variant, in search order.
     pub lineage: Vec<LineageStep>,
@@ -372,6 +393,12 @@ struct PointEval<'a> {
     /// measurements are currently attributed to.
     scope: Scope,
     span: Option<SpanId>,
+    /// Statically certify each unique generated point before it may be
+    /// measured ([`SearchOptions::certify`]).
+    certify: bool,
+    /// Unique points proven safe / rejected by the certifier.
+    certified: usize,
+    rejected: usize,
 }
 
 impl PointEval<'_> {
@@ -412,7 +439,7 @@ impl PointEval<'_> {
         if let Some(hit) = self.programs.get(&key) {
             return hit.clone();
         }
-        let program = (|| -> Option<Program> {
+        let mut program = (|| -> Option<Program> {
             let mut program = generate(
                 self.kernel,
                 self.nest,
@@ -427,6 +454,52 @@ impl PointEval<'_> {
             }
             Some(program)
         })();
+        // Translation validation: prove the candidate safe at every
+        // tuning size before it is allowed anywhere near the engine.
+        // Each unique point is certified once (this cache) and the
+        // verdict becomes a typed event.
+        if self.certify {
+            if let Some(p) = &program {
+                let size_name = self.kernel.program.var(self.kernel.size).name.clone();
+                let verdict = self.sizes.iter().find_map(|&n| {
+                    let cert =
+                        eco_verify::certify(&self.kernel.program, p, &[(size_name.clone(), n)]);
+                    cert.first_error().map(|code| {
+                        let msg = cert
+                            .diagnostics
+                            .iter()
+                            .find(|d| d.code == code)
+                            .map(|d| d.message.clone())
+                            .unwrap_or_default();
+                        (code, msg, n)
+                    })
+                });
+                match verdict {
+                    Some((code, msg, n)) => {
+                        self.rejected += 1;
+                        self.scope.event(
+                            "certify",
+                            self.span,
+                            Attrs::new()
+                                .str("variant", &variant.name)
+                                .bool("ok", false)
+                                .str("code", code.as_str())
+                                .str("msg", &msg)
+                                .int("n", n),
+                        );
+                        program = None;
+                    }
+                    None => {
+                        self.certified += 1;
+                        self.scope.event(
+                            "certify",
+                            self.span,
+                            Attrs::new().str("variant", &variant.name).bool("ok", true),
+                        );
+                    }
+                }
+            }
+        }
         if program.is_some() {
             self.points += 1;
             *self.per_stage.entry(self.stage.to_string()).or_insert(0) += 1;
@@ -615,6 +688,9 @@ impl Optimizer {
             stage: "screen",
             scope: scope.clone(),
             span: root,
+            certify: self.opts.certify,
+            certified: 0,
+            rejected: 0,
         };
 
         // ---- screening: one model-derived point per variant ----
@@ -850,6 +926,8 @@ impl Optimizer {
                 variants_derived,
                 variants_searched,
                 per_stage: ev.per_stage.into_iter().collect(),
+                points_certified: ev.certified,
+                points_rejected: ev.rejected,
                 lineage,
             },
         })

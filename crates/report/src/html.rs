@@ -374,10 +374,16 @@ pub fn render_html(reports: &[RunReport]) -> String {
             .variants
             .iter()
             .map(|v| {
+                let cert = if v.certified + v.rejected == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{}/{}", v.certified, v.rejected)
+                };
                 vec![
                     v.name.clone(),
                     v.points.to_string(),
                     v.memo_hits.to_string(),
+                    cert,
                     v.cycles.map_or_else(|| "-".to_string(), |c| c.to_string()),
                     v.outcome.clone(),
                     format!("{:.1}", v.wall_us as f64 / 1000.0),
@@ -386,7 +392,9 @@ pub fn render_html(reports: &[RunReport]) -> String {
             .collect();
         html_table(
             &mut s,
-            &["variant", "points", "memo", "cycles", "outcome", "wall ms"],
+            &[
+                "variant", "points", "memo", "cert", "cycles", "outcome", "wall ms",
+            ],
             &rows,
         );
 

@@ -180,6 +180,30 @@ impl SpanTree {
         }
         (total, hits, errors, best)
     }
+
+    /// `certify` events in the subtree rooted at `idx`:
+    /// `(certified, rejected)`.
+    pub fn subtree_certify(&self, idx: usize) -> (u64, u64) {
+        let node = &self.nodes[idx];
+        let mut certified = 0;
+        let mut rejected = 0;
+        for e in &node.events {
+            if e.name.as_deref() != Some("certify") {
+                continue;
+            }
+            if e.attr_bool("ok") == Some(true) {
+                certified += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        for &c in &node.children {
+            let (ok, rej) = self.subtree_certify(c);
+            certified += ok;
+            rejected += rej;
+        }
+        (certified, rejected)
+    }
 }
 
 /// Aggregate over all spans sharing one stage name.
@@ -213,6 +237,10 @@ pub struct VariantRow {
     pub cycles: Option<u64>,
     /// Close outcome (`ok` or `infeasible`).
     pub outcome: String,
+    /// Candidates statically certified in the variant's subtree.
+    pub certified: u64,
+    /// Candidates the certifier rejected in the variant's subtree.
+    pub rejected: u64,
 }
 
 /// One milestone of the winning point's lineage, reconstructed from the
@@ -246,6 +274,10 @@ pub struct SearchProfile {
     pub memo_hits: u64,
     /// Errored points.
     pub errors: u64,
+    /// Candidates statically certified (`certify` events with `ok`).
+    pub certified: u64,
+    /// Candidates the static certifier rejected before measurement.
+    pub rejected: u64,
     /// Total wall time of the root span.
     pub wall_us: u64,
     /// Per-stage aggregates, in first-seen order.
@@ -304,6 +336,9 @@ impl SearchProfile {
             p.points = points;
             p.memo_hits = hits;
             p.errors = errors;
+            let (certified, rejected) = tree.subtree_certify(root);
+            p.certified = certified;
+            p.rejected = rejected;
         }
 
         // Stage rows: every span that is not the root or a variant
@@ -347,6 +382,7 @@ impl SearchProfile {
                 continue;
             }
             let (points, hits, _, _) = tree.subtree_points(i);
+            let (certified, rejected) = tree.subtree_certify(i);
             let outcome = node
                 .close_attr("outcome")
                 .and_then(Json::as_str)
@@ -363,6 +399,8 @@ impl SearchProfile {
                 wall_us: node.wall_us(),
                 cycles: node.close_attr("cycles").and_then(Json::as_u64),
                 outcome,
+                certified,
+                rejected,
             });
         }
 

@@ -17,6 +17,16 @@ fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// The `cert` cell: `certified/rejected` counts of the static
+/// certifier, or `-` when the run did not certify.
+fn cert_cell(certified: u64, rejected: u64) -> String {
+    if certified + rejected == 0 {
+        "-".to_string()
+    } else {
+        format!("{certified}/{rejected}")
+    }
+}
+
 /// Renders one column-aligned table: `widths` are computed from the
 /// rows, every cell is left-padded to its column.
 fn table(out: &mut String, indent: &str, rows: &[Vec<String>]) {
@@ -60,6 +70,13 @@ pub fn render_profile_ascii(report: &RunReport) -> String {
         p.errors,
         ms(p.wall_us)
     );
+    if p.certified + p.rejected > 0 {
+        let _ = writeln!(
+            out,
+            "certified: {} candidates statically proven, {} rejected before measurement",
+            p.certified, p.rejected
+        );
+    }
     match (&p.selected, p.selected_cycles) {
         (Some(v), Some(c)) => {
             let _ = writeln!(out, "selected: {v} at {c} cycles");
@@ -93,6 +110,7 @@ pub fn render_profile_ascii(report: &RunReport) -> String {
         "variant".to_string(),
         "points".to_string(),
         "memo".to_string(),
+        "cert".to_string(),
         "cycles".to_string(),
         "outcome".to_string(),
         "wall_ms".to_string(),
@@ -102,6 +120,7 @@ pub fn render_profile_ascii(report: &RunReport) -> String {
             v.name.clone(),
             v.points.to_string(),
             v.memo_hits.to_string(),
+            cert_cell(v.certified, v.rejected),
             v.cycles.map_or_else(|| "-".to_string(), |c| c.to_string()),
             v.outcome.clone(),
             ms(v.wall_us),
@@ -130,11 +149,13 @@ pub fn render_profile_ascii(report: &RunReport) -> String {
 /// The profile as CSV: one `section` column discriminates stage rows,
 /// variant rows and lineage milestones.
 pub fn render_profile_csv(profile: &SearchProfile) -> String {
-    let mut out = String::from("section,name,spans,points,memo_hits,wall_us,cycles,outcome\n");
+    let mut out = String::from(
+        "section,name,spans,points,memo_hits,wall_us,cycles,outcome,certified,rejected\n",
+    );
     for s in &profile.stages {
         let _ = writeln!(
             out,
-            "stage,{},{},{},{},{},,",
+            "stage,{},{},{},{},{},,,,",
             csv_escape(&s.stage),
             s.spans,
             s.points,
@@ -145,19 +166,21 @@ pub fn render_profile_csv(profile: &SearchProfile) -> String {
     for v in &profile.variants {
         let _ = writeln!(
             out,
-            "variant,{},1,{},{},{},{},{}",
+            "variant,{},1,{},{},{},{},{},{},{}",
             csv_escape(&v.name),
             v.points,
             v.memo_hits,
             v.wall_us,
             v.cycles.map_or_else(String::new, |c| c.to_string()),
-            csv_escape(&v.outcome)
+            csv_escape(&v.outcome),
+            v.certified,
+            v.rejected
         );
     }
     for l in &profile.lineage {
         let _ = writeln!(
             out,
-            "lineage,{},,,,,{},",
+            "lineage,{},,,,,{},,,",
             csv_escape(&l.label),
             l.cycles.map_or_else(String::new, |c| c.to_string())
         );

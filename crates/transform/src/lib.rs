@@ -125,12 +125,10 @@ mod tests {
         }
     }
 
-    #[test]
-    fn permute_rejects_dependence_violation() {
-        // A[I,J] = A[I-1,J] + 1: flow dep distance (J:0, I:1) in (J,I)
-        // order; swapping to (I,J) keeps it legal (0 stays leading)...
-        // so use A[I,J] = A[I-1,J+1]: distance J:-1,I:1 -> (I,J) order
-        // leading +1 legal; (J,I) order leading -1 illegal.
+    /// `A[I,J] = A[I-1,J+1] + 1` under an `(I, J)` nest: flow dependence
+    /// with distance `(I:1, J:-1)`, legal as written (leading +1) but
+    /// reversed by any order that consults `J` before `I`.
+    fn skew_program() -> (Program, VarId, VarId) {
         let mut p = Program::new("skew");
         let n = p.add_param("N");
         let j = p.add_loop_var("J");
@@ -162,8 +160,46 @@ mod tests {
                 }],
             })],
         }));
+        (p, i, j)
+    }
+
+    #[test]
+    fn permute_rejects_dependence_violation() {
+        let (p, i, j) = skew_program();
         assert!(permute(&p, &[i, j]).is_ok(), "identity must stay legal");
         let err = permute(&p, &[j, i]).expect_err("must be illegal");
+        assert!(matches!(err, TransformError::IllegalOrder(_)), "{err}");
+    }
+
+    #[test]
+    fn unroll_and_jam_rejects_dependence_reversal() {
+        let (p, i, j) = skew_program();
+        // Jamming I lands its copies inside J: the (1, -1) skew runs
+        // backwards along J between copies.
+        let err = unroll_and_jam(&p, i, 2).expect_err("must be illegal");
+        assert!(matches!(err, TransformError::IllegalOrder(_)), "{err}");
+        // Unrolling the already-innermost loop reorders nothing.
+        let u = unroll_and_jam(&p, j, 2).expect("legal");
+        assert_equiv(&p, &u, 9, &["A"]);
+    }
+
+    #[test]
+    fn unroll_and_jam_legality_sees_through_tile_controls() {
+        // Tile I: the fresh II control never appears in a subscript, so
+        // every dependence carries an Any distance on it. A naive
+        // lexicographic test would reject both unrolls below; the sign
+        // enumeration keeps only causal assignments, proving J legal
+        // while still rejecting I (whose (1, -1) skew truly reverses).
+        let (p, i, j) = skew_program();
+        let (tiled, _) = tile_nest(
+            &p,
+            &[TileSpec { var: i, tile: 4 }],
+            &[LoopSel::Control(i), LoopSel::Point(i), LoopSel::Point(j)],
+        )
+        .expect("tile");
+        let u = unroll_and_jam(&tiled, j, 2).expect("legal despite Any on II");
+        assert_equiv(&p, &u, 11, &["A"]);
+        let err = unroll_and_jam(&tiled, i, 2).expect_err("skew reversal");
         assert!(matches!(err, TransformError::IllegalOrder(_)), "{err}");
     }
 

@@ -102,7 +102,12 @@ pub fn tile_nest(
         let p = order
             .iter()
             .position(|s| *s == LoopSel::Point(t.var))
-            .expect("checked above");
+            .ok_or_else(|| {
+                TransformError::IllegalOrder(format!(
+                    "tiled loop {} has no Point position",
+                    program.var(t.var).name
+                ))
+            })?;
         if c >= p {
             return Err(TransformError::IllegalOrder(format!(
                 "control loop of {} must precede its point loop",
@@ -150,7 +155,9 @@ pub fn tile_nest(
 
     // Rebuild.
     let mut out = program.clone();
-    let (_, body) = program.perfect_nest().expect("checked");
+    let (_, body) = program
+        .perfect_nest()
+        .ok_or(TransformError::NotPerfectNest)?;
     let innermost_body: Vec<Stmt> = body.to_vec();
     let bound_of = |v: VarId| -> (&Bound, &Bound) {
         let l = nest.loops.iter().find(|l| l.var == v).expect("orig loop");
@@ -193,10 +200,16 @@ pub fn tile_nest(
             }
             LoopSel::Control(v) => {
                 let (lo, hi) = bound_of(v);
-                let &(_, cv, tile) = control_of
-                    .iter()
-                    .find(|&&(pv, _, _)| pv == v)
-                    .expect("checked");
+                let &(_, cv, tile) =
+                    control_of
+                        .iter()
+                        .find(|&&(pv, _, _)| pv == v)
+                        .ok_or_else(|| {
+                            TransformError::IllegalOrder(format!(
+                                "Control({}) appears but the loop is not tiled",
+                                program.var(v).name
+                            ))
+                        })?;
                 Loop {
                     var: cv,
                     lo: lo.clone(),

@@ -13,24 +13,40 @@
 //! the guards are omitted.
 
 use crate::error::TransformError;
+use eco_analysis::dependence::{dependences, unroll_and_jam_is_legal};
+use eco_analysis::NestInfo;
 use eco_ir::{AffineExpr, Bound, Cond, Loop, Program, Stmt, VarId};
 
 /// Applies unroll-and-jam with factor `factor` to the loop binding `u`.
 ///
 /// The loop's body must be a perfect chain of inner loops whose bounds
 /// do not depend on `u` (otherwise jamming is structurally impossible
-/// and an error is returned). Legality with respect to data dependences
-/// is the caller's responsibility (the ECO driver checks that moving
-/// `u` innermost is dependence-legal, which implies unroll-and-jam
-/// legality); this pass enforces only the structural conditions.
+/// and an error is returned). Data-dependence legality is checked here
+/// whenever the program is still analyzable as a perfect nest:
+/// [`unroll_and_jam_is_legal`] proves that moving `u` innermost cannot
+/// reverse a dependence, which implies unroll-and-jam legality. Residue
+/// guards introduced by an *earlier* unroll make the nest imperfect and
+/// skip the check for subsequent unrolls; the static certifier
+/// (`eco-verify` pass 2) re-proves the combined schedule against the
+/// original kernel in that case.
 ///
 /// # Errors
 ///
 /// Fails if the loop is missing, has non-unit step, `factor` is zero,
-/// or an inner loop's bounds depend on `u`.
+/// an inner loop's bounds depend on `u`, or unrolling would reverse a
+/// data dependence.
 pub fn unroll_and_jam(program: &Program, u: VarId, factor: u64) -> Result<Program, TransformError> {
     if factor == 0 {
         return Err(TransformError::BadParameter("unroll factor 0".into()));
+    }
+    if let Ok(nest) = NestInfo::from_program(program) {
+        let deps = dependences(&nest);
+        if !unroll_and_jam_is_legal(&nest, &deps, u) {
+            return Err(TransformError::IllegalOrder(format!(
+                "unroll-and-jam of {} would reverse a data dependence",
+                program.var(u).name
+            )));
+        }
     }
     let mut out = program.clone();
     let found = rewrite_loop(&mut out.body, u, &mut |l| unroll_one(l, factor))?;

@@ -1,0 +1,252 @@
+//! Pass 3: scalar-replacement soundness.
+//!
+//! Scalar replacement caches array elements in temporaries across
+//! iterations (invariant accumulators, rotating stencil registers). The
+//! cached copy is sound only if no *other* store can write the cached
+//! element between the temporary's definition and its uses: such a
+//! store would be observed by the original program but not by the
+//! register copy.
+//!
+//! For each temporary the pass collects its defining `SetTemp`
+//! statements, the array elements those definitions load, and every
+//! statement reading the temporary, then scans the statement span they
+//! jointly occupy (the subtree range under their lowest common
+//! ancestor). Any store in that span that is not itself part of the
+//! temporary's def/use web, is not a register write-back (`X[..] = t`,
+//! the pattern scalar replacement emits for sibling accumulators), and
+//! whose target interval overlaps a loaded element in every dimension
+//! is flagged as [`DiagCode::ScalarReplacementAliased`]. Two different
+//! temporaries writing back to the identical element are flagged too
+//! (double write-back: one of them must be stale).
+
+use crate::bounds::{interval, param_env, render_ctx, Ctx};
+use crate::{DiagCode, Sink};
+use eco_ir::pretty::ref_to_string;
+use eco_ir::{ArrayRef, Program, ScalarExpr, Stmt, TempId, VarId};
+
+/// Collects the array loads of an expression, keeping their addresses
+/// alive with the program (`for_each_load` can't return borrows).
+fn loads_of<'p>(e: &'p ScalarExpr, out: &mut Vec<&'p ArrayRef>) {
+    match e {
+        ScalarExpr::Const(_) | ScalarExpr::Temp(_) => {}
+        ScalarExpr::Load(r) => out.push(r),
+        ScalarExpr::Add(a, b) | ScalarExpr::Sub(a, b) | ScalarExpr::Mul(a, b) => {
+            loads_of(a, out);
+            loads_of(b, out);
+        }
+    }
+}
+
+fn contains_temp(e: &ScalarExpr, t: TempId) -> bool {
+    match e {
+        ScalarExpr::Const(_) | ScalarExpr::Load(_) => false,
+        ScalarExpr::Temp(u) => *u == t,
+        ScalarExpr::Add(a, b) | ScalarExpr::Sub(a, b) | ScalarExpr::Mul(a, b) => {
+            contains_temp(a, t) || contains_temp(b, t)
+        }
+    }
+}
+
+/// A statement with its tree position and enclosing loop context.
+struct Site<'p> {
+    stmt: &'p Stmt,
+    path: Vec<usize>,
+    ctx: Vec<Ctx>,
+}
+
+fn collect<'p>(p: &'p Program) -> Vec<Site<'p>> {
+    let mut sites = Vec::new();
+    let mut path: Vec<usize> = Vec::new();
+    fn go<'p>(
+        stmts: &'p [Stmt],
+        path: &mut Vec<usize>,
+        ctx: &mut Vec<Ctx>,
+        out: &mut Vec<Site<'p>>,
+    ) {
+        for (i, s) in stmts.iter().enumerate() {
+            path.push(i);
+            out.push(Site {
+                stmt: s,
+                path: path.clone(),
+                ctx: ctx.clone(),
+            });
+            match s {
+                Stmt::For(l) => {
+                    ctx.push(Ctx::Loop {
+                        var: l.var,
+                        lo: l.lo.clone(),
+                        hi: l.hi.clone(),
+                        step: l.step,
+                    });
+                    go(&l.body, path, ctx, out);
+                    ctx.pop();
+                }
+                Stmt::If { cond, then } => {
+                    ctx.push(Ctx::Guard(cond.clone()));
+                    go(then, path, ctx, out);
+                    ctx.pop();
+                }
+                _ => {}
+            }
+            path.pop();
+        }
+    }
+    let mut ctx = Vec::new();
+    go(&p.body, &mut path, &mut ctx, &mut sites);
+    sites
+}
+
+/// Do the two references' value sets provably overlap (or fail to be
+/// provably disjoint) in every dimension?
+fn may_overlap(
+    a: (&ArrayRef, &[Ctx]),
+    b: (&ArrayRef, &[Ctx]),
+    env: &impl Fn(VarId) -> Option<i64>,
+) -> bool {
+    for d in 0..a.0.idx.len().min(b.0.idx.len()) {
+        let (Some(ia), Some(ib)) = (
+            interval(&a.0.idx[d], a.1, env),
+            interval(&b.0.idx[d], b.1, env),
+        ) else {
+            // Unboundable subscripts are reported by pass 1; stay quiet
+            // here rather than duplicating.
+            return false;
+        };
+        if ia.1 < ib.0 || ib.1 < ia.0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Pass 3 entry point.
+pub(crate) fn check(p: &Program, binding: &[(String, i64)], sink: &mut Sink) {
+    let env = param_env(p, binding);
+    let sites = collect(p);
+
+    for ti in 0..p.temps.len() {
+        let t = TempId(ti as u32);
+        let mut involved: Vec<usize> = Vec::new();
+        let mut defs: Vec<usize> = Vec::new();
+        for (i, site) in sites.iter().enumerate() {
+            match site.stmt {
+                Stmt::SetTemp { temp, value } => {
+                    if *temp == t || contains_temp(value, t) {
+                        involved.push(i);
+                    }
+                    if *temp == t {
+                        defs.push(i);
+                    }
+                }
+                Stmt::Store { value, .. } if contains_temp(value, t) => involved.push(i),
+                _ => {}
+            }
+        }
+        if defs.is_empty() || involved.len() < 2 {
+            continue;
+        }
+
+        // Elements the temporary caches: loads inside its definitions.
+        let mut cached: Vec<(&ArrayRef, &[Ctx])> = Vec::new();
+        for &d in &defs {
+            if let Stmt::SetTemp { value, .. } = sites[d].stmt {
+                let mut loads = Vec::new();
+                loads_of(value, &mut loads);
+                for r in loads {
+                    cached.push((r, &sites[d].ctx));
+                }
+            }
+        }
+        if cached.is_empty() {
+            continue;
+        }
+
+        // The span jointly occupied by the def/use web: the child-index
+        // range of the involved statements under their lowest common
+        // ancestor.
+        let mut prefix: &[usize] = &sites[involved[0]].path;
+        for &i in &involved[1..] {
+            let q = &sites[i].path;
+            let common = prefix
+                .iter()
+                .zip(q.iter())
+                .take_while(|(a, b)| a == b)
+                .count();
+            prefix = &prefix[..common];
+        }
+        let depth = prefix.len();
+        let range = {
+            let comps: Vec<usize> = involved.iter().map(|&i| sites[i].path[depth]).collect();
+            (
+                *comps.iter().min().expect("nonempty"),
+                *comps.iter().max().expect("nonempty"),
+            )
+        };
+
+        for (i, site) in sites.iter().enumerate() {
+            if involved.contains(&i) {
+                continue;
+            }
+            let Stmt::Store { target, value } = site.stmt else {
+                continue;
+            };
+            if site.path.len() <= depth
+                || site.path[..depth] != *prefix
+                || site.path[depth] < range.0
+                || site.path[depth] > range.1
+            {
+                continue;
+            }
+            // `X[..] = t'` is scalar replacement's own write-back shape
+            // for a sibling register: exempt from aliasing (the
+            // double-write-back check below catches corrupt overlaps).
+            if matches!(value, ScalarExpr::Temp(_)) {
+                continue;
+            }
+            for (r, rctx) in &cached {
+                if target.array == r.array && may_overlap((target, &site.ctx), (r, rctx), &env) {
+                    sink.push(
+                        DiagCode::ScalarReplacementAliased,
+                        format!(
+                            "store to {} may alias {} cached in register {} between its load and use",
+                            ref_to_string(p, target),
+                            ref_to_string(p, r),
+                            p.temps[ti],
+                        ),
+                        render_ctx(p, &site.ctx),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    // Double write-back: two different registers flushed to the same
+    // element — at least one value is stale.
+    let mut writebacks: Vec<(&ArrayRef, TempId)> = Vec::new();
+    for site in &sites {
+        if let Stmt::Store {
+            target,
+            value: ScalarExpr::Temp(u),
+        } = site.stmt
+        {
+            writebacks.push((target, *u));
+        }
+    }
+    for (i, (ra, ta)) in writebacks.iter().enumerate() {
+        for (rb, tb) in &writebacks[i + 1..] {
+            if ta != tb && ra.array == rb.array && ra.idx == rb.idx {
+                sink.push(
+                    DiagCode::ScalarReplacementAliased,
+                    format!(
+                        "registers {} and {} both write back to {}",
+                        p.temps[ta.index()],
+                        p.temps[tb.index()],
+                        ref_to_string(p, ra),
+                    ),
+                    Vec::new(),
+                );
+            }
+        }
+    }
+}
