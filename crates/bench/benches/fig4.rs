@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use eco_baselines::{atlas_mm, native, vendor_mm};
 use eco_bench::mflops_at;
-use eco_core::{OptimizeRequest, Optimizer};
+use eco_core::{SearchOptions, TuneRequest};
 use eco_exec::{Engine, EngineConfig, EvalJob, Evaluator, Params};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
@@ -18,11 +18,14 @@ fn bench_fig4(c: &mut Criterion) {
     let kernel = Kernel::matmul();
     let n = 64;
 
-    let mut opt = Optimizer::new(machine.clone());
-    opt.opts.search_n = 48;
-    opt.opts.max_variants = 1;
-    let eco = opt
-        .run(OptimizeRequest::new(kernel.clone()))
+    let opts = SearchOptions::builder()
+        .search_n(48)
+        .max_variants(1)
+        .build()
+        .expect("options");
+    let eco = TuneRequest::new(kernel.clone(), machine.clone())
+        .options(opts)
+        .run()
         .expect("eco")
         .tuned;
     let nat = native(&kernel, &machine).expect("native");
@@ -49,11 +52,15 @@ fn bench_fig4(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("eco_search_mm", |b| {
         b.iter(|| {
-            let mut opt = Optimizer::new(machine.clone());
-            opt.opts.search_n = 32;
-            opt.opts.max_variants = 1;
+            let opts = SearchOptions::builder()
+                .search_n(32)
+                .max_variants(1)
+                .build()
+                .expect("options");
             black_box(
-                opt.run(OptimizeRequest::new(kernel.clone()))
+                TuneRequest::new(kernel.clone(), machine.clone())
+                    .options(opts)
+                    .run()
                     .expect("eco")
                     .tuned,
             )

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use eco_baselines::native;
 use eco_bench::mflops_at;
-use eco_core::{OptimizeRequest, Optimizer};
+use eco_core::{SearchOptions, TuneRequest};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
 use std::hint::black_box;
@@ -22,11 +22,14 @@ fn bench_fig5(c: &mut Criterion) {
         } else {
             "sun"
         };
-        let mut opt = Optimizer::new(machine.clone());
-        opt.opts.search_n = 24;
-        opt.opts.max_variants = 1;
-        let eco = opt
-            .run(OptimizeRequest::new(kernel.clone()))
+        let opts = SearchOptions::builder()
+            .search_n(24)
+            .max_variants(1)
+            .build()
+            .expect("options");
+        let eco = TuneRequest::new(kernel.clone(), machine.clone())
+            .options(opts)
+            .run()
             .expect("eco")
             .tuned;
         let nat = native(&kernel, &machine).expect("native");

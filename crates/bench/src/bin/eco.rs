@@ -9,6 +9,8 @@
 //! eco measure <kernel> --n <N> [opts] simulate the untransformed kernel
 //! eco report --events PATH [opts]     analyze an event stream (see below)
 //! eco report --compare OLD NEW        benchmark-trajectory regression gate
+//! eco serve [opts]                    autotuning daemon on a Unix socket
+//! eco client <op> [opts]              one request against a running daemon
 //!
 //! options:
 //!   --machine sgi|sun    target machine model       (default sgi)
@@ -18,6 +20,8 @@
 //!   --strategy S         guided|grid|random         (default guided)
 //!   --threads N          evaluation threads         (default 0 = auto)
 //!   --engine E           plan|reference             (default plan)
+//!   --store DIR          persistent result store shared across processes;
+//!                        a second run warm-starts from the first's results
 //!   --certify            statically certify every candidate before it is
 //!                        measured (tune; always on in debug builds)
 //!   --trace FILE         write a JSONL line per evaluated point to FILE
@@ -25,6 +29,17 @@
 //!   --manifest FILE      write the deterministic run manifest to FILE (tune)
 //!   --code               also print generated code  (tune)
 //! ```
+//!
+//! serve options (see DESIGN.md "Service layer" for the protocol):
+//!   --socket PATH        Unix socket to listen on   (default eco.sock)
+//!   --threads/--engine/--store  engine configuration for every request
+//!   --events FILE        request-level serve event stream
+//!
+//! client ops: `ping`, `stats`, `store-stats`, `shutdown` print the
+//! server's JSON response; `tune <kernel>` takes the tune options above
+//! (machine, search size, strategy, certify, manifest) and sends one
+//! serialized `TuneRequest` — the daemon answers with the same
+//! deterministic manifest a local `eco tune --manifest` writes.
 //!
 //! report options:
 //!   --events PATH        event stream file, or a directory of `*.jsonl` streams
@@ -49,11 +64,13 @@
 //! starts.
 
 use eco_analysis::NestInfo;
+use eco_bench::cli::{flag_value, parse_machine, EngineFlags};
+use eco_bench::serve::{self, ServeConfig, Server};
 use eco_core::{
-    derive_variants, describe_variant, run_manifest, EngineConfig, OptimizeRequest, Optimizer,
-    SearchStrategy,
+    derive_variants, describe_variant, run_manifest, EngineConfig, SearchOptions, SearchStrategy,
+    TuneRequest,
 };
-use eco_exec::{Engine, EvalJob, Evaluator, ExecBackend, Params};
+use eco_exec::{Engine, EvalJob, Evaluator, Params};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
 
@@ -62,8 +79,7 @@ struct Opts {
     n: i64,
     search_n: i64,
     strategy: SearchStrategy,
-    threads: usize,
-    backend: ExecBackend,
+    engine: EngineFlags,
     certify: bool,
     trace: Option<String>,
     events: Option<String>,
@@ -73,9 +89,7 @@ struct Opts {
 
 impl Opts {
     fn engine_config(&self) -> EngineConfig {
-        let mut cfg = EngineConfig::new()
-            .threads(self.threads)
-            .backend(self.backend);
+        let mut cfg = self.engine.apply(EngineConfig::new());
         if let Some(path) = &self.trace {
             cfg = cfg.trace(path.clone());
         }
@@ -83,6 +97,17 @@ impl Opts {
             cfg = cfg.events(path.clone());
         }
         cfg
+    }
+
+    /// The search options the tune command runs with: the command-line
+    /// size/strategy/certify over the library defaults.
+    fn search_options(&self) -> Result<SearchOptions, String> {
+        SearchOptions::builder()
+            .search_n(self.search_n)
+            .strategy(self.strategy.clone())
+            .certify(cfg!(debug_assertions) || self.certify)
+            .build()
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -92,8 +117,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut n = 96i64;
     let mut search_n = 96i64;
     let mut strategy = SearchStrategy::Guided;
-    let mut threads = 0usize;
-    let mut backend = ExecBackend::Compiled;
+    let mut engine = EngineFlags::new();
     let mut certify = false;
     let mut trace = None;
     let mut events = None;
@@ -101,26 +125,25 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut code = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let mut val = |name: &str| -> Result<String, String> {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
         match a.as_str() {
-            "--machine" => machine = val("--machine")?,
+            "--machine" => machine = flag_value("--machine", &mut it)?,
             "--scale" => {
-                scale = val("--scale")?
+                scale = flag_value("--scale", &mut it)?
                     .parse()
                     .map_err(|e| format!("bad --scale: {e}"))?
             }
-            "--n" => n = val("--n")?.parse().map_err(|e| format!("bad --n: {e}"))?,
+            "--n" => {
+                n = flag_value("--n", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("bad --n: {e}"))?
+            }
             "--search-n" => {
-                search_n = val("--search-n")?
+                search_n = flag_value("--search-n", &mut it)?
                     .parse()
                     .map_err(|e| format!("bad --search-n: {e}"))?
             }
             "--strategy" => {
-                strategy = match val("--strategy")?.as_str() {
+                strategy = match flag_value("--strategy", &mut it)?.as_str() {
                     "guided" => SearchStrategy::Guided,
                     "grid" => SearchStrategy::Grid { max_points: 300 },
                     "random" => SearchStrategy::Random {
@@ -130,33 +153,25 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     other => return Err(format!("unknown strategy {other}")),
                 }
             }
-            "--threads" => {
-                threads = val("--threads")?
-                    .parse()
-                    .map_err(|e| format!("bad --threads: {e}"))?
-            }
-            "--engine" => backend = ExecBackend::parse(&val("--engine")?)?,
             "--certify" => certify = true,
-            "--trace" => trace = Some(val("--trace")?),
-            "--events" => events = Some(val("--events")?),
-            "--manifest" => manifest = Some(val("--manifest")?),
+            "--trace" => trace = Some(flag_value("--trace", &mut it)?),
+            "--events" => events = Some(flag_value("--events", &mut it)?),
+            "--manifest" => manifest = Some(flag_value("--manifest", &mut it)?),
             "--code" => code = true,
-            other => return Err(format!("unknown option {other}")),
+            other => {
+                if !engine.accept(other, &mut it)? {
+                    return Err(format!("unknown option {other}"));
+                }
+            }
         }
     }
-    let base = match machine.as_str() {
-        "sgi" => MachineDesc::sgi_r10000(),
-        "sun" => MachineDesc::ultrasparc_iie(),
-        other => return Err(format!("unknown machine {other} (sgi|sun)")),
-    };
-    let machine = if scale > 1 { base.scaled(scale) } else { base };
+    let machine = parse_machine(&machine, scale)?;
     Ok(Opts {
         machine,
         n,
         search_n,
         strategy,
-        threads,
-        backend,
+        engine,
         certify,
         trace,
         events,
@@ -185,7 +200,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.split_first() {
         Some((cmd, rest)) => dispatch(cmd, rest),
-        None => Err("usage: eco <kernels|show|variants|tune|lint|measure|report> ...".into()),
+        None => Err(
+            "usage: eco <kernels|show|variants|tune|lint|measure|report|serve|client> ...".into(),
+        ),
     };
     if let Err(e) = result {
         eprintln!("eco: {e}");
@@ -247,15 +264,15 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
                 std::fs::File::create(path)
                     .map_err(|e| format!("cannot create manifest file {path}: {e}"))?;
             }
-            let mut optimizer = Optimizer::new(opts.machine.clone());
-            optimizer.opts.search_n = opts.search_n;
-            optimizer.opts.strategy = opts.strategy.clone();
-            optimizer.opts.certify = optimizer.opts.certify || opts.certify;
+            let sopts = opts.search_options()?;
             let config = opts.engine_config();
-            let request = OptimizeRequest::new(k.clone()).engine(config.clone());
-            let report = optimizer.run(request).map_err(|e| e.to_string())?;
+            let report = TuneRequest::new(k.clone(), opts.machine.clone())
+                .options(sopts.clone())
+                .engine(config.clone())
+                .run()
+                .map_err(|e| e.to_string())?;
             if let Some(path) = &opts.manifest {
-                let doc = run_manifest(&k.name, &opts.machine, &optimizer.opts, &config, &report);
+                let doc = run_manifest(&k.name, &opts.machine, &sopts, &config, &report);
                 std::fs::write(path, doc.render())
                     .map_err(|e| format!("cannot write manifest file {path}: {e}"))?;
             }
@@ -268,7 +285,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
                 "search: {} points over {} variants ({} fully searched)",
                 tuned.stats.points, tuned.stats.variants_derived, tuned.stats.variants_searched
             );
-            if optimizer.opts.certify {
+            if sopts.certify {
                 println!(
                     "certify: {} candidates certified, {} rejected",
                     tuned.stats.points_certified, tuned.stats.points_rejected
@@ -281,6 +298,12 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
                 report.engine.cache_hits,
                 report.engine.hit_rate() * 100.0
             );
+            if opts.engine.store.is_some() {
+                println!(
+                    "store: {} hits of {} evaluated",
+                    report.engine.store_hits, report.engine.evaluated
+                );
+            }
             println!(
                 "at N={}: {:.1} MFLOPS ({} cycles)",
                 opts.search_n,
@@ -352,8 +375,104 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
             Ok(())
         }
         "report" => report_cmd(rest),
+        "serve" => serve_cmd(rest),
+        "client" => client_cmd(rest),
         other => Err(format!("unknown command {other}")),
     }
+}
+
+fn serve_cmd(rest: &[String]) -> Result<(), String> {
+    let mut socket = "eco.sock".to_string();
+    let mut engine = EngineFlags::new();
+    let mut events = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = flag_value("--socket", &mut it)?,
+            "--events" => events = Some(flag_value("--events", &mut it)?),
+            other => {
+                if !engine.accept(other, &mut it)? {
+                    return Err(format!("unknown serve option {other}"));
+                }
+            }
+        }
+    }
+    let server = Server::bind(ServeConfig {
+        socket: socket.clone().into(),
+        engine: engine.apply(EngineConfig::new()),
+        events,
+    })?;
+    println!("eco serve: listening on {socket}");
+    server.run()
+}
+
+fn client_cmd(rest: &[String]) -> Result<(), String> {
+    use eco_core::events::Json;
+    let usage = "usage: eco client <ping|stats|store-stats|shutdown|tune> [--socket PATH] \
+                 [tune: <kernel> --machine M --scale F --search-n N --strategy S --certify \
+                 --manifest FILE]";
+    let (op, rest) = rest.split_first().ok_or(usage)?;
+    let mut socket = "eco.sock".to_string();
+    let mut manifest = None;
+    let mut tune_args = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = flag_value("--socket", &mut it)?,
+            "--manifest" => manifest = Some(flag_value("--manifest", &mut it)?),
+            other => tune_args.push(other.to_string()),
+        }
+    }
+    let line = match op.as_str() {
+        "ping" | "stats" | "store-stats" | "shutdown" => Json::obj().field("op", Json::str(op)),
+        "tune" => {
+            let (kernel, optargs) = tune_args
+                .split_first()
+                .ok_or("usage: eco client tune <kernel> [opts]")?;
+            let k = find_kernel(kernel)?;
+            let opts = parse_opts(optargs)?;
+            // The daemon owns the engine configuration; the request only
+            // says what to tune, so identical tunes from different
+            // clients dedupe regardless of local flags.
+            let request = TuneRequest::new(k, opts.machine.clone()).options(opts.search_options()?);
+            Json::obj()
+                .field("op", Json::str("tune"))
+                .field("request", request.to_json())
+        }
+        other => return Err(format!("unknown client op {other}; {usage}")),
+    };
+    let response = serve::request(std::path::Path::new(&socket), &line)?;
+    if !response.get("ok").and_then(Json::as_bool).unwrap_or(false) {
+        let msg = response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("request failed");
+        return Err(format!("server: {msg}"));
+    }
+    if op == "tune" {
+        let doc = response
+            .get("manifest")
+            .ok_or("server response has no manifest")?;
+        if let Some(path) = &manifest {
+            std::fs::write(path, doc.render())
+                .map_err(|e| format!("cannot write manifest file {path}: {e}"))?;
+        }
+        let variant = doc
+            .get_path("selected.variant")
+            .and_then(Json::as_str)
+            .unwrap_or("?");
+        let cycles = doc
+            .get_path("selected.cycles")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        println!("selected {variant} ({cycles} cycles)");
+        if let Some(stats) = response.get("engine_stats") {
+            println!("engine: {}", stats.render_compact());
+        }
+    } else {
+        println!("{}", response.render_compact());
+    }
+    Ok(())
 }
 
 struct ReportArgs {
@@ -381,39 +500,34 @@ fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
     let mut threshold = 25.0f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let mut val = |name: &str| -> Result<String, String> {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
         match a.as_str() {
-            "--events" => events = Some(val("--events")?),
-            "--manifest" => manifest = Some(val("--manifest")?),
-            "--out" => out = Some(val("--out")?),
-            "--machine" => machine_name = Some(val("--machine")?),
+            "--events" => events = Some(flag_value("--events", &mut it)?),
+            "--manifest" => manifest = Some(flag_value("--manifest", &mut it)?),
+            "--out" => out = Some(flag_value("--out", &mut it)?),
+            "--machine" => machine_name = Some(flag_value("--machine", &mut it)?),
             "--scale" => {
-                scale = val("--scale")?
+                scale = flag_value("--scale", &mut it)?
                     .parse()
                     .map_err(|e| format!("bad --scale: {e}"))?
             }
             "--threads" => {
-                threads = val("--threads")?
+                threads = flag_value("--threads", &mut it)?
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?
             }
             "--buf-size" => {
-                buf_size = val("--buf-size")?
+                buf_size = flag_value("--buf-size", &mut it)?
                     .parse()
                     .map_err(|e| format!("bad --buf-size: {e}"))?
             }
             "--no-attribution" => attribute = false,
             "--compare" => {
-                let old = val("--compare")?;
-                let new = val("--compare")?;
+                let old = flag_value("--compare", &mut it)?;
+                let new = flag_value("--compare", &mut it)?;
                 compare = Some((old, new));
             }
             "--threshold" => {
-                threshold = val("--threshold")?
+                threshold = flag_value("--threshold", &mut it)?
                     .parse()
                     .map_err(|e| format!("bad --threshold: {e}"))?
             }
@@ -422,11 +536,8 @@ fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
     }
     let machine = match machine_name.as_deref() {
         None => None,
-        Some("sgi") => Some(MachineDesc::sgi_r10000()),
-        Some("sun") => Some(MachineDesc::ultrasparc_iie()),
-        Some(other) => return Err(format!("unknown machine {other} (sgi|sun)")),
+        Some(name) => Some(parse_machine(name, scale)?),
     };
-    let machine = machine.map(|b| if scale > 1 { b.scaled(scale) } else { b });
     Ok(ReportArgs {
         events,
         manifest,

@@ -33,6 +33,9 @@
 //! options (after the command):
 //!   --threads N      evaluation threads (0 = auto, the default)
 //!   --engine E       plan (compiled, default) or reference (tree-walker)
+//!   --store DIR      persistent result store: a second run against the
+//!                    same DIR warm-starts from the first one's results
+//!                    (same bytes out, far fewer simulations)
 //!   --trace DIR      write a JSONL evaluation trace per command to DIR
 //!   --events DIR     write a structured event stream per command to DIR
 //!   --json FILE      smoke only: also write the throughput as JSON
@@ -51,25 +54,26 @@
 
 use eco_analysis::NestInfo;
 use eco_baselines::{atlas_mm_with, model_only, native, vendor_mm_with};
+use eco_bench::cli::EngineFlags;
 use eco_bench::{
     counters_at_with, jacobi_figure_sizes, jacobi_table_row, mflops_at_with, mflops_sweep,
     mm_copy_variant, mm_figure_sizes, mm_table_row, Sweep, FIGURE_SCALE,
 };
 use eco_core::events::Json;
 use eco_core::{
-    derive_variants, describe_variant, run_manifest, Engine, EngineConfig, Evaluator, ExecBackend,
-    OptimizeReport, Optimizer, SearchOptions, Tuned,
+    derive_variants, describe_variant, run_manifest, Engine, EngineConfig, Evaluator, Optimizer,
+    SearchOptions, TuneResponse, Tuned,
 };
 use eco_ir::Program;
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
 use std::fs;
 
-/// Engine settings shared by every command: thread count and the
-/// optional JSONL telemetry directories (one file per command label).
+/// Engine settings shared by every command: the shared engine flags
+/// (threads, backend, result store) and the optional JSONL telemetry
+/// directories (one file per command label).
 struct EngineOpts {
-    threads: usize,
-    backend: ExecBackend,
+    flags: EngineFlags,
     trace_dir: Option<String>,
     events_dir: Option<String>,
     json: Option<String>,
@@ -79,9 +83,7 @@ struct EngineOpts {
 
 impl EngineOpts {
     fn engine(&self, machine: &MachineDesc, label: &str) -> Engine {
-        let mut cfg = EngineConfig::new()
-            .threads(self.threads)
-            .backend(self.backend);
+        let mut cfg = self.flags.apply(EngineConfig::new());
         if let Some(dir) = &self.trace_dir {
             let _ = fs::create_dir_all(dir);
             cfg = cfg.trace(format!("{dir}/{label}.jsonl"));
@@ -95,15 +97,16 @@ impl EngineOpts {
     }
 
     /// The deterministic subset of the engine configuration recorded in
-    /// run manifests (backend and memoization; never threads or paths).
+    /// run manifests (backend and memoization; never threads, paths or
+    /// the store — a warm run must produce the same bytes as a cold
+    /// one).
     fn manifest_config(&self) -> EngineConfig {
-        EngineConfig::new().backend(self.backend)
+        EngineConfig::new().backend(self.flags.backend)
     }
 }
 
 fn parse_engine_opts(args: &[String]) -> Result<EngineOpts, String> {
-    let mut threads = 0usize;
-    let mut backend = ExecBackend::Compiled;
+    let mut flags = EngineFlags::new();
     let mut trace_dir = None;
     let mut events_dir = None;
     let mut json = None;
@@ -112,16 +115,6 @@ fn parse_engine_opts(args: &[String]) -> Result<EngineOpts, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--threads" => {
-                threads = it
-                    .next()
-                    .ok_or("--threads needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --threads: {e}"))?;
-            }
-            "--engine" => {
-                backend = ExecBackend::parse(it.next().ok_or("--engine needs a value")?)?;
-            }
             "--trace" => {
                 trace_dir = Some(it.next().ok_or("--trace needs a directory")?.clone());
             }
@@ -135,12 +128,15 @@ fn parse_engine_opts(args: &[String]) -> Result<EngineOpts, String> {
                 bench_out = Some(it.next().ok_or("--bench-out needs a file")?.clone());
             }
             "--smoke-only" => smoke_only = true,
-            other => return Err(format!("unknown option {other}")),
+            other => {
+                if !flags.accept(other, &mut it)? {
+                    return Err(format!("unknown option {other}"));
+                }
+            }
         }
     }
     Ok(EngineOpts {
-        threads,
-        backend,
+        flags,
         trace_dir,
         events_dir,
         json,
@@ -159,6 +155,12 @@ fn print_engine_stats(engine: &Engine) {
         s.hit_rate() * 100.0,
         engine.threads()
     );
+    if let Some(store) = engine.store_stats() {
+        println!(
+            "   store: {} hits, {} misses, {} puts",
+            store.hits, store.misses, store.puts
+        );
+    }
 }
 
 fn main() {
@@ -250,8 +252,7 @@ fn check(eopts: &EngineOpts) {
             .into_owned()
     });
     let eopts = EngineOpts {
-        threads: eopts.threads,
-        backend: eopts.backend,
+        flags: eopts.flags.clone(),
         trace_dir: eopts.trace_dir.clone(),
         events_dir: Some(events_dir.clone()),
         json: eopts.json.clone(),
@@ -359,7 +360,7 @@ fn figure_manifest(
     search_n: i64,
     tuned: &Tuned,
 ) -> String {
-    let report = OptimizeReport {
+    let report = TuneResponse {
         tuned: tuned.clone(),
         engine: engine.stats(),
     };

@@ -4,6 +4,9 @@
 //! Criterion benches reuse them at smaller sizes. See DESIGN.md §7 for
 //! the experiment index and EXPERIMENTS.md for recorded results.
 
+pub mod cli;
+pub mod serve;
+
 use eco_exec::{measure, Counters, EvalJob, Evaluator, LayoutOptions, Params};
 use eco_ir::{AffineExpr, Program};
 use eco_kernels::Kernel;

@@ -1,0 +1,477 @@
+//! The `eco serve` service layer: a local autotuning daemon.
+//!
+//! The server listens on a Unix-domain socket and speaks a
+//! line-delimited JSON protocol: each request is one
+//! [`Json`] object on one line, each response one object on one line.
+//! The payload of a `tune` request is a serialized
+//! [`TuneRequest`] — exactly the type the CLIs and the tests use — and
+//! the response embeds the run's deterministic manifest
+//! ([`run_manifest`]), so a served tune and a local `eco tune
+//! --manifest` produce the same bytes for the same inputs.
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"tune","request":{...TuneRequest::to_json()...}}
+//! {"op":"stats"}          serve counters + per-engine work totals
+//! {"op":"store-stats"}    persistent result-store counters
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses carry `"ok": true` plus op-specific fields, or
+//! `"ok": false` with an `"error"` message.
+//!
+//! Concurrency: each connection is served by its own thread, and all
+//! connections share one [`Engine`] per machine fingerprint — so
+//! concurrent tunes share the memo cache, the persistent result store
+//! and the engine's in-flight evaluation dedupe. On top of that the
+//! server dedupes *whole requests*: two identical `tune` requests in
+//! flight at once (same [`TuneRequest::fingerprint`]) run the search
+//! once and both receive the same response bytes; the `stats` op
+//! reports how often that happened (`deduped_requests`).
+//!
+//! The per-engine telemetry flags of a request's `engine` section
+//! (trace/events paths, thread count) are ignored — engines are
+//! configured by the server, requests only say *what* to tune. Pass
+//! `--events FILE` to `eco serve` to capture a request-level stream
+//! (`serve_request`/`serve_done` events) instead.
+
+use eco_core::events::{names, Attrs, EventStream, Json};
+use eco_core::{machine_fingerprint, run_manifest, Engine, EngineConfig, Evaluator, TuneRequest};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Protocol version answered by `ping` (bumped with
+/// [`eco_core::API_VERSION`] changes that affect the wire format).
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// How the server is configured: socket path, the engine template
+/// applied to every per-machine engine, and an optional request-level
+/// event stream.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Unix-domain socket path to listen on.
+    pub socket: PathBuf,
+    /// Engine template: threads, backend, memoization and the shared
+    /// result store. Trace/events paths are stripped (a single file
+    /// cannot be shared by lazily-created engines); use `events` below.
+    pub engine: EngineConfig,
+    /// Request-level event stream (`serve_request`/`serve_done`).
+    pub events: Option<String>,
+}
+
+/// Serve counters, reported by the `stats` op.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Protocol requests handled (all ops).
+    pub requests: u64,
+    /// `tune` requests that ran a search.
+    pub tunes: u64,
+    /// `tune` requests served by waiting on an identical in-flight
+    /// request instead of running their own search.
+    pub deduped_requests: u64,
+    /// Requests answered with `"ok": false`.
+    pub errors: u64,
+}
+
+/// One in-flight `tune` request: followers with the same fingerprint
+/// block on `wait` until the owner fills the response line.
+struct InflightRequest {
+    done: Mutex<Option<String>>,
+    cv: Condvar,
+}
+
+impl InflightRequest {
+    fn new() -> Self {
+        InflightRequest {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, line: String) {
+        *self.done.lock().expect("inflight lock") = Some(line);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> String {
+        let mut done = self.done.lock().expect("inflight lock");
+        while done.is_none() {
+            done = self.cv.wait(done).expect("inflight wait");
+        }
+        done.clone().expect("filled")
+    }
+}
+
+struct ServerInner {
+    template: EngineConfig,
+    engines: Mutex<HashMap<u64, Arc<Engine>>>,
+    inflight: Mutex<HashMap<u64, Arc<InflightRequest>>>,
+    stats: Mutex<ServeStats>,
+    events: Option<Arc<EventStream>>,
+    shutdown: AtomicBool,
+}
+
+/// The autotuning daemon. Bind with [`Server::bind`], then either
+/// [`Server::run`] (blocks until a `shutdown` request) or drive
+/// connections from tests via [`request`].
+pub struct Server {
+    listener: UnixListener,
+    socket: PathBuf,
+    inner: Arc<ServerInner>,
+}
+
+impl Server {
+    /// Binds the socket (replacing a stale socket file from a dead
+    /// server) and prepares the shared state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the socket cannot be bound or the event
+    /// stream file cannot be created.
+    pub fn bind(config: ServeConfig) -> Result<Server, String> {
+        let mut template = config.engine.clone();
+        template.trace_path = None;
+        template.events_path = None;
+        let events = match &config.events {
+            Some(path) => {
+                Some(Arc::new(EventStream::to_file(path).map_err(|e| {
+                    format!("cannot create events file {path}: {e}")
+                })?))
+            }
+            None => None,
+        };
+        let listener = match UnixListener::bind(&config.socket) {
+            Ok(l) => l,
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                // A previous server may have died without unlinking its
+                // socket; only rebind if nothing answers there.
+                if UnixStream::connect(&config.socket).is_ok() {
+                    return Err(format!(
+                        "socket {} already has a live server",
+                        config.socket.display()
+                    ));
+                }
+                std::fs::remove_file(&config.socket)
+                    .map_err(|e| format!("cannot remove stale socket: {e}"))?;
+                UnixListener::bind(&config.socket)
+                    .map_err(|e| format!("cannot bind {}: {e}", config.socket.display()))?
+            }
+            Err(e) => return Err(format!("cannot bind {}: {e}", config.socket.display())),
+        };
+        Ok(Server {
+            listener,
+            socket: config.socket,
+            inner: Arc::new(ServerInner {
+                template,
+                engines: Mutex::new(HashMap::new()),
+                inflight: Mutex::new(HashMap::new()),
+                stats: Mutex::new(ServeStats::default()),
+                events,
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The socket the server listens on.
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// Accepts connections until a `shutdown` request arrives, serving
+    /// each connection on its own thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when accepting fails for a reason other than
+    /// shutdown.
+    pub fn run(&self) -> Result<(), String> {
+        let mut handles = Vec::new();
+        while !self.inner.shutdown.load(Ordering::SeqCst) {
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) => {
+                    if self.inner.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    return Err(format!("accept failed: {e}"));
+                }
+            };
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let inner = Arc::clone(&self.inner);
+            let socket = self.socket.clone();
+            handles.push(std::thread::spawn(move || {
+                serve_connection(&inner, stream, &socket);
+            }));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(stream) = &self.inner.events {
+            stream.flush();
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+/// Serves one connection: a loop of request lines, one response line
+/// each, until the peer closes or the server shuts down.
+fn serve_connection(inner: &ServerInner, stream: UnixStream, socket: &Path) {
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = writer;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(inner, &line, socket);
+        let mut text = response.render_compact();
+        text.push('\n');
+        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// Parses and dispatches one request line, counting it in the serve
+/// stats and emitting `serve_request`/`serve_done` events.
+fn handle_line(inner: &ServerInner, line: &str, socket: &Path) -> Json {
+    inner.stats.lock().expect("stats lock").requests += 1;
+    let parsed = Json::parse(line).map_err(|e| format!("bad request line: {e}"));
+    let op = parsed
+        .as_ref()
+        .ok()
+        .and_then(|doc| doc.get("op").and_then(Json::as_str))
+        .unwrap_or("?")
+        .to_string();
+    if let Some(stream) = &inner.events {
+        stream.event(names::SERVE_REQUEST, None, Attrs::new().str("op", &op));
+    }
+    let result = parsed.and_then(|doc| dispatch(inner, &doc, &op, socket));
+    let response = match result {
+        Ok(doc) => doc,
+        Err(msg) => {
+            inner.stats.lock().expect("stats lock").errors += 1;
+            Json::obj()
+                .field("ok", Json::Bool(false))
+                .field("error", Json::str(&msg))
+        }
+    };
+    if let Some(stream) = &inner.events {
+        let ok = response.get("ok").and_then(Json::as_bool).unwrap_or(false);
+        stream.event(
+            names::SERVE_DONE,
+            None,
+            Attrs::new().str("op", &op).uint("ok", u64::from(ok)),
+        );
+        stream.flush();
+    }
+    response
+}
+
+fn dispatch(inner: &ServerInner, doc: &Json, op: &str, socket: &Path) -> Result<Json, String> {
+    match op {
+        "ping" => Ok(Json::obj()
+            .field("ok", Json::Bool(true))
+            .field("protocol_version", Json::UInt(PROTOCOL_VERSION))
+            .field("api_version", Json::UInt(eco_core::API_VERSION))),
+        "tune" => handle_tune(inner, doc),
+        "stats" => Ok(stats_response(inner)),
+        "store-stats" => Ok(store_stats_response(inner)),
+        "shutdown" => {
+            inner.shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop so `run` can observe the flag.
+            let _ = UnixStream::connect(socket);
+            Ok(Json::obj()
+                .field("ok", Json::Bool(true))
+                .field("shutting_down", Json::Bool(true)))
+        }
+        other => Err(format!("unknown op '{other}'")),
+    }
+}
+
+/// The shared engine for a machine, created on first use from the
+/// server's template.
+fn engine_for(inner: &ServerInner, request: &TuneRequest) -> Result<Arc<Engine>, String> {
+    let fp = machine_fingerprint(&request.machine);
+    let mut engines = inner.engines.lock().expect("engines lock");
+    if let Some(engine) = engines.get(&fp) {
+        return Ok(Arc::clone(engine));
+    }
+    let engine = Engine::with_config(request.machine.clone(), inner.template.clone())
+        .map_err(|e| e.to_string())?;
+    let engine = Arc::new(engine);
+    engines.insert(fp, Arc::clone(&engine));
+    Ok(engine)
+}
+
+fn handle_tune(inner: &ServerInner, doc: &Json) -> Result<Json, String> {
+    let request =
+        TuneRequest::from_json(doc.get("request").ok_or("tune: missing field 'request'")?)?;
+    let fp = request.fingerprint();
+
+    // Whole-request dedupe: the first thread in owns the search, later
+    // identical requests wait and reuse its response bytes.
+    let (cell, owner) = {
+        let mut inflight = inner.inflight.lock().expect("inflight lock");
+        match inflight.get(&fp) {
+            Some(cell) => (Arc::clone(cell), false),
+            None => {
+                let cell = Arc::new(InflightRequest::new());
+                inflight.insert(fp, Arc::clone(&cell));
+                (cell, true)
+            }
+        }
+    };
+    if !owner {
+        {
+            let mut stats = inner.stats.lock().expect("stats lock");
+            stats.tunes += 1;
+            stats.deduped_requests += 1;
+        }
+        let line = cell.wait();
+        return Json::parse(&line).map_err(|e| format!("inflight response corrupt: {e}"));
+    }
+    inner.stats.lock().expect("stats lock").tunes += 1;
+
+    let outcome = run_tune(inner, &request, fp);
+    // Fill the cell on every path (also errors), then retire the key so
+    // later identical requests run fresh.
+    let line = match &outcome {
+        Ok(doc) => doc.render_compact(),
+        Err(msg) => Json::obj()
+            .field("ok", Json::Bool(false))
+            .field("error", Json::str(msg))
+            .render_compact(),
+    };
+    cell.fill(line);
+    inner.inflight.lock().expect("inflight lock").remove(&fp);
+    outcome
+}
+
+fn run_tune(inner: &ServerInner, request: &TuneRequest, fp: u64) -> Result<Json, String> {
+    let engine = engine_for(inner, request)?;
+    let response = request.run_on(&*engine).map_err(|e| e.to_string())?;
+    // The manifest records the configuration the shared engine actually
+    // ran with (backend, memoize) — not the client's ignored template.
+    let manifest = run_manifest(
+        &request.kernel.name,
+        &request.machine,
+        &request.options,
+        &inner.template,
+        &response,
+    );
+    let s = &response.engine;
+    Ok(Json::obj()
+        .field("ok", Json::Bool(true))
+        .field("fingerprint", Json::fingerprint(fp))
+        .field(
+            "engine_stats",
+            Json::obj()
+                .field("requested", Json::UInt(s.requested))
+                .field("evaluated", Json::UInt(s.evaluated))
+                .field("cache_hits", Json::UInt(s.cache_hits))
+                .field("store_hits", Json::UInt(s.store_hits))
+                .field("dedup_waits", Json::UInt(s.dedup_waits))
+                .field("errors", Json::UInt(s.errors)),
+        )
+        .field("manifest", manifest))
+}
+
+fn stats_response(inner: &ServerInner) -> Json {
+    let serve = *inner.stats.lock().expect("stats lock");
+    let engines = inner.engines.lock().expect("engines lock");
+    let mut per_engine = Json::obj();
+    let mut fps: Vec<&u64> = engines.keys().collect();
+    fps.sort();
+    for fp in fps {
+        let s = engines[fp].stats();
+        per_engine = per_engine.field(
+            &format!("{fp:#018x}"),
+            Json::obj()
+                .field("requested", Json::UInt(s.requested))
+                .field("evaluated", Json::UInt(s.evaluated))
+                .field("cache_hits", Json::UInt(s.cache_hits))
+                .field("store_hits", Json::UInt(s.store_hits))
+                .field("dedup_waits", Json::UInt(s.dedup_waits))
+                .field("errors", Json::UInt(s.errors)),
+        );
+    }
+    Json::obj()
+        .field("ok", Json::Bool(true))
+        .field("requests", Json::UInt(serve.requests))
+        .field("tunes", Json::UInt(serve.tunes))
+        .field("deduped_requests", Json::UInt(serve.deduped_requests))
+        .field("errors", Json::UInt(serve.errors))
+        .field("engines", per_engine)
+}
+
+fn store_stats_response(inner: &ServerInner) -> Json {
+    let engines = inner.engines.lock().expect("engines lock");
+    let (mut hits, mut misses, mut puts, mut rejected) = (0u64, 0u64, 0u64, 0u64);
+    let mut configured = false;
+    for engine in engines.values() {
+        if let Some(s) = engine.store_stats() {
+            configured = true;
+            hits += s.hits;
+            misses += s.misses;
+            puts += s.puts;
+            rejected += s.rejected;
+        }
+    }
+    configured |= inner.template.store_path.is_some();
+    Json::obj()
+        .field("ok", Json::Bool(true))
+        .field("configured", Json::Bool(configured))
+        .field("hits", Json::UInt(hits))
+        .field("misses", Json::UInt(misses))
+        .field("puts", Json::UInt(puts))
+        .field("rejected", Json::UInt(rejected))
+}
+
+/// One protocol round trip from a client: connects, sends `request` as
+/// a line, reads the response line. Used by `eco client` and the serve
+/// tests.
+///
+/// # Errors
+///
+/// Returns a message when the socket is unreachable, the line cannot
+/// be written or read, or the response does not parse.
+pub fn request(socket: &Path, request: &Json) -> Result<Json, String> {
+    let stream = UnixStream::connect(socket)
+        .map_err(|e| format!("cannot connect to {}: {e}", socket.display()))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone socket: {e}"))?;
+    let mut text = request.render_compact();
+    text.push('\n');
+    writer
+        .write_all(text.as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    if line.is_empty() {
+        return Err("server closed the connection without a response".into());
+    }
+    Json::parse(line.trim_end()).map_err(|e| format!("bad response line: {e}"))
+}

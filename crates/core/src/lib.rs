@@ -7,7 +7,7 @@
 //!   footprint models and profitability heuristics from `eco-analysis`
 //!   to produce a *small* set of parameterized variants, each with
 //!   symbolic constraints (`UI*UJ <= 32`) on its parameters;
-//! * **Phase 2** — [`Optimizer::run`] performs the model-guided
+//! * **Phase 2** — [`TuneRequest::run`] performs the model-guided
 //!   empirical search of §3.2: staged tile-shape/footprint search,
 //!   per-data-structure prefetch search, and post-prefetch tile
 //!   adjustment, executing every candidate on the simulated machine and
@@ -16,30 +16,38 @@
 //!   from `eco-exec` — and every search decision is made from results
 //!   in submission order, so the outcome is independent of thread count.
 //!
+//! One request/response pair — [`TuneRequest`]/[`TuneResponse`] — is
+//! the API for a tuning run everywhere: tests, the `eco` and `repro`
+//! CLIs, and the `eco serve` daemon all build the same type, and it
+//! serializes through the deterministic [`events::Json`] builder for
+//! logging, replay and fingerprinting.
+//!
 //! # Examples
 //!
 //! Tune Matrix Multiply for a scaled-down SGI R10000:
 //!
 //! ```
-//! use eco_core::{OptimizeRequest, Optimizer, SearchOptions};
+//! use eco_core::{SearchOptions, TuneRequest};
 //! use eco_kernels::Kernel;
 //! use eco_machine::MachineDesc;
 //!
 //! # fn main() -> Result<(), eco_core::EcoError> {
 //! let machine = MachineDesc::sgi_r10000().scaled(32);
-//! let mut opt = Optimizer::new(machine);
-//! opt.opts = SearchOptions::builder()
+//! let options = SearchOptions::builder()
 //!     .search_n(24) // keep the doctest fast
 //!     .max_variants(1)
 //!     .build()?;
-//! let report = opt.run(OptimizeRequest::new(Kernel::matmul()))?;
-//! assert!(report.tuned.stats.points > 0);
-//! assert!(report.engine.evaluated > 0);
-//! println!("{}", report.tuned.program);
+//! let response = TuneRequest::new(Kernel::matmul(), machine)
+//!     .options(options)
+//!     .run()?;
+//! assert!(response.tuned.stats.points > 0);
+//! assert!(response.engine.evaluated > 0);
+//! println!("{}", response.tuned.program);
 //! # Ok(())
 //! # }
 //! ```
 
+mod api;
 mod codegen;
 mod lint;
 pub mod manifest;
@@ -47,13 +55,16 @@ pub mod model;
 mod search;
 mod variant;
 
+pub use api::{machine_from_json, machine_to_json, TuneRequest, TuneResponse, API_VERSION};
 pub use codegen::generate;
 pub use lint::{lint_kernel, LintEntry};
 pub use manifest::{machine_fingerprint, run_manifest};
 pub use search::{
-    stages, strategy_name, LineageStep, OptimizeReport, OptimizeRequest, Optimizer, SearchOptions,
-    SearchOptionsBuilder, SearchStats, SearchStrategy, Tuned,
+    stages, strategy_name, LineageStep, Optimizer, SearchOptions, SearchOptionsBuilder,
+    SearchStats, SearchStrategy, Tuned,
 };
+#[allow(deprecated)]
+pub use search::{OptimizeReport, OptimizeRequest};
 pub use variant::{
     derive_variants, describe_variant, Constraint, CopyPlan, LevelPlan, ParamValues, Variant,
 };
@@ -324,12 +335,15 @@ mod tests {
     #[test]
     fn optimize_matmul_beats_naive_on_scaled_machine() {
         let machine = MachineDesc::sgi_r10000().scaled(32);
-        let mut opt = Optimizer::new(machine.clone());
-        opt.opts.search_n = 40;
-        opt.opts.max_variants = 3;
+        let opts = SearchOptions {
+            search_n: 40,
+            max_variants: 3,
+            ..SearchOptions::default()
+        };
         let kernel = Kernel::matmul();
-        let report = opt
-            .run(OptimizeRequest::new(kernel.clone()))
+        let report = TuneRequest::new(kernel.clone(), machine.clone())
+            .options(opts)
+            .run()
             .expect("optimize");
         let tuned = report.tuned;
         // The staged search revisits points; the engine must serve them
@@ -370,12 +384,15 @@ mod tests {
     #[test]
     fn optimize_jacobi_beats_naive_on_scaled_machine() {
         let machine = MachineDesc::sgi_r10000().scaled(32);
-        let mut opt = Optimizer::new(machine.clone());
-        opt.opts.search_n = 30;
-        opt.opts.max_variants = 3;
+        let opts = SearchOptions {
+            search_n: 30,
+            max_variants: 3,
+            ..SearchOptions::default()
+        };
         let kernel = Kernel::jacobi3d();
-        let tuned = opt
-            .run(OptimizeRequest::new(kernel.clone()))
+        let tuned = TuneRequest::new(kernel.clone(), machine.clone())
+            .options(opts)
+            .run()
             .expect("optimize")
             .tuned;
         let naive = measure(
@@ -409,11 +426,15 @@ mod tests {
         let machine = MachineDesc::sgi_r10000().scaled(32);
         let kernel = Kernel::matmul();
         let mk = |strategy: SearchStrategy| {
-            let mut opt = Optimizer::new(machine.clone());
-            opt.opts.search_n = 32;
-            opt.opts.max_variants = 1;
-            opt.opts.strategy = strategy;
-            opt.run(OptimizeRequest::new(kernel.clone()))
+            let opts = SearchOptions {
+                search_n: 32,
+                max_variants: 1,
+                strategy,
+                ..SearchOptions::default()
+            };
+            TuneRequest::new(kernel.clone(), machine.clone())
+                .options(opts)
+                .run()
                 .expect("optimize")
                 .tuned
         };
@@ -465,12 +486,15 @@ mod tests {
             variants.len()
         );
         // And optimization still works with pruning on.
-        let mut o = Optimizer::new(machine.clone());
-        o.opts.search_n = 30;
-        o.opts.max_variants = 2;
-        o.opts.tlb_prune = true;
-        let tuned = o
-            .run(OptimizeRequest::new(kernel.clone()))
+        let opts = SearchOptions {
+            search_n: 30,
+            max_variants: 2,
+            tlb_prune: true,
+            ..SearchOptions::default()
+        };
+        let tuned = TuneRequest::new(kernel.clone(), machine.clone())
+            .options(opts)
+            .run()
             .expect("optimize with pruning")
             .tuned;
         assert!(tuned.stats.points > 0);
@@ -509,10 +533,14 @@ mod tests {
             .build()
             .is_err());
         // run() re-validates hand-edited options.
-        let mut opt = Optimizer::new(MachineDesc::sgi_r10000().scaled(32));
-        opt.opts.search_n = -3;
+        let opts = SearchOptions {
+            search_n: -3,
+            ..SearchOptions::default()
+        };
         assert!(matches!(
-            opt.run(OptimizeRequest::new(Kernel::matmul())),
+            TuneRequest::new(Kernel::matmul(), MachineDesc::sgi_r10000().scaled(32))
+                .options(opts)
+                .run(),
             Err(EcoError::BadParams(_))
         ));
     }

@@ -10,7 +10,8 @@
 //! wall times) is recorded. `repro check` and CI diff these bytes
 //! against the committed golden manifests.
 
-use crate::search::{strategy_name, OptimizeReport, SearchOptions, SearchStrategy};
+use crate::api::TuneResponse;
+use crate::search::SearchOptions;
 use eco_exec::events::{Fnv64, Json};
 use eco_exec::{program_fingerprint, EngineConfig, ExecBackend};
 use eco_machine::MachineDesc;
@@ -32,65 +33,28 @@ pub fn machine_fingerprint(machine: &MachineDesc) -> u64 {
     h.finish()
 }
 
-fn strategy_json(s: &SearchStrategy) -> Json {
-    let doc = Json::obj().field("name", Json::str(strategy_name(s)));
-    match s {
-        SearchStrategy::Guided => doc,
-        SearchStrategy::Grid { max_points } => {
-            doc.field("max_points", Json::UInt(*max_points as u64))
-        }
-        SearchStrategy::Random { points, seed } => doc
-            .field("points", Json::UInt(*points as u64))
-            .field("seed", Json::UInt(*seed)),
-    }
-}
-
 /// Builds the run manifest for one optimization run.
 ///
 /// `kernel` is the kernel name as the caller knows it (e.g. `"mm"`);
 /// `engine` is the configuration the run's [`Engine`](crate::Engine)
 /// was built from — only its deterministic fields (backend, memoize)
-/// are recorded, never the thread count.
+/// are recorded, never the thread count. The `options` object is
+/// [`SearchOptions::to_json`] verbatim, so the serialized options in a
+/// manifest and in a [`TuneRequest`](crate::TuneRequest) are the same
+/// bytes.
 pub fn run_manifest(
     kernel: &str,
     machine: &MachineDesc,
     opts: &SearchOptions,
     engine: &EngineConfig,
-    report: &OptimizeReport,
+    report: &TuneResponse,
 ) -> Json {
     let tuned = &report.tuned;
     let backend = match engine.backend {
         ExecBackend::Compiled => "compiled",
         ExecBackend::Reference => "reference",
     };
-    let options = Json::obj()
-        .field("search_n", Json::Int(opts.search_n))
-        .field("max_variants", Json::UInt(opts.max_variants as u64))
-        .field(
-            "prefetch_distances",
-            Json::Arr(
-                opts.prefetch_distances
-                    .iter()
-                    .map(|&d| Json::Int(d))
-                    .collect(),
-            ),
-        )
-        .field(
-            "keep_copy_alternatives",
-            Json::Bool(opts.keep_copy_alternatives),
-        )
-        .field(
-            "robustness_sizes",
-            Json::Arr(
-                opts.robustness_sizes
-                    .iter()
-                    .map(|&n| Json::Int(n))
-                    .collect(),
-            ),
-        )
-        .field("strategy", strategy_json(&opts.strategy))
-        .field("tlb_prune", Json::Bool(opts.tlb_prune))
-        .field("certify", Json::Bool(opts.certify));
+    let options = opts.to_json();
     // ParamValues is a BTreeMap, so parameter order is deterministic.
     let mut params = Json::obj();
     for (name, value) in &tuned.params {
@@ -188,22 +152,23 @@ pub fn run_manifest(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{OptimizeRequest, Optimizer};
+    use crate::TuneRequest;
     use eco_kernels::Kernel;
 
-    fn tiny_run(threads: usize) -> (OptimizeReport, MachineDesc, SearchOptions, EngineConfig) {
+    fn tiny_run(threads: usize) -> (TuneResponse, MachineDesc, SearchOptions, EngineConfig) {
         let machine = MachineDesc::sgi_r10000().scaled(32);
-        let mut opt = Optimizer::new(machine.clone());
-        opt.opts = SearchOptions::builder()
+        let opts = SearchOptions::builder()
             .search_n(16)
             .max_variants(1)
             .build()
             .expect("options");
         let config = EngineConfig::new().threads(threads);
-        let report = opt
-            .run(OptimizeRequest::new(Kernel::matmul()).engine(config.clone()))
+        let report = TuneRequest::new(Kernel::matmul(), machine.clone())
+            .options(opts.clone())
+            .engine(config.clone())
+            .run()
             .expect("tuned");
-        (report, machine, opt.opts, config)
+        (report, machine, opts, config)
     }
 
     #[test]

@@ -29,8 +29,8 @@ use crate::codegen::generate;
 use crate::variant::{derive_variants, ParamValues, Variant};
 use crate::EcoError;
 use eco_analysis::NestInfo;
-use eco_exec::events::{Attrs, Scope, SpanId};
-use eco_exec::{Counters, Engine, EngineConfig, EngineStats, EvalJob, Evaluator, Params};
+use eco_exec::events::{Attrs, Json, Scope, SpanId};
+use eco_exec::{Counters, Engine, EngineConfig, EvalJob, Evaluator, Params};
 use eco_ir::{ArrayId, Program};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
@@ -71,7 +71,7 @@ pub enum SearchStrategy {
 ///
 /// Construct via [`SearchOptions::builder`] to get validation, or fill
 /// fields directly (they are validated again when the optimizer runs).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchOptions {
     /// Representative problem size at which candidates are executed.
     pub search_n: i64,
@@ -169,6 +169,130 @@ impl SearchOptions {
             }
             _ => Ok(()),
         }
+    }
+
+    /// Renders the options through the order-preserving [`Json`]
+    /// builder: stable field order, every field explicit. This is the
+    /// canonical serialized form — run manifests embed it verbatim (so
+    /// the bytes are golden-gated), [`TuneRequest`](crate::TuneRequest)
+    /// fingerprints it, and [`SearchOptions::from_json`] round-trips it.
+    pub fn to_json(&self) -> Json {
+        let strategy = {
+            let doc = Json::obj().field("name", Json::str(strategy_name(&self.strategy)));
+            match &self.strategy {
+                SearchStrategy::Guided => doc,
+                SearchStrategy::Grid { max_points } => {
+                    doc.field("max_points", Json::UInt(*max_points as u64))
+                }
+                SearchStrategy::Random { points, seed } => doc
+                    .field("points", Json::UInt(*points as u64))
+                    .field("seed", Json::UInt(*seed)),
+            }
+        };
+        Json::obj()
+            .field("search_n", Json::Int(self.search_n))
+            .field("max_variants", Json::UInt(self.max_variants as u64))
+            .field(
+                "prefetch_distances",
+                Json::Arr(
+                    self.prefetch_distances
+                        .iter()
+                        .map(|&d| Json::Int(d))
+                        .collect(),
+                ),
+            )
+            .field(
+                "keep_copy_alternatives",
+                Json::Bool(self.keep_copy_alternatives),
+            )
+            .field(
+                "robustness_sizes",
+                Json::Arr(
+                    self.robustness_sizes
+                        .iter()
+                        .map(|&n| Json::Int(n))
+                        .collect(),
+                ),
+            )
+            .field("strategy", strategy)
+            .field("tlb_prune", Json::Bool(self.tlb_prune))
+            .field("certify", Json::Bool(self.certify))
+    }
+
+    /// Parses options previously rendered by [`SearchOptions::to_json`]
+    /// and validates them. Every field is required — the serialized
+    /// form is explicit, not a patch over the defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or ill-typed field, or the
+    /// [`SearchOptions::validate`] error text for nonsensical budgets.
+    pub fn from_json(doc: &Json) -> Result<SearchOptions, String> {
+        let field = |name: &str| {
+            doc.get(name)
+                .ok_or_else(|| format!("options: missing field '{name}'"))
+        };
+        let int = |name: &str| {
+            field(name)?
+                .as_i64()
+                .ok_or_else(|| format!("options: field '{name}' must be an integer"))
+        };
+        let uint = |name: &str| {
+            field(name)?
+                .as_u64()
+                .ok_or_else(|| format!("options: field '{name}' must be a non-negative integer"))
+        };
+        let boolean = |name: &str| {
+            field(name)?
+                .as_bool()
+                .ok_or_else(|| format!("options: field '{name}' must be a boolean"))
+        };
+        let ints = |name: &str| -> Result<Vec<i64>, String> {
+            match field(name)? {
+                Json::Arr(items) => items
+                    .iter()
+                    .map(|v| {
+                        v.as_i64().ok_or_else(|| {
+                            format!("options: field '{name}' must hold only integers")
+                        })
+                    })
+                    .collect(),
+                _ => Err(format!("options: field '{name}' must be an array")),
+            }
+        };
+        let strategy_doc = field("strategy")?;
+        let sub = |name: &str| {
+            strategy_doc
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| {
+                    format!("options: strategy field '{name}' must be a non-negative integer")
+                })
+        };
+        let strategy = match strategy_doc.get("name").and_then(Json::as_str) {
+            Some("guided") => SearchStrategy::Guided,
+            Some("grid") => SearchStrategy::Grid {
+                max_points: sub("max_points")? as usize,
+            },
+            Some("random") => SearchStrategy::Random {
+                points: sub("points")? as usize,
+                seed: sub("seed")?,
+            },
+            Some(other) => return Err(format!("options: unknown strategy '{other}'")),
+            None => return Err("options: strategy must name 'guided', 'grid' or 'random'".into()),
+        };
+        let opts = SearchOptions {
+            search_n: int("search_n")?,
+            max_variants: uint("max_variants")? as usize,
+            prefetch_distances: ints("prefetch_distances")?,
+            keep_copy_alternatives: boolean("keep_copy_alternatives")?,
+            robustness_sizes: ints("robustness_sizes")?,
+            strategy,
+            tlb_prune: boolean("tlb_prune")?,
+            certify: boolean("certify")?,
+        };
+        opts.validate().map_err(|e| e.to_string())?;
+        Ok(opts)
     }
 }
 
@@ -318,8 +442,16 @@ pub struct Tuned {
     pub stats: SearchStats,
 }
 
-/// Everything [`Optimizer::run`] needs: the kernel plus the evaluation
-/// engine configuration (threads, memoization, JSONL trace).
+/// The pre-service-layer request shape: a kernel plus an engine
+/// configuration, with the machine and options supplied separately by
+/// the [`Optimizer`]. Superseded by [`TuneRequest`](crate::TuneRequest),
+/// which carries all four and serializes; this shim remains for one
+/// release.
+#[deprecated(
+    since = "0.2.0",
+    note = "use TuneRequest, which also carries the machine and \
+     search options and serializes for the service layer"
+)]
 #[derive(Debug, Clone)]
 pub struct OptimizeRequest {
     /// The kernel to tune.
@@ -328,6 +460,7 @@ pub struct OptimizeRequest {
     pub engine: EngineConfig,
 }
 
+#[allow(deprecated)]
 impl OptimizeRequest {
     /// A request with the default engine configuration.
     pub fn new(kernel: Kernel) -> Self {
@@ -343,17 +476,24 @@ impl OptimizeRequest {
         self.engine = engine;
         self
     }
+
+    /// Views this request as a [`TuneRequest`](crate::TuneRequest) for
+    /// `machine` with `opts` — the upgrade path off this shim.
+    pub fn into_tune_request(
+        self,
+        machine: MachineDesc,
+        opts: SearchOptions,
+    ) -> crate::TuneRequest {
+        crate::TuneRequest::new(self.kernel, machine)
+            .options(opts)
+            .engine(self.engine)
+    }
 }
 
-/// What [`Optimizer::run`] returns: the tuned kernel plus the engine's
-/// work totals (evaluations, memo hits, errors).
-#[derive(Debug, Clone)]
-pub struct OptimizeReport {
-    /// The tuning result.
-    pub tuned: Tuned,
-    /// Evaluation-engine totals for this run.
-    pub engine: EngineStats,
-}
+/// The old name of [`TuneResponse`](crate::TuneResponse); same fields,
+/// kept for one release.
+#[deprecated(since = "0.2.0", note = "renamed to TuneResponse")]
+pub type OptimizeReport = crate::TuneResponse;
 
 /// The ECO optimizer: Phase 1 variant derivation plus Phase 2
 /// model-guided empirical search.
@@ -591,13 +731,19 @@ impl Optimizer {
     ///
     /// # Errors
     ///
-    /// Fails on invalid options, an unopenable trace file, an
-    /// unanalyzable kernel, or when no variant could be generated and
-    /// measured.
+    /// Fails on invalid options, an unopenable trace file or result
+    /// store, an unanalyzable kernel, or when no variant could be
+    /// generated and measured.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use TuneRequest::run, which carries machine and \
+         options itself instead of reading them off the optimizer"
+    )]
+    #[allow(deprecated)]
     pub fn run(&self, request: OptimizeRequest) -> Result<OptimizeReport, EcoError> {
         let engine = Engine::with_config(self.machine.clone(), request.engine)?;
         let tuned = self.run_with(&request.kernel, &engine)?;
-        Ok(OptimizeReport {
+        Ok(crate::TuneResponse {
             tuned,
             engine: engine.stats(),
         })

@@ -63,6 +63,29 @@
 
 pub mod read;
 
+/// Well-known event names emitted across the workspace, so producers
+/// (engine, search, service layer) and consumers (`eco report`, tests)
+/// agree on spelling. New subsystems should add their names here rather
+/// than inlining string literals at emission sites.
+pub mod names {
+    /// Engine construction: machine model, backend, memoization.
+    pub const ENGINE_INIT: &str = "engine_init";
+    /// One evaluated (or cache-served) search point.
+    pub const POINT: &str = "point";
+    /// One `eval_batch` call: job/unique/hit totals, worker threads.
+    pub const BATCH: &str = "batch";
+    /// A running snapshot of the engine's counters.
+    pub const ENGINE_STATS: &str = "engine_stats";
+    /// One program lowered to an executable plan.
+    pub const PLAN_COMPILE: &str = "plan_compile";
+    /// A best-effort write to the persistent result store failed.
+    pub const STORE_ERROR: &str = "store_error";
+    /// `eco serve` accepted a request (op, client id).
+    pub const SERVE_REQUEST: &str = "serve_request";
+    /// `eco serve` finished a request (status, wall time).
+    pub const SERVE_DONE: &str = "serve_done";
+}
+
 use std::fmt::Write as _;
 use std::fs::File;
 use std::hash::Hasher;

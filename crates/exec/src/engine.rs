@@ -15,6 +15,18 @@
 //!   machine fingerprint ([`EvalKey`]), both within a batch and across
 //!   the engine's lifetime (errors are memoized too: a point that failed
 //!   once fails identically forever);
+//! * **persistence** — an optional second memo tier
+//!   ([`EngineConfig::store`]) backed by the disk store in `eco-store`:
+//!   unique points are looked up on disk before simulating and written
+//!   back after, so repeated runs warm-start across processes and a
+//!   killed sweep resumes for free. Store hits count as `evaluated`
+//!   work (the point was resolved, just not re-simulated), keeping
+//!   run manifests byte-identical between cold and warm runs;
+//! * **in-flight dedupe** — when several batches run concurrently on
+//!   one engine (the `eco serve` daemon), at most one simulation per
+//!   [`EvalKey`] is ever in flight: later requesters block on the
+//!   owner's result instead of re-simulating, counted in
+//!   [`EngineStats::dedup_waits`];
 //! * **parallelism** — unique jobs run on a `std::thread::scope` pool;
 //!   the thread count never influences results, only latency;
 //! * **plan memoization** — jobs normally execute through the compiled
@@ -84,7 +96,7 @@ use std::hash::{Hash, Hasher as _};
 use std::io::{BufWriter, Write as _};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crate::error::ExecError;
@@ -92,9 +104,10 @@ use crate::layout::{LayoutOptions, Params};
 use crate::plan::ExecutablePlan;
 use crate::trace::{measure_attributed_reference, measure_reference};
 use eco_cachesim::Counters;
-use eco_events::{json_escape, Attrs, EventStream, Fnv64, SpanId};
+use eco_events::{json_escape, names, Attrs, EventStream, Fnv64, Json, SpanId};
 use eco_ir::Program;
 use eco_machine::MachineDesc;
+use eco_store::{ResultStore, StoreKey};
 
 /// One search point: a generated program plus everything that affects
 /// its measurement.
@@ -168,22 +181,49 @@ impl EvalJob {
 ///
 /// The key folds together the program's full pretty-printed text, the
 /// parameter bindings, the layout options, and the machine fingerprint,
-/// using FNV-1a (stable across runs within a build; keys are never
-/// persisted).
+/// using FNV-1a (stable across runs within a build). The two halves
+/// also address records in the persistent result store
+/// ([`EngineConfig::store`]); store records carry a version stamp, so a
+/// key-scheme change invalidates old records instead of misreading
+/// them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EvalKey(u64, u64);
+
+impl EvalKey {
+    /// The program-text fingerprint half ([`program_fingerprint`]).
+    pub fn program_fp(&self) -> u64 {
+        self.0
+    }
+
+    /// The machine/layout/params point-hash half.
+    pub fn point_fp(&self) -> u64 {
+        self.1
+    }
+}
 
 /// Running totals of an engine's work.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Jobs submitted through `eval` / `eval_batch`.
     pub requested: u64,
-    /// Simulations actually run (unique, non-memoized jobs).
+    /// Unique points resolved by this engine: simulated, or loaded
+    /// from the persistent result store (see
+    /// [`store_hits`](Self::store_hits) for the split). Counting store
+    /// hits here keeps cold- and warm-store runs' manifests
+    /// byte-identical.
     pub evaluated: u64,
-    /// Jobs served from the memo cache or batch deduplication.
+    /// Jobs served from the in-memory memo cache or batch
+    /// deduplication.
     pub cache_hits: u64,
     /// Simulations that returned an error (errors are memoized too).
     pub errors: u64,
+    /// Of `evaluated`, points loaded from the persistent store instead
+    /// of being simulated. Never recorded in run manifests.
+    pub store_hits: u64,
+    /// Jobs that blocked on another batch's identical in-flight
+    /// evaluation instead of re-simulating (the serve-daemon dedupe
+    /// path). Never recorded in run manifests.
+    pub dedup_waits: u64,
 }
 
 impl EngineStats {
@@ -227,10 +267,24 @@ impl ExecBackend {
             )),
         }
     }
+
+    /// The canonical name, as recorded in manifests and event streams
+    /// (and accepted back by [`parse`](Self::parse)).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecBackend::Compiled => "compiled",
+            ExecBackend::Reference => "reference",
+        }
+    }
 }
 
 /// Configuration for [`Engine::with_config`].
-#[derive(Debug, Clone, Default)]
+///
+/// Round-trips losslessly through the deterministic [`Json`] builder
+/// ([`to_json`](Self::to_json) / [`from_json`](Self::from_json)), so a
+/// request carrying a config can be fingerprinted, logged, and
+/// replayed byte-identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Worker threads; `0` means auto (the `ECO_EVAL_THREADS` environment
     /// variable if set, otherwise `std::thread::available_parallelism`).
@@ -248,10 +302,15 @@ pub struct EngineConfig {
     pub events_path: Option<PathBuf>,
     /// Which executor jobs run through (compiled plan by default).
     pub backend: ExecBackend,
+    /// Root directory of the persistent result store (second memo
+    /// tier); `None` disables persistence. Opened when the engine is
+    /// built; an unusable root fails fast with [`ExecError::Store`].
+    pub store_path: Option<PathBuf>,
 }
 
 impl EngineConfig {
-    /// Auto thread count, memoization on, no trace, no events.
+    /// Auto thread count, memoization on, no trace, no events, no
+    /// persistent store.
     pub fn new() -> Self {
         EngineConfig {
             threads: 0,
@@ -259,6 +318,7 @@ impl EngineConfig {
             trace_path: None,
             events_path: None,
             backend: ExecBackend::Compiled,
+            store_path: None,
         }
     }
 
@@ -295,6 +355,66 @@ impl EngineConfig {
     pub fn backend(mut self, backend: ExecBackend) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// Sets the persistent result-store root (builder style).
+    #[must_use]
+    pub fn store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store_path = Some(path.into());
+        self
+    }
+
+    /// Renders the config as a deterministic [`Json`] object (stable
+    /// field order). `Json::parse(render()).from_json` is the identity.
+    pub fn to_json(&self) -> Json {
+        let opt_path = |p: &Option<PathBuf>| match p {
+            Some(p) => Json::str(p.display().to_string()),
+            None => Json::Null,
+        };
+        Json::obj()
+            .field("threads", Json::UInt(self.threads as u64))
+            .field("memoize", Json::Bool(self.memoize))
+            .field("backend", Json::str(self.backend.name()))
+            .field("trace", opt_path(&self.trace_path))
+            .field("events", opt_path(&self.events_path))
+            .field("store", opt_path(&self.store_path))
+    }
+
+    /// Parses a config back out of [`to_json`](Self::to_json)'s
+    /// encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or mistyped field.
+    pub fn from_json(doc: &Json) -> Result<EngineConfig, String> {
+        let opt_path = |key: &str| -> Result<Option<PathBuf>, String> {
+            match doc.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(Json::Str(s)) => Ok(Some(PathBuf::from(s))),
+                Some(other) => Err(format!("engine config field {key} mistyped: {other:?}")),
+            }
+        };
+        let threads = doc
+            .get("threads")
+            .and_then(Json::as_u64)
+            .ok_or("engine config missing threads")? as usize;
+        let memoize = doc
+            .get("memoize")
+            .and_then(Json::as_bool)
+            .ok_or("engine config missing memoize")?;
+        let backend = ExecBackend::parse(
+            doc.get("backend")
+                .and_then(Json::as_str)
+                .ok_or("engine config missing backend")?,
+        )?;
+        Ok(EngineConfig {
+            threads,
+            memoize,
+            trace_path: opt_path("trace")?,
+            events_path: opt_path("events")?,
+            backend,
+            store_path: opt_path("store")?,
+        })
     }
 }
 
@@ -355,6 +475,52 @@ pub struct Engine {
     trace: Option<Mutex<BufWriter<File>>>,
     events: Option<Arc<EventStream>>,
     seq: AtomicUsize,
+    /// The persistent second memo tier, when configured.
+    store: Option<ResultStore>,
+    /// Keys currently being evaluated by some batch on this engine.
+    /// Concurrent batches wanting the same key block on the owner's
+    /// cell instead of re-simulating. Lock order: `memo` before
+    /// `inflight` (both are only ever taken in that order).
+    inflight: Mutex<HashMap<EvalKey, Arc<InflightCell>>>,
+}
+
+/// The rendezvous for one in-flight evaluation: the owning batch fills
+/// `done` and notifies; waiting batches block on the condvar.
+#[derive(Debug, Default)]
+struct InflightCell {
+    done: Mutex<Option<Result<Counters, ExecError>>>,
+    cv: Condvar,
+}
+
+impl InflightCell {
+    fn fill(&self, result: Result<Counters, ExecError>) {
+        *self.done.lock().expect("cell lock") = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<Counters, ExecError> {
+        let mut done = self.done.lock().expect("cell lock");
+        while done.is_none() {
+            done = self.cv.wait(done).expect("cell lock");
+        }
+        done.clone().expect("filled")
+    }
+}
+
+/// Fills an in-flight cell with an error if the owner unwinds before
+/// producing a result, so cross-batch waiters never hang on a panic.
+struct CellGuard<'a> {
+    cell: &'a InflightCell,
+    armed: bool,
+}
+
+impl Drop for CellGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cell
+                .fill(Err(ExecError::Invalid("evaluation abandoned".to_string())));
+        }
+    }
 }
 
 impl Engine {
@@ -369,8 +535,9 @@ impl Engine {
     /// # Errors
     ///
     /// Fails only if a configured trace or event-stream file cannot be
-    /// created — detected here, before any evaluation runs, so a bad
-    /// path fails fast with [`ExecError::Telemetry`].
+    /// created ([`ExecError::Telemetry`]) or a configured store root
+    /// cannot be opened ([`ExecError::Store`]) — detected here, before
+    /// any evaluation runs, so a bad path fails fast.
     pub fn with_config(machine: MachineDesc, config: EngineConfig) -> Result<Self, ExecError> {
         let telemetry_err = |kind: &str, path: &PathBuf, e: std::io::Error| ExecError::Telemetry {
             kind: kind.to_string(),
@@ -390,6 +557,13 @@ impl Engine {
             )),
             None => None,
         };
+        let store = match &config.store_path {
+            Some(path) => Some(ResultStore::open(path).map_err(|e| ExecError::Store {
+                path: path.display().to_string(),
+                msg: e.msg,
+            })?),
+            None => None,
+        };
         let mut fp = Fnv64::new();
         machine.hash(&mut fp);
         let machine_fp = fp.finish();
@@ -398,18 +572,12 @@ impl Engine {
             // engine simulates, so analysis tools (`eco report`) can
             // resolve the machine from the stream alone.
             events.event(
-                "engine_init",
+                names::ENGINE_INIT,
                 None,
                 Attrs::new()
                     .str("machine", &machine.name)
                     .str("machine_fingerprint", format!("{machine_fp:#018x}"))
-                    .str(
-                        "backend",
-                        match config.backend {
-                            ExecBackend::Compiled => "compiled",
-                            ExecBackend::Reference => "reference",
-                        },
-                    )
+                    .str("backend", config.backend.name())
                     .bool("memoize", config.memoize),
             );
         }
@@ -424,8 +592,15 @@ impl Engine {
             trace,
             events,
             seq: AtomicUsize::new(0),
+            store,
+            inflight: Mutex::new(HashMap::new()),
             machine,
         })
+    }
+
+    /// The persistent store's session counters, when one is configured.
+    pub fn store_stats(&self) -> Option<eco_store::StoreStats> {
+        self.store.as_ref().map(ResultStore::stats)
     }
 
     /// The number of worker threads this engine uses.
@@ -451,7 +626,7 @@ impl Engine {
         if let Some(events) = &self.events {
             let s = plan.lowering_stats();
             events.event(
-                "plan_compile",
+                names::PLAN_COMPILE,
                 None,
                 Attrs::new()
                     .str("program", &program.name)
@@ -515,6 +690,9 @@ enum Slot {
     Run(usize),
     /// Duplicate of unique job `u` within this batch.
     Dup(usize),
+    /// Identical point already in flight in a *concurrent* batch;
+    /// blocks on wait cell `w` instead of re-simulating.
+    Wait(usize),
 }
 
 impl Evaluator for Engine {
@@ -524,13 +702,19 @@ impl Evaluator for Engine {
 
     fn eval_batch(&self, jobs: &[EvalJob]) -> Vec<Result<Counters, ExecError>> {
         let batch_start = Instant::now();
-        // Phase 1: classify each job against the memo cache and within
-        // the batch, preserving submission order in `slots`.
+        // Phase 1: classify each job against the memo cache, within
+        // the batch, and against concurrent batches' in-flight work,
+        // preserving submission order in `slots`. Both locks are held
+        // across the loop so a key's state (memoized / in flight /
+        // fresh) cannot change mid-classification.
         let keys: Vec<EvalKey> = jobs.iter().map(|j| self.key(j)).collect();
         let mut slots: Vec<Slot> = Vec::with_capacity(jobs.len());
         let mut unique: Vec<usize> = Vec::new();
+        let mut cells: Vec<Arc<InflightCell>> = Vec::new();
+        let mut waits: Vec<Arc<InflightCell>> = Vec::new();
         if self.memoize {
             let memo = self.memo.lock().expect("memo lock");
+            let mut inflight = self.inflight.lock().expect("inflight lock");
             let mut owner: HashMap<EvalKey, usize> = HashMap::new();
             for (i, k) in keys.iter().enumerate() {
                 if let Some(hit) = memo.get(k) {
@@ -540,9 +724,17 @@ impl Evaluator for Engine {
                 match owner.entry(*k) {
                     Entry::Occupied(e) => slots.push(Slot::Dup(*e.get())),
                     Entry::Vacant(e) => {
+                        if let Some(cell) = inflight.get(k) {
+                            slots.push(Slot::Wait(waits.len()));
+                            waits.push(Arc::clone(cell));
+                            continue;
+                        }
+                        let cell = Arc::new(InflightCell::default());
+                        inflight.insert(*k, Arc::clone(&cell));
                         e.insert(unique.len());
                         slots.push(Slot::Run(unique.len()));
                         unique.push(i);
+                        cells.push(cell);
                     }
                 }
             }
@@ -555,34 +747,70 @@ impl Evaluator for Engine {
 
         // Phase 2: run the unique jobs. Workers pull indices from a
         // shared cursor; each result lands in its own slot, so the
-        // output is independent of scheduling.
-        type RunSlot = Mutex<Option<(Result<Counters, ExecError>, u64)>>;
+        // output is independent of scheduling. With a persistent store
+        // configured, each unique point is looked up on disk first and
+        // written back after simulating (the extra bool records a
+        // store hit).
+        type RunSlot = Mutex<Option<(Result<Counters, ExecError>, u64, bool)>>;
         let ran: Vec<RunSlot> = unique.iter().map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         let run_one = |u: usize| {
             let job = &jobs[unique[u]];
+            let key = keys[unique[u]];
+            let guard = cells.get(u).map(|cell| CellGuard { cell, armed: true });
             let started = Instant::now();
-            let result = match (self.backend, job.attributed) {
-                (ExecBackend::Compiled, false) => self
-                    .plan_for(&job.program, keys[unique[u]].0)
-                    .and_then(|plan| plan.measure(&job.params, &self.machine, &job.layout)),
-                (ExecBackend::Compiled, true) => self
-                    .plan_for(&job.program, keys[unique[u]].0)
-                    .and_then(|plan| {
-                        plan.measure_attributed(&job.params, &self.machine, &job.layout)
-                    }),
-                (ExecBackend::Reference, false) => {
-                    measure_reference(&job.program, &job.params, &self.machine, &job.layout)
+            let store = self.store.as_ref().filter(|_| self.memoize);
+            let stored = store.and_then(|s| s.get(StoreKey::new(key.0, key.1)));
+            let store_hit = stored.is_some();
+            let result = match stored {
+                Some(counters) => Ok(counters),
+                None => {
+                    let result = match (self.backend, job.attributed) {
+                        (ExecBackend::Compiled, false) => self
+                            .plan_for(&job.program, key.0)
+                            .and_then(|plan| plan.measure(&job.params, &self.machine, &job.layout)),
+                        (ExecBackend::Compiled, true) => {
+                            self.plan_for(&job.program, key.0).and_then(|plan| {
+                                plan.measure_attributed(&job.params, &self.machine, &job.layout)
+                            })
+                        }
+                        (ExecBackend::Reference, false) => {
+                            measure_reference(&job.program, &job.params, &self.machine, &job.layout)
+                        }
+                        (ExecBackend::Reference, true) => measure_attributed_reference(
+                            &job.program,
+                            &job.params,
+                            &self.machine,
+                            &job.layout,
+                        ),
+                    };
+                    // Persist successes only: errors are cheap to
+                    // re-derive and need no on-disk encoding. A failed
+                    // write degrades to a re-simulation next run, so
+                    // it is reported (when events are on) but not
+                    // fatal.
+                    if let (Some(s), Ok(c)) = (store, &result) {
+                        if let Err(e) = s.put(StoreKey::new(key.0, key.1), &job.program.name, c) {
+                            if let Some(events) = &self.events {
+                                events.event(
+                                    names::STORE_ERROR,
+                                    None,
+                                    Attrs::new()
+                                        .str("program", &job.program.name)
+                                        .str("error", e.to_string()),
+                                );
+                            }
+                        }
+                    }
+                    result
                 }
-                (ExecBackend::Reference, true) => measure_attributed_reference(
-                    &job.program,
-                    &job.params,
-                    &self.machine,
-                    &job.layout,
-                ),
             };
             let wall_us = started.elapsed().as_micros() as u64;
-            *ran[u].lock().expect("slot lock") = Some((result, wall_us));
+            if let Some(mut g) = guard {
+                g.cell.fill(result.clone());
+                g.armed = false;
+            }
+            *ran[u].lock().expect("slot lock") = Some((result, wall_us, store_hit));
         };
         let workers = self.threads.min(unique.len());
         if workers <= 1 {
@@ -602,32 +830,46 @@ impl Evaluator for Engine {
                 }
             });
         }
-        let ran: Vec<(Result<Counters, ExecError>, u64)> = ran
+        let ran: Vec<(Result<Counters, ExecError>, u64, bool)> = ran
             .into_iter()
             .map(|m| m.into_inner().expect("slot lock").expect("slot filled"))
             .collect();
+        // Collect results owed by concurrent batches. Owners never
+        // wait (their own work is done above), so this cannot
+        // deadlock; the owner's CellGuard fills abandoned cells, so a
+        // panicking owner cannot strand us either.
+        let waited: Vec<Result<Counters, ExecError>> =
+            waits.iter().map(|cell| cell.wait()).collect();
 
-        // Phase 3: publish to the memo cache, update stats, emit trace
-        // records, and assemble results in submission order.
+        // Phase 3: publish to the memo cache, retire in-flight
+        // registrations, update stats, emit trace records, and
+        // assemble results in submission order.
         if self.memoize {
             let mut memo = self.memo.lock().expect("memo lock");
             for (u, &i) in unique.iter().enumerate() {
                 memo.insert(keys[i], ran[u].0.clone());
+            }
+            let mut inflight = self.inflight.lock().expect("inflight lock");
+            for &i in &unique {
+                inflight.remove(&keys[i]);
             }
         }
         {
             let mut stats = self.stats.lock().expect("stats lock");
             stats.requested += jobs.len() as u64;
             stats.evaluated += unique.len() as u64;
-            stats.cache_hits += (jobs.len() - unique.len()) as u64;
-            stats.errors += ran.iter().filter(|(r, _)| r.is_err()).count() as u64;
+            stats.cache_hits += (jobs.len() - unique.len() - waits.len()) as u64;
+            stats.errors += ran.iter().filter(|(r, _, _)| r.is_err()).count() as u64;
+            stats.store_hits += ran.iter().filter(|(_, _, hit)| *hit).count() as u64;
+            stats.dedup_waits += waits.len() as u64;
         }
         let mut out = Vec::with_capacity(jobs.len());
         for (i, slot) in slots.iter().enumerate() {
-            let (result, cache_hit, wall_us) = match slot {
-                Slot::Memo(r) => (r.clone(), true, 0),
-                Slot::Run(u) => (ran[*u].0.clone(), false, ran[*u].1),
-                Slot::Dup(u) => (ran[*u].0.clone(), true, 0),
+            let (result, cache_hit, wall_us, store_hit, dedup) = match slot {
+                Slot::Memo(r) => (r.clone(), true, 0, false, false),
+                Slot::Run(u) => (ran[*u].0.clone(), false, ran[*u].1, ran[*u].2, false),
+                Slot::Dup(u) => (ran[*u].0.clone(), true, 0, false, false),
+                Slot::Wait(w) => (waited[*w].clone(), true, 0, false, true),
             };
             if let Some(trace) = &self.trace {
                 let seq = self.seq.fetch_add(1, Ordering::Relaxed);
@@ -641,6 +883,15 @@ impl Evaluator for Engine {
                     .str("program", &jobs[i].program.name)
                     .bool("cache_hit", cache_hit)
                     .uint("wall_us", wall_us);
+                // Service-layer provenance, only when it applies, so
+                // store-less runs emit streams shaped exactly as
+                // before.
+                if self.store.is_some() {
+                    attrs = attrs.bool("store_hit", store_hit);
+                }
+                if dedup {
+                    attrs = attrs.bool("dedup", true);
+                }
                 attrs = match &result {
                     Ok(c) => {
                         let mut a = attrs
@@ -668,7 +919,7 @@ impl Evaluator for Engine {
                     }
                     Err(e) => attrs.str("status", "error").str("error", e.to_string()),
                 };
-                events.event("point", jobs[i].span, attrs);
+                events.event(names::POINT, jobs[i].span, attrs);
             }
             out.push(result);
         }
@@ -676,29 +927,40 @@ impl Evaluator for Engine {
             let _ = trace.lock().expect("trace lock").flush();
         }
         if let Some(events) = &self.events {
-            events.event(
-                "batch",
-                None,
-                Attrs::new()
-                    .uint("jobs", jobs.len() as u64)
-                    .uint("unique", unique.len() as u64)
-                    .uint("memo_hits", (jobs.len() - unique.len()) as u64)
-                    .uint(
-                        "errors",
-                        ran.iter().filter(|(r, _)| r.is_err()).count() as u64,
-                    )
-                    .uint("workers", workers as u64)
-                    .uint("wall_us", batch_start.elapsed().as_micros() as u64),
-            );
+            let mut attrs = Attrs::new()
+                .uint("jobs", jobs.len() as u64)
+                .uint("unique", unique.len() as u64)
+                .uint(
+                    "memo_hits",
+                    (jobs.len() - unique.len() - waits.len()) as u64,
+                )
+                .uint(
+                    "errors",
+                    ran.iter().filter(|(r, _, _)| r.is_err()).count() as u64,
+                )
+                .uint("workers", workers as u64)
+                .uint("wall_us", batch_start.elapsed().as_micros() as u64);
+            if self.store.is_some() {
+                attrs = attrs.uint(
+                    "store_hits",
+                    ran.iter().filter(|(_, _, hit)| *hit).count() as u64,
+                );
+            }
+            if !waits.is_empty() {
+                attrs = attrs.uint("dedup_waits", waits.len() as u64);
+            }
+            events.event(names::BATCH, None, attrs);
             let s = self.stats();
             events.event(
-                "engine_stats",
+                names::ENGINE_STATS,
                 None,
                 Attrs::new()
                     .uint("requested", s.requested)
                     .uint("evaluated", s.evaluated)
                     .uint("cache_hits", s.cache_hits)
-                    .uint("errors", s.errors),
+                    .uint("errors", s.errors)
+                    .uint("store_hits", s.store_hits)
+                    .uint("dedup_waits", s.dedup_waits),
             );
             events.flush();
         }
@@ -1067,6 +1329,123 @@ mod tests {
         assert_eq!(field(init, "machine"), Some(machine().name.as_str()));
         assert!(field(init, "machine_fingerprint").is_some());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_tier_warm_starts_a_fresh_engine() {
+        let (p, n) = stream("s");
+        let dir = std::env::temp_dir().join(format!("eco-engine-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let jobs: Vec<EvalJob> = [16i64, 32, 64]
+            .iter()
+            .map(|&sz| EvalJob::new(p.clone(), Params::new().with(n, sz)))
+            .collect();
+        let cold = Engine::with_config(machine(), EngineConfig::new().store(&dir)).expect("cold");
+        let first = cold.eval_batch(&jobs);
+        assert_eq!(cold.stats().evaluated, 3);
+        assert_eq!(cold.stats().store_hits, 0);
+        assert_eq!(cold.store_stats().expect("store on").puts, 3);
+        drop(cold);
+        // A second engine (a second process, in the CLI workflows)
+        // resolves every point from disk without simulating.
+        let warm = Engine::with_config(machine(), EngineConfig::new().store(&dir)).expect("warm");
+        let second = warm.eval_batch(&jobs);
+        assert_eq!(first, second, "warm results byte-identical");
+        let stats = warm.stats();
+        assert_eq!(stats.evaluated, 3, "store hits still count as evaluated");
+        assert_eq!(stats.store_hits, 3);
+        assert_eq!(
+            warm.plans.lock().expect("plan lock").len(),
+            0,
+            "no plan was ever lowered on the warm engine"
+        );
+        // memoize(false) bypasses the store entirely.
+        let bypass = Engine::with_config(machine(), EngineConfig::new().store(&dir).memoize(false))
+            .expect("bypass");
+        bypass.eval_batch(&jobs);
+        assert_eq!(bypass.stats().store_hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_batches_dedupe_in_flight_points() {
+        let (p, n) = stream("s");
+        let engine = Arc::new(
+            Engine::with_config(machine(), EngineConfig::new().threads(2)).expect("engine"),
+        );
+        // Four threads request the same (expensive enough) point at
+        // once. Exactly one simulation may run; the rest either dedupe
+        // against the in-flight owner or hit the memo cache, but the
+        // sum of non-owner paths is exact.
+        let job = || EvalJob::new(p.clone(), Params::new().with(n, 4096));
+        let mut results = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let engine = Arc::clone(&engine);
+                    let job = job();
+                    s.spawn(move || engine.eval(job))
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("no panic"));
+            }
+        });
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.requested, 4);
+        assert_eq!(stats.evaluated, 1, "exactly one simulation ran");
+        assert_eq!(
+            stats.cache_hits + stats.dedup_waits,
+            3,
+            "everyone else was served without simulating: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn engine_config_round_trips_through_json() {
+        let configs = [
+            EngineConfig::new(),
+            EngineConfig::new()
+                .threads(4)
+                .memoize(false)
+                .backend(ExecBackend::Reference)
+                .trace("/tmp/t.jsonl")
+                .events("/tmp/e.jsonl")
+                .store("/tmp/store"),
+        ];
+        for config in configs {
+            let doc = config.to_json();
+            // Deterministic rendering: build twice, identical bytes.
+            assert_eq!(doc.render(), config.to_json().render());
+            let reparsed = Json::parse(&doc.render()).expect("parses");
+            assert_eq!(EngineConfig::from_json(&reparsed), Ok(config.clone()));
+            // And the re-rendered document is byte-identical too.
+            assert_eq!(
+                EngineConfig::from_json(&reparsed)
+                    .expect("round trip")
+                    .to_json()
+                    .render(),
+                doc.render()
+            );
+        }
+        assert!(EngineConfig::from_json(&Json::obj()).is_err());
+    }
+
+    #[test]
+    fn unusable_store_root_fails_fast() {
+        let bad = PathBuf::from("/proc/nonexistent/store");
+        let err =
+            Engine::with_config(machine(), EngineConfig::new().store(&bad)).expect_err("must fail");
+        match &err {
+            ExecError::Store { path, .. } => {
+                assert!(path.contains("/proc/nonexistent"), "{path}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("cannot open result store"));
     }
 
     #[test]

@@ -38,6 +38,15 @@ pub enum ExecError {
         /// The underlying I/O error.
         msg: String,
     },
+    /// The persistent result store (`--store`) could not be opened.
+    /// Like [`ExecError::Telemetry`], raised when the engine is built
+    /// so a bad store root fails fast.
+    Store {
+        /// The store root.
+        path: String,
+        /// The underlying store error.
+        msg: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -55,6 +64,9 @@ impl fmt::Display for ExecError {
             ExecError::Invalid(msg) => write!(f, "invalid program: {msg}"),
             ExecError::Telemetry { kind, path, msg } => {
                 write!(f, "cannot create {kind} file {path}: {msg}")
+            }
+            ExecError::Store { path, msg } => {
+                write!(f, "cannot open result store {path}: {msg}")
             }
         }
     }

@@ -77,6 +77,11 @@ pub use trace::{measure_attributed_reference, measure_reference};
 /// downstream crates need no direct `eco-events` dependency.
 pub use eco_events as events;
 
+/// The persistent result store backing [`EngineConfig::store`];
+/// re-exported so downstream crates (the service layer, store
+/// maintenance commands) need no direct `eco-store` dependency.
+pub use eco_store as store;
+
 /// The one canonical counter type: `eco-cachesim` produces it, everything
 /// downstream (search, baselines, benches) should import it from here so
 /// call sites no longer juggle two counter structs.

@@ -8,7 +8,7 @@
 //! executing anything, that an `(original, transformed, binding)` triple
 //! is safe and semantics-preserving in four passes:
 //!
-//! 1. [`bounds`] — symbolic affine interval analysis over the loop
+//! 1. bounds — symbolic affine interval analysis over the loop
 //!    context (bounds, `min`/`max` tile clamps, residue guards) proving
 //!    every load/store subscript in bounds ([`DiagCode::OutOfBounds`])
 //!    and every prefetch not *unconditionally* out of bounds

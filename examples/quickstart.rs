@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use eco_core::{OptimizeRequest, Optimizer, SearchOptions};
+use eco_core::{SearchOptions, TuneRequest};
 use eco_exec::{Engine, EvalJob, Evaluator, Params};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
@@ -22,11 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Run ECO: model-driven variant derivation plus guided empirical
     //    search. Every candidate executes on the parallel memoized
-    //    evaluation engine; the report pairs the tuned result with the
+    //    evaluation engine; the response pairs the tuned result with the
     //    engine's work statistics.
-    let mut opt = Optimizer::new(machine.clone());
-    opt.opts = SearchOptions::builder().search_n(96).build()?;
-    let report = opt.run(OptimizeRequest::new(kernel.clone()))?;
+    let report = TuneRequest::new(kernel.clone(), machine.clone())
+        .options(SearchOptions::builder().search_n(96).build()?)
+        .run()?;
     let tuned = &report.tuned;
     println!(
         "ECO selected {} with parameters {:?} and prefetches {:?}",

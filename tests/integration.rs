@@ -5,7 +5,7 @@
 
 use eco_analysis::NestInfo;
 use eco_baselines::{atlas_mm, native, vendor_mm};
-use eco_core::{derive_variants, generate, OptimizeRequest, Optimizer};
+use eco_core::{derive_variants, generate, Optimizer, SearchOptions, TuneRequest};
 use eco_exec::{interpret, measure, ArrayLayout, LayoutOptions, Params, Storage};
 use eco_ir::Program;
 use eco_kernels::Kernel;
@@ -77,11 +77,14 @@ fn tuned_matmul_is_correct_and_fast_on_both_machines() {
     for base in [MachineDesc::sgi_r10000(), MachineDesc::ultrasparc_iie()] {
         let machine = base.scaled(32);
         let kernel = Kernel::matmul();
-        let mut opt = Optimizer::new(machine.clone());
-        opt.opts.search_n = 48;
-        opt.opts.max_variants = 2;
-        let tuned = opt
-            .run(OptimizeRequest::new(kernel.clone()))
+        let opts = SearchOptions::builder()
+            .search_n(48)
+            .max_variants(2)
+            .build()
+            .expect("options");
+        let tuned = TuneRequest::new(kernel.clone(), machine.clone())
+            .options(opts)
+            .run()
             .expect("optimize")
             .tuned;
         assert_same_outputs(&kernel, &tuned.program, 29, &machine.name);
@@ -106,12 +109,15 @@ fn tuned_matmul_is_correct_and_fast_on_both_machines() {
 fn eco_beats_native_on_average_for_matmul() {
     let machine = MachineDesc::sgi_r10000().scaled(32);
     let kernel = Kernel::matmul();
-    let mut opt = Optimizer::new(machine.clone());
-    opt.opts.search_n = 56;
-    opt.opts.max_variants = 2;
-    opt.opts.robustness_sizes = vec![64];
-    let eco = opt
-        .run(OptimizeRequest::new(kernel.clone()))
+    let opts = SearchOptions::builder()
+        .search_n(56)
+        .max_variants(2)
+        .robustness_sizes(vec![64])
+        .build()
+        .expect("options");
+    let eco = TuneRequest::new(kernel.clone(), machine.clone())
+        .options(opts)
+        .run()
         .expect("eco")
         .tuned;
     let nat = native(&kernel, &machine).expect("native");
@@ -168,12 +174,15 @@ fn atlas_is_stable_but_eco_matches_or_beats_it() {
     let machine = MachineDesc::sgi_r10000().scaled(32);
     let kernel = Kernel::matmul();
     let atlas = atlas_mm(&machine, 96).expect("atlas");
-    let mut opt = Optimizer::new(machine.clone());
-    opt.opts.search_n = 120;
-    opt.opts.max_variants = 2;
-    opt.opts.robustness_sizes = vec![128];
-    let eco = opt
-        .run(OptimizeRequest::new(kernel.clone()))
+    let opts = SearchOptions::builder()
+        .search_n(120)
+        .max_variants(2)
+        .robustness_sizes(vec![128])
+        .build()
+        .expect("options");
+    let eco = TuneRequest::new(kernel.clone(), machine.clone())
+        .options(opts)
+        .run()
         .expect("eco")
         .tuned;
     let mut eco_avg = 0.0;
@@ -203,11 +212,14 @@ fn atlas_is_stable_but_eco_matches_or_beats_it() {
 fn eco_search_visits_fewer_points_than_atlas() {
     // §4.3: the ECO search is 2-4x cheaper than the ATLAS search.
     let machine = MachineDesc::sgi_r10000().scaled(32);
-    let mut opt = Optimizer::new(machine.clone());
-    opt.opts.search_n = 64;
-    opt.opts.max_variants = 2;
-    let eco = opt
-        .run(OptimizeRequest::new(Kernel::matmul()))
+    let opts = SearchOptions::builder()
+        .search_n(64)
+        .max_variants(2)
+        .build()
+        .expect("options");
+    let eco = TuneRequest::new(Kernel::matmul(), machine.clone())
+        .options(opts)
+        .run()
         .expect("eco")
         .tuned;
     let atlas = atlas_mm(&machine, 64).expect("atlas");
@@ -236,11 +248,14 @@ fn tuned_jacobi_uses_prefetch_and_beats_native() {
     // §4.2 + Table 1: prefetching is a significant part of Jacobi's win.
     let machine = MachineDesc::sgi_r10000().scaled(32);
     let kernel = Kernel::jacobi3d();
-    let mut opt = Optimizer::new(machine.clone());
-    opt.opts.search_n = 36;
-    opt.opts.max_variants = 3;
-    let eco = opt
-        .run(OptimizeRequest::new(kernel.clone()))
+    let opts = SearchOptions::builder()
+        .search_n(36)
+        .max_variants(3)
+        .build()
+        .expect("options");
+    let eco = TuneRequest::new(kernel.clone(), machine.clone())
+        .options(opts)
+        .run()
         .expect("eco")
         .tuned;
     assert_same_outputs(&kernel, &eco.program, 19, "jacobi eco");

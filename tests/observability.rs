@@ -4,7 +4,7 @@
 //! manifest-determinism contracts that `repro check` and CI rely on.
 
 use eco_core::events::{check_stream, field};
-use eco_core::{EngineConfig, OptimizeReport, OptimizeRequest, Optimizer, SearchOptions};
+use eco_core::{EngineConfig, SearchOptions, TuneRequest, TuneResponse};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
 use std::fs;
@@ -21,19 +21,20 @@ fn scratch(tag: &str) -> PathBuf {
 
 /// One real (small) tune of MM with the event stream captured to a
 /// file; returns the report and the raw stream text.
-fn tuned_with_events(tag: &str, threads: usize) -> (OptimizeReport, String) {
+fn tuned_with_events(tag: &str, threads: usize) -> (TuneResponse, String) {
     let dir = scratch(tag);
     let path = dir.join("events.jsonl");
     let machine = MachineDesc::sgi_r10000().scaled(32);
-    let mut opt = Optimizer::new(machine);
-    opt.opts = SearchOptions::builder()
+    let opts = SearchOptions::builder()
         .search_n(16)
         .max_variants(2)
         .build()
         .expect("options");
     let config = EngineConfig::new().threads(threads).events(&path);
-    let report = opt
-        .run(OptimizeRequest::new(Kernel::matmul()).engine(config))
+    let report = TuneRequest::new(Kernel::matmul(), machine)
+        .options(opts)
+        .engine(config)
+        .run()
         .expect("tuned");
     let text = fs::read_to_string(&path).expect("event stream");
     let _ = fs::remove_dir_all(&dir);

@@ -343,16 +343,17 @@ fn sweep_csv_identical_across_threads_and_cache_state() {
 /// counts (engine-side accounting agrees).
 #[test]
 fn search_stats_match_section_4_3_expectations() {
-    use eco_core::{EngineConfig, OptimizeRequest, Optimizer, SearchOptions};
+    use eco_core::{EngineConfig, SearchOptions, TuneRequest};
     let machine = MachineDesc::sgi_r10000().scaled(32);
-    let mut opt = Optimizer::new(machine.clone());
-    opt.opts = SearchOptions::builder()
+    let opts = SearchOptions::builder()
         .search_n(48)
         .max_variants(2)
         .build()
         .expect("valid options");
-    let report = opt
-        .run(OptimizeRequest::new(Kernel::matmul()).engine(EngineConfig::new()))
+    let report = TuneRequest::new(Kernel::matmul(), machine.clone())
+        .options(opts)
+        .engine(EngineConfig::new())
+        .run()
         .expect("optimize");
     let stats = &report.tuned.stats;
     assert!(

@@ -3,7 +3,7 @@
 //! trajectory regression gate, and a live tune → report round trip.
 
 use eco_core::events::Json;
-use eco_core::{EngineConfig, OptimizeRequest, Optimizer};
+use eco_core::{EngineConfig, SearchOptions, TuneRequest};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
 use eco_report::{
@@ -145,12 +145,16 @@ fn live_tune_stream_analyzes_end_to_end() {
         std::process::id()
     ));
     let machine = MachineDesc::sgi_r10000().scaled(32);
-    let mut optimizer = Optimizer::new(machine);
-    optimizer.opts.search_n = 24;
-    optimizer.opts.max_variants = 1;
+    let opts = SearchOptions::builder()
+        .search_n(24)
+        .max_variants(1)
+        .build()
+        .expect("options");
     let config = EngineConfig::new().events(events_path.display().to_string());
-    let report = optimizer
-        .run(OptimizeRequest::new(Kernel::matmul()).engine(config))
+    let report = TuneRequest::new(Kernel::matmul(), machine)
+        .options(opts)
+        .engine(config)
+        .run()
         .expect("tune succeeds");
     let stream = std::fs::read_to_string(&events_path).expect("events written");
     let _ = std::fs::remove_file(&events_path);

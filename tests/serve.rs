@@ -1,0 +1,214 @@
+//! Service-layer integration tests: the `eco serve` protocol over a
+//! Unix socket — concurrent identical tune requests share one search
+//! (in-flight dedupe plus the shared engine's memo cache), responses
+//! embed the same deterministic manifest a local run renders, and the
+//! stats/store-stats/ping/shutdown ops answer as documented.
+
+use eco_bench::serve::{self, ServeConfig, Server};
+use eco_core::events::Json;
+use eco_core::{EngineConfig, SearchOptions, TuneRequest};
+use eco_kernels::Kernel;
+use eco_machine::MachineDesc;
+use std::path::PathBuf;
+
+/// A per-test scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eco-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn tiny_request() -> TuneRequest {
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let opts = SearchOptions::builder()
+        .search_n(16)
+        .max_variants(1)
+        .build()
+        .expect("options");
+    TuneRequest::new(Kernel::matmul(), machine).options(opts)
+}
+
+/// Starts a server on a scratch socket and returns it with the join
+/// handle of its accept loop.
+fn start_server(
+    dir: &std::path::Path,
+    engine: EngineConfig,
+) -> (PathBuf, std::thread::JoinHandle<()>) {
+    let socket = dir.join("eco.sock");
+    let server = Server::bind(ServeConfig {
+        socket: socket.clone(),
+        engine,
+        events: Some(dir.join("serve.events.jsonl").display().to_string()),
+    })
+    .expect("bind");
+    let handle = std::thread::spawn(move || server.run().expect("serve loop"));
+    // The listener is bound before `bind` returns, so clients can
+    // connect immediately; no readiness poll needed.
+    (socket, handle)
+}
+
+fn shutdown(socket: &std::path::Path) {
+    let doc =
+        serve::request(socket, &Json::obj().field("op", Json::str("shutdown"))).expect("shutdown");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+}
+
+#[test]
+fn concurrent_identical_tunes_share_one_simulation_pass() {
+    // What one isolated run of the same request evaluates — the
+    // deterministic search makes this the exact unique-point count.
+    let expected = tiny_request().run().expect("local run").engine.evaluated;
+    assert!(expected > 0);
+
+    let dir = scratch("dedupe");
+    let store = dir.join("store");
+    let (socket, handle) =
+        start_server(&dir, EngineConfig::new().store(store.display().to_string()));
+
+    let tune_line = Json::obj()
+        .field("op", Json::str("tune"))
+        .field("request", tiny_request().to_json());
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let socket = socket.clone();
+            let line = tune_line.render_compact();
+            std::thread::spawn(move || {
+                let doc = Json::parse(&line).expect("request parses");
+                serve::request(&socket, &doc).expect("tune request")
+            })
+        })
+        .collect();
+    let responses: Vec<Json> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+
+    for doc in &responses {
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "{doc:?}");
+    }
+    let first = responses[0].render();
+    for doc in &responses[1..] {
+        assert_eq!(doc.render(), first, "identical requests, identical bytes");
+    }
+
+    // The dedupe assert: 4 concurrent tunes of the same request must
+    // cost exactly one simulation pass. Whether a request waited on the
+    // in-flight owner or re-ran against the shared engine, the engine's
+    // unique-evaluation count cannot exceed one isolated run's.
+    let stats =
+        serve::request(&socket, &Json::obj().field("op", Json::str("stats"))).expect("stats");
+    assert_eq!(stats.get("tunes").and_then(Json::as_u64), Some(4));
+    let engines = match stats.get("engines") {
+        Some(Json::Obj(fields)) => fields,
+        other => panic!("engines object missing: {other:?}"),
+    };
+    assert_eq!(engines.len(), 1, "one machine, one shared engine");
+    let evaluated = engines[0]
+        .1
+        .get("evaluated")
+        .and_then(Json::as_u64)
+        .expect("evaluated");
+    assert_eq!(
+        evaluated, expected,
+        "4 identical tunes must simulate exactly one search's worth of points"
+    );
+    let deduped = stats
+        .get("deduped_requests")
+        .and_then(Json::as_u64)
+        .expect("deduped_requests");
+    assert!(deduped <= 3, "at most 3 of 4 requests can be followers");
+
+    // The shared store saw the searched points.
+    let store_stats = serve::request(&socket, &Json::obj().field("op", Json::str("store-stats")))
+        .expect("store-stats");
+    assert_eq!(
+        store_stats.get("configured").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert!(
+        store_stats
+            .get("puts")
+            .and_then(Json::as_u64)
+            .expect("puts")
+            > 0
+    );
+
+    shutdown(&socket);
+    handle.join().expect("server thread");
+
+    // The request-level event stream recorded every protocol request.
+    let events = std::fs::read_to_string(dir.join("serve.events.jsonl")).expect("events");
+    assert!(
+        events.matches("serve_request").count() >= 7,
+        "4 tunes + stats + store-stats + shutdown:\n{events}"
+    );
+    assert_eq!(
+        events.matches("serve_request").count(),
+        events.matches("serve_done").count(),
+        "every request gets a done event"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn served_tune_matches_a_local_manifest_and_reports_errors() {
+    let dir = scratch("manifest");
+    let (socket, handle) = start_server(&dir, EngineConfig::new());
+
+    // ping answers with the protocol and API versions.
+    let pong = serve::request(&socket, &Json::obj().field("op", Json::str("ping"))).expect("ping");
+    assert_eq!(pong.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        pong.get("api_version").and_then(Json::as_u64),
+        Some(eco_core::API_VERSION)
+    );
+
+    // A served tune embeds the byte-identical local manifest.
+    let request = tiny_request();
+    let local = request.run().expect("local run");
+    let local_manifest = eco_core::run_manifest(
+        &request.kernel.name,
+        &request.machine,
+        &request.options,
+        &EngineConfig::new(),
+        &local,
+    )
+    .render();
+    let served = serve::request(
+        &socket,
+        &Json::obj()
+            .field("op", Json::str("tune"))
+            .field("request", request.to_json()),
+    )
+    .expect("served tune");
+    assert_eq!(served.get("ok").and_then(Json::as_bool), Some(true));
+    let manifest = served.get("manifest").expect("manifest in response");
+    assert_eq!(
+        manifest.render(),
+        local_manifest,
+        "served and local manifests must be the same bytes"
+    );
+
+    // Unknown ops and malformed tunes answer ok=false, not a hangup.
+    let bad = serve::request(&socket, &Json::obj().field("op", Json::str("explode")))
+        .expect("error response");
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(bad
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("error message")
+        .contains("unknown op"));
+    let bad_tune = serve::request(
+        &socket,
+        &Json::obj()
+            .field("op", Json::str("tune"))
+            .field("request", Json::obj()),
+    )
+    .expect("error response");
+    assert_eq!(bad_tune.get("ok").and_then(Json::as_bool), Some(false));
+
+    shutdown(&socket);
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}

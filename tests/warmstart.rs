@@ -1,0 +1,135 @@
+//! Cross-process warm-start tests for the persistent result store: a
+//! second run against the same `--store` directory must produce
+//! byte-identical outputs while serving (nearly) every evaluation from
+//! disk instead of re-simulating.
+
+use eco_core::{run_manifest, EngineConfig, SearchOptions, TuneRequest, TuneResponse};
+use eco_kernels::Kernel;
+use eco_machine::MachineDesc;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// A per-test scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eco-warmstart-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn tiny_request(store: &Path) -> TuneRequest {
+    let machine = MachineDesc::sgi_r10000().scaled(32);
+    let opts = SearchOptions::builder()
+        .search_n(16)
+        .max_variants(1)
+        .build()
+        .expect("options");
+    TuneRequest::new(Kernel::matmul(), machine)
+        .options(opts)
+        .engine(EngineConfig::new().store(store.display().to_string()))
+}
+
+fn manifest_of(request: &TuneRequest, response: &TuneResponse) -> String {
+    run_manifest(
+        &request.kernel.name,
+        &request.machine,
+        &request.options,
+        &request.engine,
+        response,
+    )
+    .render()
+}
+
+/// Two independent engines (cold, then warm) against one store: the
+/// warm run re-simulates (almost) nothing and still renders the exact
+/// same manifest bytes — the store must never leak into the outputs.
+#[test]
+fn second_run_against_the_same_store_is_warm_and_byte_identical() {
+    let dir = scratch("inproc");
+    let store = dir.join("store");
+
+    let request = tiny_request(&store);
+    let cold = request.run().expect("cold run");
+    assert_eq!(
+        cold.engine.store_hits, 0,
+        "nothing can hit an empty store: {:?}",
+        cold.engine
+    );
+    assert!(cold.engine.evaluated > 0);
+
+    let warm = tiny_request(&store).run().expect("warm run");
+    assert_eq!(
+        warm.tuned.variant.name, cold.tuned.variant.name,
+        "warm run must select the same variant"
+    );
+    assert_eq!(
+        manifest_of(&request, &warm),
+        manifest_of(&request, &cold),
+        "manifests must be byte-identical across cold and warm runs"
+    );
+    assert!(
+        warm.engine.store_hits * 10 >= warm.engine.evaluated * 9,
+        "warm run should serve >=90% of evaluations from the store: {:?}",
+        warm.engine
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same contract across real processes: `eco tune --store DIR
+/// --manifest F` twice writes byte-identical manifests, and the second
+/// process reports its store hits on stdout.
+#[test]
+fn eco_tune_warm_starts_across_processes() {
+    let dir = scratch("subproc");
+    let store = dir.join("store");
+    let run = |manifest: &PathBuf| {
+        let out = Command::new(env!("CARGO_BIN_EXE_eco"))
+            .args([
+                "tune",
+                "mm",
+                "--search-n",
+                "16",
+                "--store",
+                &store.display().to_string(),
+                "--manifest",
+                &manifest.display().to_string(),
+            ])
+            .output()
+            .expect("eco tune runs");
+        assert!(
+            out.status.success(),
+            "eco tune failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    let m1 = dir.join("cold.manifest.json");
+    let m2 = dir.join("warm.manifest.json");
+    let cold_stdout = run(&m1);
+    let warm_stdout = run(&m2);
+
+    let cold = std::fs::read_to_string(&m1).expect("cold manifest");
+    let warm = std::fs::read_to_string(&m2).expect("warm manifest");
+    assert_eq!(cold, warm, "manifests must not depend on store warmth");
+    assert!(
+        !cold.contains("store"),
+        "the store must not be recorded in the manifest:\n{cold}"
+    );
+
+    assert!(
+        cold_stdout.contains("store: 0 hits"),
+        "cold run hits an empty store:\n{cold_stdout}"
+    );
+    let hits_line = warm_stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("store: "))
+        .unwrap_or_else(|| panic!("no store line in:\n{warm_stdout}"));
+    assert!(
+        !hits_line.contains("store: 0 hits"),
+        "warm run must hit the store: {hits_line}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
