@@ -22,13 +22,29 @@
 //!                    time, points/sec and manifest fingerprint per
 //!                    figure, as JSON (`--bench-out FILE`); compare two
 //!                    trajectories with `eco report --compare`
-//! repro all          Everything above, also written to results/
+//! repro plan FIG     Print the figure's deterministic shard plan
+//!                    (`--plan-out FILE` writes it instead)
+//! repro shard --shard FILE
+//!                    Execute one shard manifest (the worker entry
+//!                    point `repro sweep` spawns); with `--store DIR`
+//!                    the completion record lands in the store,
+//!                    otherwise the result document goes to stdout
+//! repro sweep FIG    Plan, execute and gather one figure as a sharded
+//!                    sweep: a local worker pool (`--workers N`) or an
+//!                    `eco serve` daemon (`--remote SOCKET`) against a
+//!                    shared result store; a killed sweep resumes on
+//!                    re-run, skipping completed shards
+//! repro all          Everything above the sweep commands, also written
+//!                    to results/
 //! repro check        Golden-results gate: regenerate every committed
 //!                    figure CSV and run manifest in memory and diff
 //!                    them byte-for-byte against results/; also
 //!                    validates the event streams the regeneration just
 //!                    emitted with the emitter's invariant checker;
-//!                    exits nonzero on any drift
+//!                    exits nonzero on any drift. With `--workers N`
+//!                    (N > 1) the figures regenerate through the
+//!                    sharded sweep path instead — same bytes required
+//! ```
 //!
 //! options (after the command):
 //!   --threads N      evaluation threads (0 = auto, the default)
@@ -38,88 +54,131 @@
 //!                    (same bytes out, far fewer simulations)
 //!   --trace DIR      write a JSONL evaluation trace per command to DIR
 //!   --events DIR     write a structured event stream per command to DIR
+//!                    (sweep workers always write theirs under the
+//!                    sweep directory's events/)
+//!   --workers N      figures/all/check/sweep: shard the figure across
+//!                    N parallel worker processes (1 = serial)
+//!   --shard-sizes K  measure sizes per shard in the plan (default 4)
+//!   --sweep-dir DIR  root for sweep artifacts (default .eco-sweep);
+//!                    each figure works in DIR/FIG
+//!   --remote SOCKET  sweep: execute shards on an eco serve daemon
+//!                    instead of spawning local workers
+//!   --plan-out FILE  plan only: write the plan JSON to FILE
+//!   --sweep FIG      bench only: also record sweep wall time at
+//!                    --workers 1 vs N (default 4) in the trajectory
 //!   --json FILE      smoke only: also write the throughput as JSON
 //!   --bench-out FILE bench only: write the trajectory JSON to FILE
 //!   --smoke-only     bench only: skip the per-figure measurements
-//! ```
 //!
 //! All measurements flow through one [`eco_core::Engine`] per command:
 //! batches are evaluated in parallel, repeated points are served from
 //! the memo cache, and results come back in submission order, so every
 //! table, CSV and manifest is byte-identical whatever `--threads` says
 //! — the property `repro check` (and the CI golden-results job) gates.
+//! The sharded path extends the same property across process
+//! boundaries: one fresh engine per shard plus the shared store
+//! reproduces the serial bytes, which `repro check --workers N` gates.
 //!
 //! CSV and manifest output for each figure is written to `results/`
 //! when it exists (created by `repro all`).
 
 use eco_analysis::NestInfo;
-use eco_baselines::{atlas_mm_with, model_only, native, vendor_mm_with};
-use eco_bench::cli::EngineFlags;
+use eco_baselines::{atlas_mm_with, model_only};
+use eco_bench::figures::{self, FigureDef, RunOpts};
+use eco_bench::sweep::{run_sweep, SweepConfig};
 use eco_bench::{
-    counters_at_with, jacobi_figure_sizes, jacobi_table_row, mflops_at_with, mflops_sweep,
-    mm_copy_variant, mm_figure_sizes, mm_table_row, Sweep, FIGURE_SCALE,
+    counters_at_with, jacobi_table_row, mflops_at_with, mm_copy_variant, mm_table_row, Sweep,
+    FIGURE_SCALE,
 };
 use eco_core::events::Json;
 use eco_core::{
-    derive_variants, describe_variant, run_manifest, Engine, EngineConfig, Evaluator, Optimizer,
-    SearchOptions, TuneResponse, Tuned,
+    derive_variants, describe_variant, EngineConfig, Evaluator, Optimizer, SearchOptions, Shard,
 };
-use eco_ir::Program;
-use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
+use eco_store::ResultStore;
 use std::fs;
+use std::path::PathBuf;
 
-/// Engine settings shared by every command: the shared engine flags
-/// (threads, backend, result store) and the optional JSONL telemetry
-/// directories (one file per command label).
-struct EngineOpts {
-    flags: EngineFlags,
-    trace_dir: Option<String>,
-    events_dir: Option<String>,
+use eco_bench::cli::EngineFlags;
+use eco_kernels::Kernel;
+
+/// Everything the command line can say: the engine/telemetry options
+/// shared with the library runners ([`RunOpts`]), plus the
+/// command-specific flags.
+struct ReproOpts {
+    run: RunOpts,
     json: Option<String>,
     bench_out: Option<String>,
     smoke_only: bool,
+    workers: usize,
+    shard: Option<String>,
+    sweep_dir: String,
+    plan_out: Option<String>,
+    shard_sizes: usize,
+    remote: Option<String>,
+    sweep_fig: Option<String>,
+    positional: Vec<String>,
 }
 
-impl EngineOpts {
-    fn engine(&self, machine: &MachineDesc, label: &str) -> Engine {
-        let mut cfg = self.flags.apply(EngineConfig::new());
-        if let Some(dir) = &self.trace_dir {
-            let _ = fs::create_dir_all(dir);
-            cfg = cfg.trace(format!("{dir}/{label}.jsonl"));
-        }
-        if let Some(dir) = &self.events_dir {
-            let _ = fs::create_dir_all(dir);
-            cfg = cfg.events(format!("{dir}/{label}.events.jsonl"));
-        }
-        Engine::with_config(machine.clone(), cfg)
-            .unwrap_or_else(|e| panic!("engine for {label}: {e}"))
+impl ReproOpts {
+    /// Whether figure commands should go through the sharded sweep
+    /// path instead of the serial runner.
+    fn sharded(&self) -> bool {
+        self.workers > 1 || self.remote.is_some()
     }
 
-    /// The deterministic subset of the engine configuration recorded in
-    /// run manifests (backend and memoization; never threads, paths or
-    /// the store — a warm run must produce the same bytes as a cold
-    /// one).
-    fn manifest_config(&self) -> EngineConfig {
-        EngineConfig::new().backend(self.flags.backend)
+    /// The sweep working directory for one figure.
+    fn figure_sweep_dir(&self, name: &str) -> PathBuf {
+        PathBuf::from(&self.sweep_dir).join(name)
+    }
+
+    /// The shared store a figure's sweep runs against: `--store` if
+    /// given, otherwise one inside the figure's sweep directory.
+    fn figure_store(&self, sweep_dir: &std::path::Path) -> PathBuf {
+        match &self.run.flags.store {
+            Some(dir) => PathBuf::from(dir),
+            None => sweep_dir.join("store"),
+        }
+    }
+
+    fn sweep_config(&self, sweep_dir: PathBuf, workers: usize, verbose: bool) -> SweepConfig {
+        let store = self.figure_store(&sweep_dir);
+        SweepConfig {
+            opts: self.run.clone(),
+            workers,
+            sizes_per_shard: self.shard_sizes,
+            store,
+            sweep_dir,
+            worker_exe: std::env::current_exe()
+                .unwrap_or_else(|e| panic!("cannot locate the repro binary: {e}")),
+            remote: self.remote.as_ref().map(PathBuf::from),
+            verbose,
+        }
     }
 }
 
-fn parse_engine_opts(args: &[String]) -> Result<EngineOpts, String> {
+fn parse_opts(args: &[String]) -> Result<ReproOpts, String> {
     let mut flags = EngineFlags::new();
-    let mut trace_dir = None;
-    let mut events_dir = None;
+    let mut run = RunOpts::default();
     let mut json = None;
     let mut bench_out = None;
     let mut smoke_only = false;
+    let mut workers = 1usize;
+    let mut shard = None;
+    let mut sweep_dir = ".eco-sweep".to_string();
+    let mut plan_out = None;
+    let mut shard_sizes = 4usize;
+    let mut remote = None;
+    let mut sweep_fig = None;
+    let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--trace" => {
-                trace_dir = Some(it.next().ok_or("--trace needs a directory")?.clone());
+                run.trace_dir = Some(it.next().ok_or("--trace needs a directory")?.clone());
             }
             "--events" => {
-                events_dir = Some(it.next().ok_or("--events needs a directory")?.clone());
+                run.events_dir = Some(it.next().ok_or("--events needs a directory")?.clone());
             }
             "--json" => {
                 json = Some(it.next().ok_or("--json needs a file")?.clone());
@@ -128,39 +187,65 @@ fn parse_engine_opts(args: &[String]) -> Result<EngineOpts, String> {
                 bench_out = Some(it.next().ok_or("--bench-out needs a file")?.clone());
             }
             "--smoke-only" => smoke_only = true,
+            "--workers" => {
+                workers = it
+                    .next()
+                    .ok_or("--workers needs a count")?
+                    .parse()
+                    .map_err(|_| "--workers needs a number".to_string())?;
+            }
+            "--shard" => {
+                shard = Some(it.next().ok_or("--shard needs a file")?.clone());
+            }
+            "--sweep-dir" => {
+                sweep_dir = it.next().ok_or("--sweep-dir needs a directory")?.clone();
+            }
+            "--plan-out" => {
+                plan_out = Some(it.next().ok_or("--plan-out needs a file")?.clone());
+            }
+            "--shard-sizes" => {
+                shard_sizes = it
+                    .next()
+                    .ok_or("--shard-sizes needs a count")?
+                    .parse()
+                    .map_err(|_| "--shard-sizes needs a number".to_string())?;
+            }
+            "--remote" => {
+                remote = Some(it.next().ok_or("--remote needs a socket path")?.clone());
+            }
+            "--sweep" => {
+                sweep_fig = Some(it.next().ok_or("--sweep needs a figure name")?.clone());
+            }
             other => {
                 if !flags.accept(other, &mut it)? {
-                    return Err(format!("unknown option {other}"));
+                    if other.starts_with('-') {
+                        return Err(format!("unknown option {other}"));
+                    }
+                    positional.push(other.to_string());
                 }
             }
         }
     }
-    Ok(EngineOpts {
-        flags,
-        trace_dir,
-        events_dir,
+    run.flags = flags;
+    Ok(ReproOpts {
+        run,
         json,
         bench_out,
         smoke_only,
+        workers,
+        shard,
+        sweep_dir,
+        plan_out,
+        shard_sizes,
+        remote,
+        sweep_fig,
+        positional,
     })
 }
 
-fn print_engine_stats(engine: &Engine) {
-    let s = engine.stats();
-    println!(
-        "   engine: {} points requested, {} evaluated, {} memo hits ({:.0}% hit rate), {} thread(s)",
-        s.requested,
-        s.evaluated,
-        s.cache_hits,
-        s.hit_rate() * 100.0,
-        engine.threads()
-    );
-    if let Some(store) = engine.store_stats() {
-        println!(
-            "   store: {} hits, {} misses, {} puts",
-            store.hits, store.misses, store.puts
-        );
-    }
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
 }
 
 fn main() {
@@ -169,62 +254,53 @@ fn main() {
         Some((c, r)) => (c.clone(), r.to_vec()),
         None => ("all".to_string(), Vec::new()),
     };
-    let eopts = match parse_engine_opts(&rest) {
+    let opts = match parse_opts(&rest) {
         Ok(o) => o,
-        Err(e) => {
-            eprintln!("repro: {e}");
-            std::process::exit(2);
-        }
+        Err(e) => die(&e),
     };
     match cmd.as_str() {
-        "table1" => table1(&eopts),
+        "table1" => table1(&opts.run),
         "table2" => table2(),
         "table3" => table3(),
         "table4" => table4(),
-        "fig4a" => drop(fig4(&MachineDesc::sgi_r10000(), "fig4a", &eopts)),
-        "fig4b" => drop(fig4(&MachineDesc::ultrasparc_iie(), "fig4b", &eopts)),
-        "fig5a" => drop(fig5(&MachineDesc::sgi_r10000(), "fig5a", &eopts)),
-        "fig5b" => drop(fig5(&MachineDesc::ultrasparc_iie(), "fig5b", &eopts)),
-        "searchcost" => searchcost(&eopts),
-        "modelvsearch" => modelvsearch(&eopts),
-        "prefetch" => prefetch_ablation(&eopts),
-        "copyablation" => copy_ablation(&eopts),
-        "padding" => padding_ablation(&eopts),
-        "strategies" => strategies_ablation(&eopts),
+        "searchcost" => searchcost(&opts.run),
+        "modelvsearch" => modelvsearch(&opts.run),
+        "prefetch" => prefetch_ablation(&opts.run),
+        "copyablation" => copy_ablation(&opts.run),
+        "padding" => padding_ablation(&opts.run),
+        "strategies" => strategies_ablation(&opts.run),
         "attribution" => attribution(),
-        "modelrank" => model_rank(&eopts),
-        "smoke" | "--smoke" => smoke(&eopts),
-        "bench" => bench(&eopts),
-        "check" => check(&eopts),
+        "modelrank" => model_rank(&opts.run),
+        "smoke" | "--smoke" => smoke(&opts),
+        "bench" => bench(&opts),
+        "check" => check(&opts),
+        "plan" => plan_cmd(&opts),
+        "shard" => shard_cmd(&opts),
+        "sweep" => sweep_cmd(&opts),
         "all" => {
             let _ = fs::create_dir_all("results");
             table2();
             table3();
             table4();
-            table1(&eopts);
-            save("fig4a", fig4(&MachineDesc::sgi_r10000(), "fig4a", &eopts));
-            save(
-                "fig4b",
-                fig4(&MachineDesc::ultrasparc_iie(), "fig4b", &eopts),
-            );
-            save("fig5a", fig5(&MachineDesc::sgi_r10000(), "fig5a", &eopts));
-            save(
-                "fig5b",
-                fig5(&MachineDesc::ultrasparc_iie(), "fig5b", &eopts),
-            );
-            searchcost(&eopts);
-            modelvsearch(&eopts);
-            prefetch_ablation(&eopts);
-            copy_ablation(&eopts);
-            padding_ablation(&eopts);
-            strategies_ablation(&eopts);
+            table1(&opts.run);
+            for def in figures::FIGURES {
+                save(def.name, figure_output(def, &opts));
+            }
+            searchcost(&opts.run);
+            modelvsearch(&opts.run);
+            prefetch_ablation(&opts.run);
+            copy_ablation(&opts.run);
+            padding_ablation(&opts.run);
+            strategies_ablation(&opts.run);
             attribution();
-            model_rank(&eopts);
+            model_rank(&opts.run);
         }
-        other => {
-            eprintln!("unknown command {other}; see the module docs for the list");
-            std::process::exit(2);
-        }
+        name => match figures::figure(name) {
+            Some(def) => drop(figure_output(def, &opts)),
+            None => die(&format!(
+                "unknown command {name}; see the module docs for the list"
+            )),
+        },
     }
 }
 
@@ -235,85 +311,272 @@ fn save(name: &str, out: (Sweep, String)) {
     }
 }
 
+// ---------------------------------------------------------------- sweeps
+
+/// One figure's outputs, by whichever path the options select: the
+/// serial runner, or the sharded sweep (`--workers`/`--remote`).
+fn figure_output(def: &'static FigureDef, opts: &ReproOpts) -> (Sweep, String) {
+    if !opts.sharded() {
+        return figures::run(def, &opts.run);
+    }
+    println!("{}", def.banner());
+    let config = opts.sweep_config(opts.figure_sweep_dir(def.name), opts.workers, true);
+    let outcome = match run_sweep(&def.spec(), &config) {
+        Ok(o) => o,
+        Err(e) => die(&e),
+    };
+    print!("{}", outcome.sweep.to_table());
+    println!(
+        "   sweep: {} shard(s) planned, {} executed, {} skipped in {:.1}s ({} worker(s))",
+        outcome.planned, outcome.executed, outcome.skipped, outcome.wall_secs, config.workers
+    );
+    println!();
+    (outcome.sweep, outcome.manifest)
+}
+
+/// `repro plan FIG`: print (or write) the figure's shard plan.
+fn plan_cmd(opts: &ReproOpts) {
+    let name = opts
+        .positional
+        .first()
+        .unwrap_or_else(|| die("plan: which figure? (repro plan fig4a)"));
+    let def = figures::figure(name).unwrap_or_else(|| die(&format!("plan: unknown figure {name}")));
+    let plan = match eco_core::SweepPlan::plan(&def.spec(), opts.shard_sizes) {
+        Ok(p) => p,
+        Err(e) => die(&e),
+    };
+    let text = plan.to_json().render();
+    match &opts.plan_out {
+        Some(path) => {
+            fs::write(path, &text).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            println!(
+                "wrote plan for {name} to {path} ({} shards, fingerprint {:#018x})",
+                plan.shards.len(),
+                plan.fingerprint()
+            );
+        }
+        None => print!("{text}"),
+    }
+}
+
+/// `repro shard --shard FILE`: the worker entry point. Executes one
+/// shard manifest on a fresh engine; with `--store` the result becomes
+/// the shard's completion record, otherwise it goes to stdout.
+fn shard_cmd(opts: &ReproOpts) {
+    let path = opts
+        .shard
+        .as_ref()
+        .unwrap_or_else(|| die("shard: --shard FILE required"));
+    let text =
+        fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let doc = Json::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    let shard = Shard::from_json(&doc).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    let fp = shard.fingerprint();
+    let label = format!("{fp:016x}");
+    let mut cfg = opts.run.flags.apply(EngineConfig::new());
+    if let Some(dir) = &opts.run.trace_dir {
+        let _ = fs::create_dir_all(dir);
+        cfg = cfg.trace(format!("{dir}/{label}.jsonl"));
+    }
+    if let Some(dir) = &opts.run.events_dir {
+        let _ = fs::create_dir_all(dir);
+        cfg = cfg.events(format!("{dir}/{label}.events.jsonl"));
+    }
+    let result = eco_bench::sweep::execute_shard(&shard, cfg)
+        .unwrap_or_else(|e| die(&format!("shard {label}: {e}")));
+    match &opts.run.flags.store {
+        Some(dir) => {
+            let store =
+                ResultStore::open(dir).unwrap_or_else(|e| die(&format!("store {dir}: {e}")));
+            store
+                .mark_shard_complete(fp, &result)
+                .unwrap_or_else(|e| die(&format!("cannot record completion: {e}")));
+            println!(
+                "shard {fp:#018x} complete ({} {}/{})",
+                shard.figure,
+                shard.family,
+                shard.kind.as_str()
+            );
+        }
+        None => print!("{}", result.render()),
+    }
+}
+
+/// `repro sweep FIG`: the full plan → execute → gather pipeline for one
+/// figure, writing the gathered CSV and manifest under the sweep
+/// directory.
+fn sweep_cmd(opts: &ReproOpts) {
+    let name = opts
+        .positional
+        .first()
+        .unwrap_or_else(|| die("sweep: which figure? (repro sweep fig4a --workers 4)"));
+    let def =
+        figures::figure(name).unwrap_or_else(|| die(&format!("sweep: unknown figure {name}")));
+    println!("{}", def.banner());
+    let sweep_dir = opts.figure_sweep_dir(def.name);
+    let config = opts.sweep_config(sweep_dir.clone(), opts.workers, true);
+    let outcome = match run_sweep(&def.spec(), &config) {
+        Ok(o) => o,
+        Err(e) => die(&e),
+    };
+    print!("{}", outcome.sweep.to_table());
+    println!(
+        "   sweep: {} shard(s) planned, {} executed, {} skipped in {:.1}s ({} worker(s))",
+        outcome.planned, outcome.executed, outcome.skipped, outcome.wall_secs, config.workers
+    );
+    let csv = sweep_dir.join(format!("{}.csv", def.name));
+    let manifest = sweep_dir.join(format!("{}.manifest.json", def.name));
+    fs::write(&csv, outcome.sweep.to_csv())
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", csv.display())));
+    fs::write(&manifest, &outcome.manifest)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", manifest.display())));
+    println!("   wrote {} and {}", csv.display(), manifest.display());
+}
+
 /// Regenerates every committed figure CSV and run manifest in memory
 /// and diffs them byte-for-byte against `results/`; exits nonzero on
 /// any drift or missing file. This is the golden-results gate CI runs.
 ///
-/// The regeneration always emits event streams (to `--events DIR`, or a
-/// scratch directory when none is given), and every stream is then run
-/// through [`eco_events::check_stream`], so the gate also covers the
-/// emitter's structural invariants, not just the CSV/manifest bytes.
-fn check(eopts: &EngineOpts) {
-    let scratch_events = eopts.events_dir.is_none();
-    let events_dir = eopts.events_dir.clone().unwrap_or_else(|| {
+/// The regeneration always emits event streams, and every stream is
+/// then run through [`eco_events::check_stream`], so the gate also
+/// covers the emitter's structural invariants, not just the
+/// CSV/manifest bytes. Serially that means one stream per figure (to
+/// `--events DIR`, or a scratch directory); with `--workers N` the
+/// figures regenerate through the sharded sweep path in scratch sweep
+/// directories, and the orchestrator stream plus every worker stream
+/// is validated instead.
+fn check(opts: &ReproOpts) {
+    if opts.sharded() {
+        return check_sharded(opts);
+    }
+    let scratch_events = opts.run.events_dir.is_none();
+    let events_dir = opts.run.events_dir.clone().unwrap_or_else(|| {
         std::env::temp_dir()
             .join(format!("eco-check-events-{}", std::process::id()))
             .to_string_lossy()
             .into_owned()
     });
-    let eopts = EngineOpts {
-        flags: eopts.flags.clone(),
-        trace_dir: eopts.trace_dir.clone(),
+    let run = RunOpts {
+        flags: opts.run.flags.clone(),
+        trace_dir: opts.run.trace_dir.clone(),
         events_dir: Some(events_dir.clone()),
-        json: eopts.json.clone(),
-        bench_out: None,
-        smoke_only: false,
     };
-    let outputs = [
-        ("fig4a", fig4(&MachineDesc::sgi_r10000(), "fig4a", &eopts)),
-        (
-            "fig4b",
-            fig4(&MachineDesc::ultrasparc_iie(), "fig4b", &eopts),
-        ),
-        ("fig5a", fig5(&MachineDesc::sgi_r10000(), "fig5a", &eopts)),
-        (
-            "fig5b",
-            fig5(&MachineDesc::ultrasparc_iie(), "fig5b", &eopts),
-        ),
-    ];
     println!("== check: regenerated outputs vs committed results/ ==");
     let mut drift = 0usize;
-    for (name, (sweep, manifest)) in outputs {
-        let files = [
-            (format!("results/{name}.csv"), sweep.to_csv()),
-            (format!("results/{name}.manifest.json"), manifest),
-        ];
-        for (path, fresh) in files {
-            match fs::read_to_string(&path) {
-                Ok(committed) if committed == fresh => println!("   OK      {path}"),
-                Ok(_) => {
-                    println!("   DRIFT   {path}");
-                    drift += 1;
-                }
-                Err(e) => {
-                    println!("   MISSING {path} ({e})");
-                    drift += 1;
-                }
+    for def in figures::FIGURES {
+        let (sweep, manifest) = figures::run(def, &run);
+        drift += diff_against_golden(def.name, &sweep, &manifest);
+    }
+    for def in figures::FIGURES {
+        let path = format!("{events_dir}/{}.events.jsonl", def.name);
+        drift += validate_stream(&path);
+    }
+    if scratch_events {
+        let _ = fs::remove_dir_all(&events_dir);
+    }
+    finish_check(drift);
+}
+
+/// The `--workers N` variant of [`check`]: every figure regenerates
+/// through the sharded sweep path in a scratch directory (cold store —
+/// resume must not leak into the gate) and must still reproduce the
+/// committed bytes.
+fn check_sharded(opts: &ReproOpts) {
+    let root = std::env::temp_dir().join(format!("eco-check-sweep-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    println!(
+        "== check: sharded regeneration ({} workers) vs committed results/ ==",
+        opts.workers.max(1)
+    );
+    let mut drift = 0usize;
+    for def in figures::FIGURES {
+        let sweep_dir = root.join(def.name);
+        let mut config = opts.sweep_config(sweep_dir.clone(), opts.workers, false);
+        config.store = sweep_dir.join("store");
+        match run_sweep(&def.spec(), &config) {
+            Ok(outcome) => {
+                drift += diff_against_golden(def.name, &outcome.sweep, &outcome.manifest);
+            }
+            Err(e) => {
+                println!("   FAILED  {} ({e})", def.name);
+                drift += 1;
+                continue;
             }
         }
+        drift += validate_stream(&sweep_dir.join("sweep.events.jsonl").to_string_lossy());
+        let events = sweep_dir.join("events");
+        let mut worker_streams = Vec::new();
+        if let Ok(entries) = fs::read_dir(&events) {
+            for entry in entries.flatten() {
+                worker_streams.push(entry.path());
+            }
+        }
+        worker_streams.sort();
+        if worker_streams.is_empty() {
+            println!("   MISSING {} (no worker event streams)", events.display());
+            drift += 1;
+        }
+        for path in worker_streams {
+            drift += validate_stream(&path.to_string_lossy());
+        }
     }
-    for name in ["fig4a", "fig4b", "fig5a", "fig5b"] {
-        let path = format!("{events_dir}/{name}.events.jsonl");
+    let _ = fs::remove_dir_all(&root);
+    finish_check(drift);
+}
+
+/// Diffs one figure's regenerated CSV and manifest against the
+/// committed `results/` files, printing one line per file; returns the
+/// number of drifting files.
+fn diff_against_golden(name: &str, sweep: &Sweep, manifest: &str) -> usize {
+    let mut drift = 0usize;
+    let files = [
+        (format!("results/{name}.csv"), sweep.to_csv()),
+        (
+            format!("results/{name}.manifest.json"),
+            manifest.to_string(),
+        ),
+    ];
+    for (path, fresh) in files {
         match fs::read_to_string(&path) {
-            Ok(text) => match eco_core::events::check_stream(&text) {
-                Ok(summary) => println!(
-                    "   OK      {path} ({} records, stream invariants hold)",
-                    summary.records
-                ),
-                Err(e) => {
-                    println!("   INVALID {path} ({e})");
-                    drift += 1;
-                }
-            },
+            Ok(committed) if committed == fresh => println!("   OK      {path}"),
+            Ok(_) => {
+                println!("   DRIFT   {path}");
+                drift += 1;
+            }
             Err(e) => {
                 println!("   MISSING {path} ({e})");
                 drift += 1;
             }
         }
     }
-    if scratch_events {
-        let _ = fs::remove_dir_all(&events_dir);
+    drift
+}
+
+/// Runs one event stream file through the emitter's invariant checker;
+/// returns 1 on failure.
+fn validate_stream(path: &str) -> usize {
+    match fs::read_to_string(path) {
+        Ok(text) => match eco_core::events::check_stream(&text) {
+            Ok(summary) => {
+                println!(
+                    "   OK      {path} ({} records, stream invariants hold)",
+                    summary.records
+                );
+                0
+            }
+            Err(e) => {
+                println!("   INVALID {path} ({e})");
+                1
+            }
+        },
+        Err(e) => {
+            println!("   MISSING {path} ({e})");
+            1
+        }
     }
+}
+
+fn finish_check(drift: usize) {
     if drift > 0 {
         eprintln!("repro check: {drift} file(s) drifted from the committed golden results");
         std::process::exit(1);
@@ -321,62 +584,9 @@ fn check(eopts: &EngineOpts) {
     println!("   all golden results reproduced byte-for-byte");
 }
 
-/// The search options ECO uses for the figures (also recorded in the
-/// run manifests, so keep this the single source of truth).
-fn eco_search_opts(search_n: i64) -> SearchOptions {
-    SearchOptions::builder()
-        .search_n(search_n)
-        .max_variants(2)
-        // tune on a conflict-prone (power-of-two) size too (see
-        // SearchOptions docs)
-        .robustness_sizes(vec![(search_n as u64).next_power_of_two() as i64])
-        // statically certify every candidate, also in release builds:
-        // the golden manifests record the flag, and CI's golden-results
-        // job doubles as the "certification never rejects a real
-        // search point" check
-        .certify(true)
-        .build()
-        .unwrap_or_else(|e| panic!("search options: {e}"))
-}
-
-/// ECO, tuned once per machine and reused across sizes (the paper: "our
-/// implementation selected variant v2 with UI=UJ=4, TI=16, TJ=512,
-/// TK=128 for all array sizes"). The search runs against the shared
-/// `engine`, so revisited points are memo hits.
-fn tune_eco(kernel: &Kernel, engine: &Engine, search_n: i64) -> Tuned {
-    let mut opt = Optimizer::new(engine.machine().clone());
-    opt.opts = eco_search_opts(search_n);
-    opt.run_with(kernel, engine)
-        .unwrap_or_else(|e| panic!("ECO tuning failed: {e}"))
-}
-
-/// The figure's run manifest: built right after tuning, while the
-/// engine stats still describe the search alone (deterministic at any
-/// thread count because batching is).
-fn figure_manifest(
-    kernel: &Kernel,
-    engine: &Engine,
-    eopts: &EngineOpts,
-    search_n: i64,
-    tuned: &Tuned,
-) -> String {
-    let report = TuneResponse {
-        tuned: tuned.clone(),
-        engine: engine.stats(),
-    };
-    run_manifest(
-        &kernel.name,
-        engine.machine(),
-        &eco_search_opts(search_n),
-        &eopts.manifest_config(),
-        &report,
-    )
-    .render()
-}
-
 // ---------------------------------------------------------------- T1
 
-fn table1(eopts: &EngineOpts) {
+fn table1(run: &RunOpts) {
     println!("== Table 1: performance variation with optimization parameters ==");
     println!("   (1/32-scale SGI R10000 model; MM at N=200, Jacobi at N=48;");
     println!("    tile sizes scaled with the caches, see DESIGN.md)");
@@ -385,7 +595,7 @@ fn table1(eopts: &EngineOpts) {
         "ver", "TI", "TJ", "TK", "Pref", "Loads", "L1 misses", "L2 misses", "TLB misses", "Cycles"
     );
     let machine = MachineDesc::sgi_r10000().scaled(FIGURE_SCALE);
-    let engine = eopts.engine(&machine, "table1");
+    let engine = run.engine(&machine, "table1");
     let mm = Kernel::matmul();
     let rows: [(u64, u64, u64, bool); 5] = [
         (1, 4, 32, false),  // mm1: L1-focused, lowest L1 misses
@@ -479,90 +689,18 @@ fn table4() {
     println!();
 }
 
-// ---------------------------------------------------------------- F4
-
-fn fig4(machine_full: &MachineDesc, label: &str, eopts: &EngineOpts) -> (Sweep, String) {
-    println!(
-        "== Figure 4 ({label}): Matrix Multiply MFLOPS vs size on {} ==",
-        machine_full.name
-    );
-    let machine = machine_full.scaled(FIGURE_SCALE);
-    let engine = eopts.engine(&machine, label);
-    let kernel = Kernel::matmul();
-    let sizes = mm_figure_sizes();
-
-    let eco = tune_eco(&kernel, &engine, 120);
-    let manifest = figure_manifest(&kernel, &engine, eopts, 120, &eco);
-    println!(
-        "   ECO picked {} with {:?}, prefetches {:?} ({} search points)",
-        eco.variant.name, eco.params, eco.prefetches, eco.stats.points
-    );
-    let nat = native(&kernel, &machine).expect("native");
-    let atlas = atlas_mm_with(&engine, 96).expect("atlas");
-    println!(
-        "   ATLAS-like picked NB={} {}x{} ({} search points)",
-        atlas.nb, atlas.mu_nu.0, atlas.mu_nu.1, atlas.points
-    );
-    let vendor = vendor_mm_with(&engine, 120).expect("vendor");
-
-    let eco_f = |_n: i64| eco.program.clone();
-    let nat_f = |n: i64| nat.for_size(n).clone();
-    let atlas_f = |n: i64| atlas.program.for_size(n).clone();
-    let vendor_f = |n: i64| vendor.for_size(n).clone();
-    let series: [(&str, &dyn Fn(i64) -> Program); 4] = [
-        ("ECO", &eco_f),
-        ("Native", &nat_f),
-        ("ATLAS", &atlas_f),
-        ("Vendor", &vendor_f),
-    ];
-    let sweep = mflops_sweep(&engine, &kernel, &sizes, &series);
-    print!("{}", sweep.to_table());
-    print_engine_stats(&engine);
-    println!();
-    (sweep, manifest)
-}
-
-// ---------------------------------------------------------------- F5
-
-fn fig5(machine_full: &MachineDesc, label: &str, eopts: &EngineOpts) -> (Sweep, String) {
-    println!(
-        "== Figure 5 ({label}): Jacobi MFLOPS vs size on {} ==",
-        machine_full.name
-    );
-    let machine = machine_full.scaled(FIGURE_SCALE);
-    let engine = eopts.engine(&machine, label);
-    let kernel = Kernel::jacobi3d();
-    let sizes = jacobi_figure_sizes();
-
-    let eco = tune_eco(&kernel, &engine, 40);
-    let manifest = figure_manifest(&kernel, &engine, eopts, 40, &eco);
-    println!(
-        "   ECO picked {} with {:?}, prefetches {:?} ({} search points)",
-        eco.variant.name, eco.params, eco.prefetches, eco.stats.points
-    );
-    let nat = native(&kernel, &machine).expect("native");
-    let eco_f = |_n: i64| eco.program.clone();
-    let nat_f = |n: i64| nat.for_size(n).clone();
-    let series: [(&str, &dyn Fn(i64) -> Program); 2] = [("ECO", &eco_f), ("Native", &nat_f)];
-    let sweep = mflops_sweep(&engine, &kernel, &sizes, &series);
-    print!("{}", sweep.to_table());
-    print_engine_stats(&engine);
-    println!();
-    (sweep, manifest)
-}
-
 // ---------------------------------------------------------------- §4.3
 
-fn searchcost(eopts: &EngineOpts) {
+fn searchcost(run: &RunOpts) {
     println!("== §4.3: cost of search (points executed) ==");
     for (machine_full, tag) in [
         (MachineDesc::sgi_r10000(), "searchcost-sgi"),
         (MachineDesc::ultrasparc_iie(), "searchcost-sun"),
     ] {
         let machine = machine_full.scaled(FIGURE_SCALE);
-        let engine = eopts.engine(&machine, tag);
-        let mm = tune_eco(&Kernel::matmul(), &engine, 96);
-        let jc = tune_eco(&Kernel::jacobi3d(), &engine, 36);
+        let engine = run.engine(&machine, tag);
+        let mm = figures::tune_eco(&Kernel::matmul(), &engine, 96);
+        let jc = figures::tune_eco(&Kernel::jacobi3d(), &engine, 36);
         let atlas = atlas_mm_with(&engine, 96).expect("atlas");
         println!("{}:", machine_full.name);
         println!(
@@ -575,19 +713,19 @@ fn searchcost(eopts: &EngineOpts) {
             atlas.points,
             atlas.points as f64 / mm.stats.points as f64
         );
-        print_engine_stats(&engine);
+        figures::print_engine_stats(&engine);
     }
     println!();
 }
 
 // ---------------------------------------------------------------- ablations
 
-fn modelvsearch(eopts: &EngineOpts) {
+fn modelvsearch(run: &RunOpts) {
     println!("== Ablation: model-only parameters vs guided empirical search ==");
     let machine = MachineDesc::sgi_r10000().scaled(FIGURE_SCALE);
-    let engine = eopts.engine(&machine, "modelvsearch");
+    let engine = run.engine(&machine, "modelvsearch");
     let kernel = Kernel::matmul();
-    let eco = tune_eco(&kernel, &engine, 120);
+    let eco = figures::tune_eco(&kernel, &engine, 120);
     let model = model_only(&kernel, &machine).expect("model");
     let sizes = [64, 128, 192, 256];
     println!("{:>6} {:>12} {:>12}", "N", "model-only", "ECO search");
@@ -601,10 +739,10 @@ fn modelvsearch(eopts: &EngineOpts) {
     println!();
 }
 
-fn prefetch_ablation(eopts: &EngineOpts) {
+fn prefetch_ablation(run: &RunOpts) {
     println!("== Ablation: prefetch on/off and distance sensitivity ==");
     let machine = MachineDesc::sgi_r10000().scaled(FIGURE_SCALE);
-    let engine = eopts.engine(&machine, "prefetch");
+    let engine = run.engine(&machine, "prefetch");
     let jac = Kernel::jacobi3d();
     println!("Jacobi N=48 (1/32-scale SGI), j3/j4-style (TJ=4, TK=4):");
     let base = jacobi_table_row(1, 4, 4, false);
@@ -632,11 +770,11 @@ fn prefetch_ablation(eopts: &EngineOpts) {
     println!();
 }
 
-fn copy_ablation(eopts: &EngineOpts) {
+fn copy_ablation(run: &RunOpts) {
     println!("== Ablation: copy optimization at pathological sizes ==");
     println!("   (scaled SGI; power-of-two N puts columns in the same sets)");
     let machine = MachineDesc::sgi_r10000().scaled(FIGURE_SCALE);
-    let engine = eopts.engine(&machine, "copyablation");
+    let engine = run.engine(&machine, "copyablation");
     let kernel = Kernel::matmul();
     println!("{:>6} {:>12} {:>12}", "N", "no copy", "copy");
     for n in [96, 128, 160, 256] {
@@ -651,13 +789,13 @@ fn copy_ablation(eopts: &EngineOpts) {
     println!();
 }
 
-fn padding_ablation(eopts: &EngineOpts) {
+fn padding_ablation(run: &RunOpts) {
     use eco_transform::pad_all_arrays;
     println!("== Ablation: array padding stabilizes Jacobi (§4.2) ==");
     println!("   (the paper: \"manual experiments show that array padding");
     println!("    can be used to stabilize this behavior\")");
     let machine = MachineDesc::sgi_r10000().scaled(FIGURE_SCALE);
-    let engine = eopts.engine(&machine, "padding");
+    let engine = run.engine(&machine, "padding");
     let kernel = Kernel::jacobi3d();
     let base = jacobi_table_row(1, 4, 4, true);
     let padded = pad_all_arrays(&base, 3).expect("pad");
@@ -672,11 +810,11 @@ fn padding_ablation(eopts: &EngineOpts) {
     println!();
 }
 
-fn strategies_ablation(eopts: &EngineOpts) {
+fn strategies_ablation(run: &RunOpts) {
     use eco_core::SearchStrategy;
     println!("== Ablation: guided search vs heuristic alternatives ==");
     let machine = MachineDesc::sgi_r10000().scaled(FIGURE_SCALE);
-    let engine = eopts.engine(&machine, "strategies");
+    let engine = run.engine(&machine, "strategies");
     let kernel = Kernel::matmul();
     let eval_n = 96i64;
     println!(
@@ -710,7 +848,7 @@ fn strategies_ablation(eopts: &EngineOpts) {
             mflops_at_with(&engine, &tuned.program, &kernel, eval_n)
         );
     }
-    print_engine_stats(&engine);
+    figures::print_engine_stats(&engine);
     println!();
 }
 
@@ -775,21 +913,21 @@ impl SmokeResult {
     }
 }
 
-fn smoke(eopts: &EngineOpts) {
-    let result = run_smoke(eopts);
-    if let Some(path) = &eopts.json {
+fn smoke(opts: &ReproOpts) {
+    let result = run_smoke(&opts.run);
+    if let Some(path) = &opts.json {
         fs::write(path, result.to_json().render())
             .unwrap_or_else(|e| panic!("cannot write smoke json {path}: {e}"));
     }
     println!();
 }
 
-fn run_smoke(eopts: &EngineOpts) -> SmokeResult {
+fn run_smoke(run: &RunOpts) -> SmokeResult {
     use eco_exec::{EvalJob, Params};
     use std::time::Instant;
     println!("== smoke: evaluation throughput ==");
     let machine = MachineDesc::sgi_r10000().scaled(FIGURE_SCALE);
-    let engine = eopts.engine(&machine, "smoke");
+    let engine = run.engine(&machine, "smoke");
     let mm = Kernel::matmul();
     let jac = Kernel::jacobi3d();
     let mut jobs = Vec::new();
@@ -844,24 +982,21 @@ fn run_smoke(eopts: &EngineOpts) -> SmokeResult {
 
 /// `repro bench`: one benchmark-trajectory measurement — smoke
 /// throughput plus, unless `--smoke-only`, wall time / points/sec /
-/// manifest fingerprint for each reproduced figure. The JSON goes to
-/// `--bench-out FILE` (and stdout otherwise); compare two of these
-/// files with `eco report --compare OLD NEW`.
-fn bench(eopts: &EngineOpts) {
+/// manifest fingerprint for each reproduced figure; with `--sweep FIG`
+/// also the sweep wall time of that figure at `--workers 1` vs N
+/// (default 4), run in scratch directories with cold stores. The JSON
+/// goes to `--bench-out FILE` (and stdout otherwise); compare two of
+/// these files with `eco report --compare OLD NEW`.
+fn bench(opts: &ReproOpts) {
     use std::hash::Hasher;
     use std::time::Instant;
     println!("== bench: benchmark trajectory ==");
-    let smoke = run_smoke(eopts);
-    let mut figures = Json::obj();
-    if !eopts.smoke_only {
-        for name in ["fig4a", "fig4b", "fig5a", "fig5b"] {
+    let smoke = run_smoke(&opts.run);
+    let mut figures_json = Json::obj();
+    if !opts.smoke_only {
+        for def in figures::FIGURES {
             let started = Instant::now();
-            let (_, manifest) = match name {
-                "fig4a" => fig4(&MachineDesc::sgi_r10000(), name, eopts),
-                "fig4b" => fig4(&MachineDesc::ultrasparc_iie(), name, eopts),
-                "fig5a" => fig5(&MachineDesc::sgi_r10000(), name, eopts),
-                _ => fig5(&MachineDesc::ultrasparc_iie(), name, eopts),
-            };
+            let (_, manifest) = figures::run(def, &opts.run);
             let wall = started.elapsed().as_secs_f64();
             let points = Json::parse(&manifest)
                 .ok()
@@ -872,8 +1007,8 @@ fn bench(eopts: &EngineOpts) {
                 .unwrap_or(0);
             let mut h = eco_core::events::Fnv64::new();
             h.write(manifest.as_bytes());
-            figures = figures.field(
-                name,
+            figures_json = figures_json.field(
+                def.name,
                 Json::obj()
                     .field("wall_secs", Json::Float(wall))
                     .field("points", Json::UInt(points))
@@ -885,6 +1020,7 @@ fn bench(eopts: &EngineOpts) {
             );
         }
     }
+    let sweep_section = opts.sweep_fig.as_ref().map(|name| bench_sweep(name, opts));
     let mut doc = Json::obj()
         .field("bench_version", Json::UInt(1))
         .field("generator", Json::str("repro bench"))
@@ -893,10 +1029,13 @@ fn bench(eopts: &EngineOpts) {
             Json::str(&MachineDesc::sgi_r10000().scaled(FIGURE_SCALE).name),
         )
         .field("smoke", smoke.to_json());
-    if !eopts.smoke_only {
-        doc = doc.field("figures", figures);
+    if !opts.smoke_only {
+        doc = doc.field("figures", figures_json);
     }
-    match &eopts.bench_out {
+    if let Some(section) = sweep_section {
+        doc = doc.field("sweep", section);
+    }
+    match &opts.bench_out {
         Some(path) => {
             fs::write(path, doc.render())
                 .unwrap_or_else(|e| panic!("cannot write trajectory {path}: {e}"));
@@ -906,13 +1045,46 @@ fn bench(eopts: &EngineOpts) {
     }
 }
 
-fn model_rank(eopts: &EngineOpts) {
+/// The `--sweep FIG` section of the trajectory: wall time of a cold
+/// sharded sweep at one worker vs several, in scratch directories.
+fn bench_sweep(name: &str, opts: &ReproOpts) -> Json {
+    let def = figures::figure(name)
+        .unwrap_or_else(|| die(&format!("bench: unknown --sweep figure {name}")));
+    let workers = if opts.workers > 1 { opts.workers } else { 4 };
+    let root = std::env::temp_dir().join(format!("eco-bench-sweep-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let mut walls = [0.0f64; 2];
+    for (slot, w) in [1usize, workers].into_iter().enumerate() {
+        let sweep_dir = root.join(format!("{name}-w{w}"));
+        let mut config = opts.sweep_config(sweep_dir.clone(), w, false);
+        config.store = sweep_dir.join("store");
+        config.remote = None;
+        let outcome = match run_sweep(&def.spec(), &config) {
+            Ok(o) => o,
+            Err(e) => die(&e),
+        };
+        walls[slot] = outcome.wall_secs;
+        println!(
+            "   sweep {name} workers={w}: {} shard(s) in {:.1}s",
+            outcome.planned, outcome.wall_secs
+        );
+    }
+    let _ = fs::remove_dir_all(&root);
+    Json::obj()
+        .field("figure", Json::str(name))
+        .field("workers", Json::UInt(workers as u64))
+        .field("serial_secs", Json::Float(walls[0]))
+        .field("sharded_secs", Json::Float(walls[1]))
+        .field("speedup", Json::Float(walls[0] / walls[1].max(1e-9)))
+}
+
+fn model_rank(run: &RunOpts) {
     use eco_core::{generate, model};
     use eco_exec::{EvalJob, Params};
     println!("== Analysis: static cost model vs measurement (variant ranking) ==");
     println!("   (the paper: the space is \"difficult to model analytically\")");
     let machine = MachineDesc::sgi_r10000().scaled(FIGURE_SCALE);
-    let engine = eopts.engine(&machine, "modelrank");
+    let engine = run.engine(&machine, "modelrank");
     let kernel = Kernel::matmul();
     let nest = NestInfo::from_program(&kernel.program).expect("analyzable");
     let variants = derive_variants(&nest, &machine, &kernel.program);

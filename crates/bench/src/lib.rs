@@ -5,7 +5,9 @@
 //! the experiment index and EXPERIMENTS.md for recorded results.
 
 pub mod cli;
+pub mod figures;
 pub mod serve;
+pub mod sweep;
 
 use eco_exec::{measure, Counters, EvalJob, Evaluator, LayoutOptions, Params};
 use eco_ir::{AffineExpr, Program};

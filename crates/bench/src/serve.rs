@@ -12,6 +12,7 @@
 //! ```text
 //! {"op":"ping"}
 //! {"op":"tune","request":{...TuneRequest::to_json()...}}
+//! {"op":"shard","shard":{...Shard::to_json()...}}
 //! {"op":"stats"}          serve counters + per-engine work totals
 //! {"op":"store-stats"}    persistent result-store counters
 //! {"op":"shutdown"}
@@ -29,6 +30,15 @@
 //! once and both receive the same response bytes; the `stats` op
 //! reports how often that happened (`deduped_requests`).
 //!
+//! The `shard` op is the remote half of the sharded sweep pipeline
+//! (`crate::sweep`): the payload is one serialized
+//! [`Shard`] manifest, executed on a *fresh* engine
+//! built from the server's template (never the shared per-machine
+//! engine — shard results must be byte-identical to a local worker's,
+//! and that requires cold engine stats). Identical in-flight shards
+//! are deduped like tunes. The response embeds the shard's result
+//! document; the orchestrator records completion in its own store.
+//!
 //! The per-engine telemetry flags of a request's `engine` section
 //! (trace/events paths, thread count) are ignored — engines are
 //! configured by the server, requests only say *what* to tune. Pass
@@ -36,7 +46,9 @@
 //! (`serve_request`/`serve_done` events) instead.
 
 use eco_core::events::{names, Attrs, EventStream, Json};
-use eco_core::{machine_fingerprint, run_manifest, Engine, EngineConfig, Evaluator, TuneRequest};
+use eco_core::{
+    machine_fingerprint, run_manifest, Engine, EngineConfig, Evaluator, Shard, TuneRequest,
+};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -70,8 +82,10 @@ pub struct ServeStats {
     pub requests: u64,
     /// `tune` requests that ran a search.
     pub tunes: u64,
-    /// `tune` requests served by waiting on an identical in-flight
-    /// request instead of running their own search.
+    /// `shard` requests executed for sweep orchestrators.
+    pub shards: u64,
+    /// `tune`/`shard` requests served by waiting on an identical
+    /// in-flight request instead of running their own work.
     pub deduped_requests: u64,
     /// Requests answered with `"ok": false`.
     pub errors: u64,
@@ -293,6 +307,7 @@ fn dispatch(inner: &ServerInner, doc: &Json, op: &str, socket: &Path) -> Result<
             .field("protocol_version", Json::UInt(PROTOCOL_VERSION))
             .field("api_version", Json::UInt(eco_core::API_VERSION))),
         "tune" => handle_tune(inner, doc),
+        "shard" => handle_shard(inner, doc),
         "stats" => Ok(stats_response(inner)),
         "store-stats" => Ok(store_stats_response(inner)),
         "shutdown" => {
@@ -322,38 +337,34 @@ fn engine_for(inner: &ServerInner, request: &TuneRequest) -> Result<Arc<Engine>,
     Ok(engine)
 }
 
-fn handle_tune(inner: &ServerInner, doc: &Json) -> Result<Json, String> {
-    let request =
-        TuneRequest::from_json(doc.get("request").ok_or("tune: missing field 'request'")?)?;
-    let fp = request.fingerprint();
-
-    // Whole-request dedupe: the first thread in owns the search, later
-    // identical requests wait and reuse its response bytes.
+/// Whole-request dedupe shared by `tune` and `shard`: the first thread
+/// in under `key` owns the work, later identical requests wait and
+/// reuse its response bytes. Returns the outcome and whether this call
+/// was a deduped follower. The cell is filled on every path (also
+/// errors), then the key is retired so later identical requests run
+/// fresh.
+fn with_inflight(
+    inner: &ServerInner,
+    key: u64,
+    run: impl FnOnce() -> Result<Json, String>,
+) -> (Result<Json, String>, bool) {
     let (cell, owner) = {
         let mut inflight = inner.inflight.lock().expect("inflight lock");
-        match inflight.get(&fp) {
+        match inflight.get(&key) {
             Some(cell) => (Arc::clone(cell), false),
             None => {
                 let cell = Arc::new(InflightRequest::new());
-                inflight.insert(fp, Arc::clone(&cell));
+                inflight.insert(key, Arc::clone(&cell));
                 (cell, true)
             }
         }
     };
     if !owner {
-        {
-            let mut stats = inner.stats.lock().expect("stats lock");
-            stats.tunes += 1;
-            stats.deduped_requests += 1;
-        }
         let line = cell.wait();
-        return Json::parse(&line).map_err(|e| format!("inflight response corrupt: {e}"));
+        let parsed = Json::parse(&line).map_err(|e| format!("inflight response corrupt: {e}"));
+        return (parsed, true);
     }
-    inner.stats.lock().expect("stats lock").tunes += 1;
-
-    let outcome = run_tune(inner, &request, fp);
-    // Fill the cell on every path (also errors), then retire the key so
-    // later identical requests run fresh.
+    let outcome = run();
     let line = match &outcome {
         Ok(doc) => doc.render_compact(),
         Err(msg) => Json::obj()
@@ -362,7 +373,46 @@ fn handle_tune(inner: &ServerInner, doc: &Json) -> Result<Json, String> {
             .render_compact(),
     };
     cell.fill(line);
-    inner.inflight.lock().expect("inflight lock").remove(&fp);
+    inner.inflight.lock().expect("inflight lock").remove(&key);
+    (outcome, false)
+}
+
+fn handle_tune(inner: &ServerInner, doc: &Json) -> Result<Json, String> {
+    let request =
+        TuneRequest::from_json(doc.get("request").ok_or("tune: missing field 'request'")?)?;
+    let fp = request.fingerprint();
+    let (outcome, deduped) = with_inflight(inner, fp, || run_tune(inner, &request, fp));
+    let mut stats = inner.stats.lock().expect("stats lock");
+    stats.tunes += 1;
+    if deduped {
+        stats.deduped_requests += 1;
+    }
+    drop(stats);
+    outcome
+}
+
+/// Salt mixed into shard fingerprints before they enter the in-flight
+/// map shared with tunes, so a shard and a tune whose fingerprints
+/// happen to be numerically equal never alias.
+const SHARD_INFLIGHT_SALT: u64 = 0x7368_6172_645f_6f70; // "shard_op"
+
+fn handle_shard(inner: &ServerInner, doc: &Json) -> Result<Json, String> {
+    let shard = Shard::from_json(doc.get("shard").ok_or("shard: missing field 'shard'")?)?;
+    let fp = shard.fingerprint();
+    let (outcome, deduped) = with_inflight(inner, fp ^ SHARD_INFLIGHT_SALT, || {
+        crate::sweep::execute_shard(&shard, inner.template.clone()).map(|result| {
+            Json::obj()
+                .field("ok", Json::Bool(true))
+                .field("fingerprint", Json::fingerprint(fp))
+                .field("result", result)
+        })
+    });
+    let mut stats = inner.stats.lock().expect("stats lock");
+    stats.shards += 1;
+    if deduped {
+        stats.deduped_requests += 1;
+    }
+    drop(stats);
     outcome
 }
 
@@ -418,6 +468,7 @@ fn stats_response(inner: &ServerInner) -> Json {
         .field("ok", Json::Bool(true))
         .field("requests", Json::UInt(serve.requests))
         .field("tunes", Json::UInt(serve.tunes))
+        .field("shards", Json::UInt(serve.shards))
         .field("deduped_requests", Json::UInt(serve.deduped_requests))
         .field("errors", Json::UInt(serve.errors))
         .field("engines", per_engine)

@@ -11,8 +11,8 @@
 //!
 //! [`TuneResponse`] pairs the tuning result with the engine's work
 //! totals. The pre-service-layer names (`OptimizeRequest`,
-//! `OptimizeReport`, `Optimizer::run`) remain as deprecated shims for
-//! one release; DESIGN.md §"Service layer" documents the mapping.
+//! `OptimizeReport`, `Optimizer::run`) are gone; DESIGN.md §"Service
+//! layer" documents the request/response API.
 //!
 //! # Examples
 //!

@@ -53,6 +53,7 @@ mod lint;
 pub mod manifest;
 pub mod model;
 mod search;
+pub mod sweep;
 mod variant;
 
 pub use api::{machine_from_json, machine_to_json, TuneRequest, TuneResponse, API_VERSION};
@@ -63,8 +64,7 @@ pub use search::{
     stages, strategy_name, LineageStep, Optimizer, SearchOptions, SearchOptionsBuilder,
     SearchStats, SearchStrategy, Tuned,
 };
-#[allow(deprecated)]
-pub use search::{OptimizeReport, OptimizeRequest};
+pub use sweep::{FamilySpec, Shard, ShardKind, SweepPlan, SweepSpec, PLAN_VERSION};
 pub use variant::{
     derive_variants, describe_variant, Constraint, CopyPlan, LevelPlan, ParamValues, Variant,
 };

@@ -30,7 +30,7 @@ use crate::variant::{derive_variants, ParamValues, Variant};
 use crate::EcoError;
 use eco_analysis::NestInfo;
 use eco_exec::events::{Attrs, Json, Scope, SpanId};
-use eco_exec::{Counters, Engine, EngineConfig, EvalJob, Evaluator, Params};
+use eco_exec::{Counters, EvalJob, Evaluator, Params};
 use eco_ir::{ArrayId, Program};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
@@ -442,59 +442,6 @@ pub struct Tuned {
     pub stats: SearchStats,
 }
 
-/// The pre-service-layer request shape: a kernel plus an engine
-/// configuration, with the machine and options supplied separately by
-/// the [`Optimizer`]. Superseded by [`TuneRequest`](crate::TuneRequest),
-/// which carries all four and serializes; this shim remains for one
-/// release.
-#[deprecated(
-    since = "0.2.0",
-    note = "use TuneRequest, which also carries the machine and \
-     search options and serializes for the service layer"
-)]
-#[derive(Debug, Clone)]
-pub struct OptimizeRequest {
-    /// The kernel to tune.
-    pub kernel: Kernel,
-    /// Engine configuration for this run.
-    pub engine: EngineConfig,
-}
-
-#[allow(deprecated)]
-impl OptimizeRequest {
-    /// A request with the default engine configuration.
-    pub fn new(kernel: Kernel) -> Self {
-        OptimizeRequest {
-            kernel,
-            engine: EngineConfig::new(),
-        }
-    }
-
-    /// Sets the engine configuration (builder style).
-    #[must_use]
-    pub fn engine(mut self, engine: EngineConfig) -> Self {
-        self.engine = engine;
-        self
-    }
-
-    /// Views this request as a [`TuneRequest`](crate::TuneRequest) for
-    /// `machine` with `opts` — the upgrade path off this shim.
-    pub fn into_tune_request(
-        self,
-        machine: MachineDesc,
-        opts: SearchOptions,
-    ) -> crate::TuneRequest {
-        crate::TuneRequest::new(self.kernel, machine)
-            .options(opts)
-            .engine(self.engine)
-    }
-}
-
-/// The old name of [`TuneResponse`](crate::TuneResponse); same fields,
-/// kept for one release.
-#[deprecated(since = "0.2.0", note = "renamed to TuneResponse")]
-pub type OptimizeReport = crate::TuneResponse;
-
 /// The ECO optimizer: Phase 1 variant derivation plus Phase 2
 /// model-guided empirical search.
 #[derive(Debug, Clone)]
@@ -723,30 +670,6 @@ impl Optimizer {
     /// The machine this optimizer targets.
     pub fn machine(&self) -> &MachineDesc {
         &self.machine
-    }
-
-    /// Runs the full two-phase optimization, constructing an [`Engine`]
-    /// from the request's configuration, and reports the engine totals
-    /// alongside the tuning result.
-    ///
-    /// # Errors
-    ///
-    /// Fails on invalid options, an unopenable trace file or result
-    /// store, an unanalyzable kernel, or when no variant could be
-    /// generated and measured.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use TuneRequest::run, which carries machine and \
-         options itself instead of reading them off the optimizer"
-    )]
-    #[allow(deprecated)]
-    pub fn run(&self, request: OptimizeRequest) -> Result<OptimizeReport, EcoError> {
-        let engine = Engine::with_config(self.machine.clone(), request.engine)?;
-        let tuned = self.run_with(&request.kernel, &engine)?;
-        Ok(crate::TuneResponse {
-            tuned,
-            engine: engine.stats(),
-        })
     }
 
     /// Runs the full two-phase optimization against a caller-supplied

@@ -1,0 +1,413 @@
+//! Sweep planning: turning one figure request into an ordered list of
+//! self-contained, fingerprinted [`Shard`]s.
+//!
+//! The paper's figures are sweeps over problem sizes — embarrassingly
+//! parallel once the tuned programs exist. This module is the *plan*
+//! layer of the plan/execute/gather pipeline (DESIGN.md §"Sharded
+//! sweeps"): a [`SweepSpec`] describes what a figure measures (kernel,
+//! machine, series families, sizes) and [`SweepPlan::plan`] splits it
+//! along (variant-family × size-chunk) boundaries into [`Shard`]s.
+//! Execution and gathering live in `eco-bench`; this crate only defines
+//! the deterministic plan so that every consumer — the local worker
+//! pool, the `eco serve` remote mode, and the resume check — agrees on
+//! shard identity.
+//!
+//! Like [`TuneRequest`](crate::TuneRequest), a shard serializes through
+//! the order-preserving [`Json`] builder: [`Shard::to_json`] /
+//! [`Shard::from_json`] round-trip byte-identically, and
+//! [`Shard::fingerprint`] hashes the rendering. The fingerprint is the
+//! shard's identity everywhere: the completion records a resumed sweep
+//! skips by, the in-flight dedupe key of the serve-backed remote mode,
+//! and the file stem of per-shard manifests and logs. Two plans built
+//! from equal specs produce equal shards with equal fingerprints, in
+//! the same order.
+
+use crate::api::{machine_from_json, machine_to_json};
+use eco_exec::events::{Fnv64, Json};
+use eco_kernels::Kernel;
+use eco_machine::MachineDesc;
+use std::hash::Hasher as _;
+
+/// Version stamped into every serialized [`Shard`] and [`SweepPlan`];
+/// bump on any field or rendering change so drift is self-describing.
+pub const PLAN_VERSION: u64 = 1;
+
+/// One series family of a figure sweep: a named curve, and whether
+/// producing it requires a tuning search (`tuned`) or only measurement
+/// of a size-parameterized baseline program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilySpec {
+    /// Series name as it appears in the figure CSV header ("ECO",
+    /// "Native", "ATLAS", "Vendor").
+    pub name: String,
+    /// Whether this family runs a search before it can be measured.
+    /// Tuned families get a dedicated tune shard ahead of their
+    /// measure shards.
+    pub tuned: bool,
+}
+
+impl FamilySpec {
+    /// A family spec (builder convenience).
+    pub fn new(name: &str, tuned: bool) -> FamilySpec {
+        FamilySpec {
+            name: name.to_string(),
+            tuned,
+        }
+    }
+}
+
+/// Everything one figure sweep measures, in one value: the input to
+/// [`SweepPlan::plan`] and the context gather-side consumers read back
+/// out (series order, clock rate).
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Figure label ("fig4a", …) — names the output files.
+    pub figure: String,
+    /// The kernel the figure sweeps.
+    pub kernel: Kernel,
+    /// The (already scaled) machine the figure targets.
+    pub machine: MachineDesc,
+    /// Tuning size for the figure's ECO search.
+    pub search_n: i64,
+    /// Series families in figure column order.
+    pub families: Vec<FamilySpec>,
+    /// Problem sizes in sweep order.
+    pub sizes: Vec<i64>,
+}
+
+/// What a shard does: run a family's search, or measure a family's
+/// programs at a chunk of sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardKind {
+    /// Run the family's tuning/search pass (populates the shared result
+    /// store and, for the ECO family, produces the figure manifest).
+    Tune,
+    /// Measure the family's program at each of the shard's sizes.
+    Measure,
+}
+
+impl ShardKind {
+    /// The wire name ("tune" / "measure").
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardKind::Tune => "tune",
+            ShardKind::Measure => "measure",
+        }
+    }
+
+    /// Parses a wire name back into a kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown kind.
+    pub fn parse(text: &str) -> Result<ShardKind, String> {
+        match text {
+            "tune" => Ok(ShardKind::Tune),
+            "measure" => Ok(ShardKind::Measure),
+            other => Err(format!("shard: unknown kind '{other}'")),
+        }
+    }
+}
+
+/// One self-contained unit of sweep work: everything a worker process
+/// needs to execute it, with no reference back to the plan.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// Figure label this shard contributes to.
+    pub figure: String,
+    /// The kernel (serialized by name, like [`TuneRequest`](crate::TuneRequest)).
+    pub kernel: Kernel,
+    /// The (already scaled) target machine.
+    pub machine: MachineDesc,
+    /// The figure's ECO tuning size (family-specific search budgets are
+    /// resolved by the executor from the family name).
+    pub search_n: i64,
+    /// Which series family this shard belongs to.
+    pub family: String,
+    /// Tune or measure.
+    pub kind: ShardKind,
+    /// Sizes to measure (empty for tune shards).
+    pub sizes: Vec<i64>,
+}
+
+impl Shard {
+    /// Renders the shard through the order-preserving [`Json`] builder.
+    /// Equal shards render byte-identical documents; the rendering is
+    /// the input to [`Shard::fingerprint`].
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("plan_version", Json::UInt(PLAN_VERSION))
+            .field("figure", Json::str(&self.figure))
+            .field("kernel", Json::str(&self.kernel.name))
+            .field("machine", machine_to_json(&self.machine))
+            .field("search_n", Json::Int(self.search_n))
+            .field("family", Json::str(&self.family))
+            .field("kind", Json::str(self.kind.as_str()))
+            .field(
+                "sizes",
+                Json::Arr(self.sizes.iter().map(|&n| Json::Int(n)).collect()),
+            )
+    }
+
+    /// Parses a shard rendered by [`Shard::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or ill-typed field, an
+    /// unknown kernel name, or an unsupported `plan_version`.
+    pub fn from_json(doc: &Json) -> Result<Shard, String> {
+        let version = doc
+            .get("plan_version")
+            .and_then(Json::as_u64)
+            .ok_or("shard: missing field 'plan_version'")?;
+        if version != PLAN_VERSION {
+            return Err(format!(
+                "shard: plan_version {version} not supported (this build speaks {PLAN_VERSION})"
+            ));
+        }
+        let text = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("shard: field '{name}' must be a string"))
+        };
+        let name = text("kernel")?;
+        let kernel = Kernel::all()
+            .into_iter()
+            .find(|k| k.name == name)
+            .ok_or_else(|| {
+                let known: Vec<String> = Kernel::all().into_iter().map(|k| k.name).collect();
+                format!(
+                    "shard: unknown kernel '{name}' (known: {})",
+                    known.join(", ")
+                )
+            })?;
+        let machine =
+            machine_from_json(doc.get("machine").ok_or("shard: missing field 'machine'")?)?;
+        let search_n = doc
+            .get("search_n")
+            .and_then(Json::as_i64)
+            .ok_or("shard: field 'search_n' must be an integer")?;
+        let kind = ShardKind::parse(&text("kind")?)?;
+        let sizes = match doc.get("sizes") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|v| v.as_i64().ok_or("shard: sizes must be integers"))
+                .collect::<Result<Vec<i64>, &str>>()
+                .map_err(String::from)?,
+            _ => return Err("shard: field 'sizes' must be an array".into()),
+        };
+        Ok(Shard {
+            figure: text("figure")?,
+            kernel,
+            machine,
+            search_n,
+            family: text("family")?,
+            kind,
+            sizes,
+        })
+    }
+
+    /// The FNV-1a fingerprint of the rendered shard — its identity for
+    /// completion records, remote dedupe, and per-shard file names.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write(self.to_json().render().as_bytes());
+        h.finish()
+    }
+}
+
+/// A deterministic, ordered list of [`Shard`]s covering one figure:
+/// tune shards first (a family's measurement depends on its search),
+/// then measure shards grouped by family in series order.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// Figure label the plan covers.
+    pub figure: String,
+    /// Shards in execution-dependency order.
+    pub shards: Vec<Shard>,
+}
+
+impl SweepPlan {
+    /// Splits `spec` into shards: one tune shard per tuned family (in
+    /// family order), then per family (in family order) the sweep
+    /// sizes chunked `sizes_per_shard` at a time.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty size list, an empty family list, or a zero
+    /// chunk size.
+    pub fn plan(spec: &SweepSpec, sizes_per_shard: usize) -> Result<SweepPlan, String> {
+        if sizes_per_shard == 0 {
+            return Err("plan: sizes_per_shard must be at least 1".into());
+        }
+        if spec.families.is_empty() {
+            return Err(format!("plan: figure {} has no families", spec.figure));
+        }
+        if spec.sizes.is_empty() {
+            return Err(format!("plan: figure {} has no sizes", spec.figure));
+        }
+        let shard = |family: &FamilySpec, kind: ShardKind, sizes: Vec<i64>| Shard {
+            figure: spec.figure.clone(),
+            kernel: spec.kernel.clone(),
+            machine: spec.machine.clone(),
+            search_n: spec.search_n,
+            family: family.name.clone(),
+            kind,
+            sizes,
+        };
+        let mut shards = Vec::new();
+        for family in spec.families.iter().filter(|f| f.tuned) {
+            shards.push(shard(family, ShardKind::Tune, Vec::new()));
+        }
+        for family in &spec.families {
+            for chunk in spec.sizes.chunks(sizes_per_shard) {
+                shards.push(shard(family, ShardKind::Measure, chunk.to_vec()));
+            }
+        }
+        Ok(SweepPlan {
+            figure: spec.figure.clone(),
+            shards,
+        })
+    }
+
+    /// The tune shards (the stage every measure shard waits on).
+    pub fn tune_shards(&self) -> impl Iterator<Item = &Shard> {
+        self.shards.iter().filter(|s| s.kind == ShardKind::Tune)
+    }
+
+    /// The measure shards.
+    pub fn measure_shards(&self) -> impl Iterator<Item = &Shard> {
+        self.shards.iter().filter(|s| s.kind == ShardKind::Measure)
+    }
+
+    /// Renders the whole plan (the `plan.json` artifact a sweep writes
+    /// before executing anything).
+    pub fn to_json(&self) -> Json {
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| {
+                // Each entry pairs the shard document with its own
+                // fingerprint so the artifact is greppable by identity.
+                Json::obj()
+                    .field("fingerprint", Json::fingerprint(s.fingerprint()))
+                    .field("shard", s.to_json())
+            })
+            .collect();
+        Json::obj()
+            .field("plan_version", Json::UInt(PLAN_VERSION))
+            .field("figure", Json::str(&self.figure))
+            .field("shards", Json::Arr(shards))
+    }
+
+    /// The FNV-1a fingerprint of the rendered plan.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write(self.to_json().render().as_bytes());
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SweepSpec {
+        SweepSpec {
+            figure: "fig4a".into(),
+            kernel: Kernel::matmul(),
+            machine: MachineDesc::sgi_r10000().scaled(32),
+            search_n: 120,
+            families: vec![
+                FamilySpec::new("ECO", true),
+                FamilySpec::new("Native", false),
+                FamilySpec::new("ATLAS", true),
+                FamilySpec::new("Vendor", true),
+            ],
+            sizes: vec![24, 32, 48, 64, 80],
+        }
+    }
+
+    #[test]
+    fn plan_orders_tune_shards_before_measure_shards() {
+        let plan = SweepPlan::plan(&spec(), 2).expect("plan");
+        let tunes: Vec<&str> = plan.tune_shards().map(|s| s.family.as_str()).collect();
+        assert_eq!(tunes, ["ECO", "ATLAS", "Vendor"]);
+        assert!(plan.tune_shards().all(|s| s.sizes.is_empty()));
+        // 4 families × ceil(5/2) chunks of sizes.
+        assert_eq!(plan.measure_shards().count(), 4 * 3);
+        assert_eq!(plan.shards.len(), 3 + 12);
+        let first_measure = plan.measure_shards().next().expect("measure shard");
+        assert_eq!(first_measure.family, "ECO");
+        assert_eq!(first_measure.sizes, vec![24, 32]);
+        // Tune shards strictly precede measure shards in plan order.
+        let first_measure_at = plan
+            .shards
+            .iter()
+            .position(|s| s.kind == ShardKind::Measure)
+            .expect("some measure shard");
+        assert!(plan.shards[..first_measure_at]
+            .iter()
+            .all(|s| s.kind == ShardKind::Tune));
+    }
+
+    #[test]
+    fn equal_specs_plan_identical_shards_and_fingerprints() {
+        let a = SweepPlan::plan(&spec(), 4).expect("plan");
+        let b = SweepPlan::plan(&spec(), 4).expect("plan");
+        assert_eq!(a.to_json().render(), b.to_json().render());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let fps: Vec<u64> = a.shards.iter().map(Shard::fingerprint).collect();
+        let mut unique = fps.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), fps.len(), "shard fingerprints are distinct");
+        // A different chunking yields a different plan.
+        let c = SweepPlan::plan(&spec(), 3).expect("plan");
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn shard_round_trips_through_json() {
+        let plan = SweepPlan::plan(&spec(), 2).expect("plan");
+        for shard in &plan.shards {
+            let text = shard.to_json().render();
+            let back = Shard::from_json(&Json::parse(&text).expect("parses")).expect("round-trips");
+            assert_eq!(back.to_json().render(), text, "render is canonical");
+            assert_eq!(back.fingerprint(), shard.fingerprint());
+            assert_eq!(back.kernel.name, shard.kernel.name);
+            assert_eq!(back.machine, shard.machine);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_bad_shards() {
+        let err = |doc: &Json| Shard::from_json(doc).expect_err("must fail");
+        assert!(err(&Json::obj()).contains("plan_version"));
+        let wrong = Json::obj().field("plan_version", Json::UInt(99));
+        assert!(err(&wrong).contains("not supported"));
+        let good = SweepPlan::plan(&spec(), 2).expect("plan").shards[0].to_json();
+        let mut unknown = Json::parse(&good.render()).expect("parses");
+        if let Json::Obj(fields) = &mut unknown {
+            for (key, value) in fields.iter_mut() {
+                if key == "kernel" {
+                    *value = Json::str("nope");
+                }
+            }
+        }
+        assert!(err(&unknown).contains("unknown kernel 'nope'"));
+        assert!(ShardKind::parse("explode").is_err());
+    }
+
+    #[test]
+    fn plan_validates_inputs() {
+        assert!(SweepPlan::plan(&spec(), 0).is_err());
+        let mut empty_sizes = spec();
+        empty_sizes.sizes.clear();
+        assert!(SweepPlan::plan(&empty_sizes, 4).is_err());
+        let mut no_families = spec();
+        no_families.families.clear();
+        assert!(SweepPlan::plan(&no_families, 4).is_err());
+    }
+}

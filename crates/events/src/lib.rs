@@ -84,6 +84,18 @@ pub mod names {
     pub const SERVE_REQUEST: &str = "serve_request";
     /// `eco serve` finished a request (status, wall time).
     pub const SERVE_DONE: &str = "serve_done";
+    /// A sweep orchestrator started executing a plan (figure, shard
+    /// totals, workers).
+    pub const SWEEP_BEGIN: &str = "sweep_begin";
+    /// One shard executed inside a worker (figure, family, kind) —
+    /// the span enclosing the shard's engine records.
+    pub const SHARD: &str = "shard";
+    /// The orchestrator handed a shard to a worker.
+    pub const SHARD_SPAWN: &str = "shard_spawn";
+    /// The orchestrator observed a shard finish (status, wall time).
+    pub const SHARD_DONE: &str = "shard_done";
+    /// The orchestrator merged shard results back into figure outputs.
+    pub const SWEEP_GATHER: &str = "sweep_gather";
 }
 
 use std::fmt::Write as _;

@@ -243,6 +243,24 @@ pub struct VariantRow {
     pub rejected: u64,
 }
 
+/// One shard of a sharded sweep, from the orchestrator's span-less
+/// `shard_done` events (see the sweep pipeline in `eco-bench`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRow {
+    /// The shard's plan fingerprint (`0x…` hex).
+    pub fingerprint: String,
+    /// Figure the shard belongs to.
+    pub figure: String,
+    /// Variant family (`ECO`, `Native`, …).
+    pub family: String,
+    /// `tune` or `measure`.
+    pub kind: String,
+    /// `ok`, `failed` or `skipped`.
+    pub status: String,
+    /// Wall time of the worker, as the orchestrator saw it.
+    pub wall_ms: u64,
+}
+
 /// One milestone of the winning point's lineage, reconstructed from the
 /// selected variant's span subtree.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -288,6 +306,9 @@ pub struct SearchProfile {
     pub screened: Vec<(String, u64)>,
     /// Best-point lineage of the selected variant, as a flattened tree.
     pub lineage: Vec<LineageNode>,
+    /// Sharded-sweep timeline, in completion order (empty for ordinary
+    /// tuning streams).
+    pub shards: Vec<ShardRow>,
 }
 
 impl SearchProfile {
@@ -374,6 +395,27 @@ impl SearchProfile {
                     }
                 }
             }
+        }
+
+        // Shard timeline: a sweep orchestrator's stream is span-less
+        // `shard_done` events with a `status` attribute (worker streams
+        // bracket their work with status-less `shard`/`shard_done`
+        // events, which stay out of the table).
+        for r in &tree.toplevel {
+            if r.name.as_deref() != Some("shard_done") {
+                continue;
+            }
+            let Some(status) = r.attr_str("status") else {
+                continue;
+            };
+            p.shards.push(ShardRow {
+                fingerprint: r.attr_str("fingerprint").unwrap_or_default().to_string(),
+                figure: r.attr_str("figure").unwrap_or_default().to_string(),
+                family: r.attr_str("family").unwrap_or_default().to_string(),
+                kind: r.attr_str("kind").unwrap_or_default().to_string(),
+                status: status.to_string(),
+                wall_ms: r.attr_u64("wall_ms").unwrap_or(0),
+            });
         }
 
         // Variant rows, in open order.
@@ -541,6 +583,56 @@ mod tests {
             vec!["screen", "stage TI,TJ", "shape", "adjust", "selected v1"]
         );
         assert_eq!(p.lineage.last().unwrap().cycles, Some(640));
+    }
+
+    #[test]
+    fn shard_timeline_collects_orchestrator_events_only() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let s = EventStream::to_shared_buffer(Arc::clone(&buf));
+        s.event(
+            "sweep_begin",
+            None,
+            Attrs::new().str("figure", "fig5a").uint("shards", 2),
+        );
+        // Worker-style bracket: no `status` attribute, must stay out.
+        s.event(
+            "shard_done",
+            None,
+            Attrs::new().str("fingerprint", "0xdead").bool("ok", true),
+        );
+        s.event(
+            "shard_done",
+            None,
+            Attrs::new()
+                .str("fingerprint", "0x0000000000000001")
+                .str("figure", "fig5a")
+                .str("family", "ECO")
+                .str("kind", "tune")
+                .str("status", "ok")
+                .uint("wall_ms", 1200),
+        );
+        s.event(
+            "shard_done",
+            None,
+            Attrs::new()
+                .str("fingerprint", "0x0000000000000002")
+                .str("figure", "fig5a")
+                .str("family", "Native")
+                .str("kind", "measure")
+                .str("status", "skipped")
+                .uint("wall_ms", 0),
+        );
+        s.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let records = read_records(text.as_bytes(), 4096).expect("reads");
+        let tree = SpanTree::build(&records).expect("builds");
+        let p = SearchProfile::from_tree(&tree);
+        assert_eq!(p.shards.len(), 2, "status-less shard_done is filtered");
+        assert_eq!(p.shards[0].family, "ECO");
+        assert_eq!(p.shards[0].kind, "tune");
+        assert_eq!(p.shards[0].status, "ok");
+        assert_eq!(p.shards[0].wall_ms, 1200);
+        assert_eq!(p.shards[1].status, "skipped");
     }
 
     #[test]

@@ -128,6 +128,29 @@ pub fn render_profile_ascii(report: &RunReport) -> String {
     }
     table(&mut out, "  ", &rows);
 
+    if !p.shards.is_empty() {
+        let _ = writeln!(out, "\nShard timeline:");
+        let mut rows = vec![vec![
+            "shard".to_string(),
+            "figure".to_string(),
+            "family".to_string(),
+            "kind".to_string(),
+            "status".to_string(),
+            "wall_ms".to_string(),
+        ]];
+        for s in &p.shards {
+            rows.push(vec![
+                s.fingerprint.clone(),
+                s.figure.clone(),
+                s.family.clone(),
+                s.kind.clone(),
+                s.status.clone(),
+                s.wall_ms.to_string(),
+            ]);
+        }
+        table(&mut out, "  ", &rows);
+    }
+
     if !p.lineage.is_empty() {
         let _ = writeln!(out, "\nBest-point lineage:");
         for (i, node) in p.lineage.iter().enumerate() {
@@ -183,6 +206,18 @@ pub fn render_profile_csv(profile: &SearchProfile) -> String {
             "lineage,{},,,,,{},,,",
             csv_escape(&l.label),
             l.cycles.map_or_else(String::new, |c| c.to_string())
+        );
+    }
+    // Shard rows reuse the shared columns: `name` is the shard's
+    // figure/family/kind path, `outcome` its status, `wall_us` the
+    // orchestrator-observed wall time.
+    for s in &profile.shards {
+        let _ = writeln!(
+            out,
+            "shard,{},,,,{},,{},,",
+            csv_escape(&format!("{}/{}/{}", s.figure, s.family, s.kind)),
+            s.wall_ms * 1000,
+            csv_escape(&s.status)
         );
     }
     out

@@ -23,6 +23,12 @@
 //!   stamps are *logical* access counters rather than wall-clock times
 //!   so store behaviour (in particular [`ResultStore::gc`] eviction
 //!   order) is deterministic under test.
+//! * `shards/<16-hex shard fp>.json` — completion records for sweep
+//!   shards ([`ResultStore::mark_shard_complete`]), written by the
+//!   worker that finished the shard so a killed orchestrator can never
+//!   lose finished work. Shard records live *outside* the LRU index:
+//!   [`ResultStore::gc`] trims point records only, so a tight byte
+//!   budget cannot erase the evidence a resumed sweep skips by.
 //!
 //! A record that fails to parse, carries an unknown
 //! `record_version`, or echoes the wrong key is treated as a miss and
@@ -37,6 +43,7 @@ use std::fmt;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Version stamp written into every record; readers reject records
@@ -45,6 +52,10 @@ pub const RECORD_VERSION: u64 = 1;
 
 /// Version stamp for `index.json`.
 pub const INDEX_VERSION: u64 = 1;
+
+/// Version stamp written into every shard-completion record; readers
+/// reject records from other versions instead of guessing.
+pub const SHARD_RECORD_VERSION: u64 = 1;
 
 /// The content address of one evaluated point: the engine's program
 /// fingerprint plus its machine/layout/params point hash.
@@ -299,6 +310,59 @@ impl ResultStore {
         })
     }
 
+    fn shard_path(&self, fingerprint: u64) -> PathBuf {
+        self.root
+            .join("shards")
+            .join(format!("{fingerprint:016x}.json"))
+    }
+
+    /// Records that the sweep shard with `fingerprint` completed,
+    /// embedding its gathered `result` document. Written atomically by
+    /// the worker that executed the shard, so the record exists exactly
+    /// when the shard's point records do — a resumed sweep that finds
+    /// it can skip the shard without consulting anyone.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on I/O errors; re-marking a completed shard
+    /// overwrites with identical bytes (same shard ⇒ same result).
+    pub fn mark_shard_complete(&self, fingerprint: u64, result: &Json) -> Result<(), StoreError> {
+        let path = self.shard_path(fingerprint);
+        let dir = path.parent().expect("shard path has a parent");
+        fs::create_dir_all(dir).map_err(|e| store_err(dir, e))?;
+        let doc = Json::obj()
+            .field("shard_version", Json::UInt(SHARD_RECORD_VERSION))
+            .field("shard", Json::fingerprint(fingerprint))
+            .field("result", result.clone());
+        write_atomic(&path, doc.render().as_bytes())
+    }
+
+    /// The result document recorded for shard `fingerprint`, or `None`
+    /// when the shard has not completed. Records that fail to parse,
+    /// carry an unknown version, or echo the wrong fingerprint are
+    /// treated as absent — a corrupt file costs a shard re-run, never a
+    /// wrong sweep.
+    pub fn shard_complete(&self, fingerprint: u64) -> Option<Json> {
+        let text = fs::read_to_string(self.shard_path(fingerprint)).ok()?;
+        let doc = Json::parse(&text).ok()?;
+        if doc.get("shard_version").and_then(Json::as_u64) != Some(SHARD_RECORD_VERSION) {
+            return None;
+        }
+        if fp_field(&doc, "shard") != Some(fingerprint) {
+            return None;
+        }
+        doc.get("result").cloned()
+    }
+
+    /// Number of shard-completion records on disk (resume evidence).
+    pub fn shards_complete(&self) -> usize {
+        fs::read_dir(self.root.join("shards")).map_or(0, |dir| {
+            dir.filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                .count()
+        })
+    }
+
     /// Persists `index.json` (atomically). Called by [`put`](Self::put)
     /// and [`gc`](Self::gc); LRU bumps from pure reads are flushed on
     /// drop.
@@ -341,9 +405,16 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_default();
-    // Distinct per-process temp names keep concurrent writers from
-    // trampling each other's half-written files.
-    let tmp = dir.join(format!(".{stem}.{}.tmp", std::process::id()));
+    // Temp names must be unique per *call*, not just per process: two
+    // threads of one process flushing the same path (serve workers,
+    // the sweep orchestrator) would otherwise truncate each other's
+    // half-written temp file and race the rename.
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let tmp = dir.join(format!(
+        ".{stem}.{}.{}.tmp",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     let mut f = fs::File::create(&tmp).map_err(|e| store_err(&tmp, e))?;
     f.write_all(bytes).map_err(|e| store_err(&tmp, e))?;
     f.sync_all().map_err(|e| store_err(&tmp, e))?;
@@ -637,6 +708,67 @@ mod tests {
         assert_eq!(gc.evicted, 2);
         assert_eq!(store.len(), 0);
         assert_eq!(store.bytes(), 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn shard_records_round_trip_and_reject_corruption() {
+        let root = tmp_root("shards");
+        let store = ResultStore::open(&root).expect("open");
+        let fp = 0x00c0_ffee_0000_0001u64;
+        assert_eq!(store.shard_complete(fp), None);
+        assert_eq!(store.shards_complete(), 0);
+
+        let result = Json::obj()
+            .field("figure", Json::str("fig5a"))
+            .field("points", Json::UInt(14));
+        store.mark_shard_complete(fp, &result).expect("mark");
+        assert_eq!(store.shard_complete(fp), Some(result.clone()));
+        assert_eq!(store.shards_complete(), 1);
+        // A second handle (a resumed orchestrator) sees the record.
+        let reopened = ResultStore::open(&root).expect("reopen");
+        assert_eq!(reopened.shard_complete(fp), Some(result.clone()));
+
+        // Wrong version or wrong fingerprint echo → treated as absent.
+        let path = root.join("shards").join(format!("{fp:016x}.json"));
+        let text = fs::read_to_string(&path).expect("read");
+        fs::write(
+            &path,
+            text.replace("\"shard_version\": 1", "\"shard_version\": 9"),
+        )
+        .expect("rewrite");
+        assert_eq!(store.shard_complete(fp), None);
+        store.mark_shard_complete(fp, &result).expect("re-mark");
+        let other = fp + 1;
+        fs::copy(
+            &path,
+            root.join("shards").join(format!("{other:016x}.json")),
+        )
+        .expect("cross-copy");
+        assert_eq!(store.shard_complete(other), None, "wrong fp echo");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn gc_never_touches_shard_completion_records() {
+        let root = tmp_root("shard-gc");
+        let store = ResultStore::open(&root).expect("open");
+        for i in 0..4 {
+            store
+                .put(StoreKey::new(20, i), "k", &sample_counters(i))
+                .expect("put");
+        }
+        let fp = 0xfeed_0000_0000_0002u64;
+        store
+            .mark_shard_complete(fp, &Json::obj().field("ok", Json::Bool(true)))
+            .expect("mark");
+        let gc = store.gc(0).expect("gc all");
+        assert_eq!(gc.evicted, 4);
+        assert_eq!(store.len(), 0);
+        assert!(
+            store.shard_complete(fp).is_some(),
+            "a zero-byte budget must not erase completion evidence"
+        );
         let _ = fs::remove_dir_all(&root);
     }
 
