@@ -52,6 +52,8 @@
 //!   --no-attribution     skip the attributed re-measurement pass
 //!   --compare OLD NEW    compare two trajectory JSON files instead
 //!   --threshold PCT      allowed regression in percent (default 25)
+//!                        (with --compare, --out FILE writes the comparison
+//!                        as a standalone HTML page — the CI artifact)
 //!
 //! `tune` and `measure` run on the parallel memoized evaluation engine;
 //! `tune` reports the engine's work alongside the search statistics.
@@ -610,6 +612,12 @@ fn report_cmd(rest: &[String]) -> Result<(), String> {
         .map_err(|e| format!("{new_path}: {e}"))?;
         let cmp = eco_report::compare_trajectories(&old, &new, args.threshold);
         print!("{}", eco_report::render_comparison(&cmp));
+        if let Some(out) = &args.out {
+            // The HTML page is written before the pass/fail exit so CI
+            // can upload it as an artifact even when the gate fails.
+            std::fs::write(out, eco_report::render_comparison_html(&cmp))
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+        }
         if !cmp.passed() {
             std::process::exit(1);
         }

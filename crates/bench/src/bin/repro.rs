@@ -66,6 +66,9 @@
 //!   --plan-out FILE  plan only: write the plan JSON to FILE
 //!   --sweep FIG      bench only: also record sweep wall time at
 //!                    --workers 1 vs N (default 4) in the trajectory
+//!   --figure-scale K sweep only: machine scale factor (default 32, the
+//!                    golden scale; 1 = the full-size machine — the
+//!                    nightly CI budget run, never diffed vs results/)
 //!   --json FILE      smoke only: also write the throughput as JSON
 //!   --bench-out FILE bench only: write the trajectory JSON to FILE
 //!   --smoke-only     bench only: skip the per-figure measurements
@@ -117,6 +120,7 @@ struct ReproOpts {
     shard_sizes: usize,
     remote: Option<String>,
     sweep_fig: Option<String>,
+    figure_scale: usize,
     positional: Vec<String>,
 }
 
@@ -170,6 +174,7 @@ fn parse_opts(args: &[String]) -> Result<ReproOpts, String> {
     let mut shard_sizes = 4usize;
     let mut remote = None;
     let mut sweep_fig = None;
+    let mut figure_scale = FIGURE_SCALE;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -216,6 +221,16 @@ fn parse_opts(args: &[String]) -> Result<ReproOpts, String> {
             "--sweep" => {
                 sweep_fig = Some(it.next().ok_or("--sweep needs a figure name")?.clone());
             }
+            "--figure-scale" => {
+                figure_scale = it
+                    .next()
+                    .ok_or("--figure-scale needs a factor")?
+                    .parse()
+                    .map_err(|_| "--figure-scale needs a number".to_string())?;
+                if figure_scale == 0 {
+                    return Err("--figure-scale must be positive".to_string());
+                }
+            }
             other => {
                 if !flags.accept(other, &mut it)? {
                     if other.starts_with('-') {
@@ -239,6 +254,7 @@ fn parse_opts(args: &[String]) -> Result<ReproOpts, String> {
         shard_sizes,
         remote,
         sweep_fig,
+        figure_scale,
         positional,
     })
 }
@@ -413,9 +429,15 @@ fn sweep_cmd(opts: &ReproOpts) {
     let def =
         figures::figure(name).unwrap_or_else(|| die(&format!("sweep: unknown figure {name}")));
     println!("{}", def.banner());
+    if opts.figure_scale != FIGURE_SCALE {
+        println!(
+            "   (machine scale 1/{} — outputs will NOT match the committed goldens)",
+            opts.figure_scale
+        );
+    }
     let sweep_dir = opts.figure_sweep_dir(def.name);
     let config = opts.sweep_config(sweep_dir.clone(), opts.workers, true);
-    let outcome = match run_sweep(&def.spec(), &config) {
+    let outcome = match run_sweep(&def.spec_with_scale(opts.figure_scale), &config) {
         Ok(o) => o,
         Err(e) => die(&e),
     };
@@ -892,6 +914,7 @@ fn attribution() {
 /// `--engine reference` to see the lowering speedup in the log.
 /// What one smoke run measured, for the JSON outputs.
 struct SmokeResult {
+    machine: String,
     backend: String,
     threads: usize,
     points: u64,
@@ -904,7 +927,12 @@ impl SmokeResult {
     }
 
     fn to_json(&self) -> Json {
+        // `machine` and `backend` are stamped exactly like the full
+        // `repro bench` trajectory, so `eco report --compare` pairs a
+        // smoke-only file against a committed full one by value, not
+        // by notes-only fallback.
         Json::obj()
+            .field("machine", Json::str(&self.machine))
             .field("backend", Json::str(&self.backend))
             .field("threads", Json::UInt(self.threads as u64))
             .field("points", Json::UInt(self.points))
@@ -973,6 +1001,7 @@ fn run_smoke(run: &RunOpts) -> SmokeResult {
     );
     assert_eq!(ok, results.len(), "smoke points must all simulate cleanly");
     SmokeResult {
+        machine: machine.name.clone(),
         backend: format!("{:?}", engine.backend()),
         threads: engine.threads(),
         points: evaluated,

@@ -91,7 +91,20 @@ impl FigureDef {
     /// The figure's sweep specification: kernel, scaled machine, ECO
     /// search budget, series families in column order, and sizes.
     pub fn spec(&self) -> SweepSpec {
-        let machine = self.machine_full().scaled(FIGURE_SCALE);
+        self.spec_with_scale(FIGURE_SCALE)
+    }
+
+    /// Like [`FigureDef::spec`], but at an explicit machine scale
+    /// factor (1 = the full-size machine). The committed goldens are
+    /// produced at [`FIGURE_SCALE`]; other scales exist for the nightly
+    /// full-size sweep, whose outputs are never diffed against
+    /// `results/`.
+    pub fn spec_with_scale(&self, scale: usize) -> SweepSpec {
+        let machine = if scale == 1 {
+            self.machine_full()
+        } else {
+            self.machine_full().scaled(scale)
+        };
         match self.kind {
             FigureKind::Mm => SweepSpec {
                 figure: self.name.to_string(),

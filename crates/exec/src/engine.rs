@@ -224,6 +224,13 @@ pub struct EngineStats {
     /// evaluation instead of re-simulating (the serve-daemon dedupe
     /// path). Never recorded in run manifests.
     pub dedup_waits: u64,
+    /// Fast-forward windows applied across all compiled-backend
+    /// simulations (see [`eco_cachesim::SimStats`]). Telemetry about
+    /// *how* simulations ran; never recorded in run manifests.
+    pub ff_windows: u64,
+    /// Accesses accounted arithmetically instead of walked, across all
+    /// compiled-backend simulations. Never recorded in run manifests.
+    pub ff_accesses: u64,
 }
 
 impl EngineStats {
@@ -751,7 +758,9 @@ impl Evaluator for Engine {
         // configured, each unique point is looked up on disk first and
         // written back after simulating (the extra bool records a
         // store hit).
-        type RunSlot = Mutex<Option<(Result<Counters, ExecError>, u64, bool)>>;
+        // (result, wall_us, store_hit, (ff_windows, ff_accesses))
+        type RunOutcome = (Result<Counters, ExecError>, u64, bool, (u64, u64));
+        type RunSlot = Mutex<Option<RunOutcome>>;
         let ran: Vec<RunSlot> = unique.iter().map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         let run_one = |u: usize| {
@@ -762,18 +771,33 @@ impl Evaluator for Engine {
             let store = self.store.as_ref().filter(|_| self.memoize);
             let stored = store.and_then(|s| s.get(StoreKey::new(key.0, key.1)));
             let store_hit = stored.is_some();
+            let mut ff = (0u64, 0u64);
             let result = match stored {
                 Some(counters) => Ok(counters),
                 None => {
                     let result = match (self.backend, job.attributed) {
                         (ExecBackend::Compiled, false) => self
                             .plan_for(&job.program, key.0)
-                            .and_then(|plan| plan.measure(&job.params, &self.machine, &job.layout)),
-                        (ExecBackend::Compiled, true) => {
-                            self.plan_for(&job.program, key.0).and_then(|plan| {
-                                plan.measure_attributed(&job.params, &self.machine, &job.layout)
+                            .and_then(|plan| {
+                                plan.measure_with_stats(&job.params, &self.machine, &job.layout)
                             })
-                        }
+                            .map(|(c, s)| {
+                                ff = (s.ff_windows, s.ff_accesses);
+                                c
+                            }),
+                        (ExecBackend::Compiled, true) => self
+                            .plan_for(&job.program, key.0)
+                            .and_then(|plan| {
+                                plan.measure_attributed_with_stats(
+                                    &job.params,
+                                    &self.machine,
+                                    &job.layout,
+                                )
+                            })
+                            .map(|(c, s)| {
+                                ff = (s.ff_windows, s.ff_accesses);
+                                c
+                            }),
                         (ExecBackend::Reference, false) => {
                             measure_reference(&job.program, &job.params, &self.machine, &job.layout)
                         }
@@ -810,7 +834,7 @@ impl Evaluator for Engine {
                 g.cell.fill(result.clone());
                 g.armed = false;
             }
-            *ran[u].lock().expect("slot lock") = Some((result, wall_us, store_hit));
+            *ran[u].lock().expect("slot lock") = Some((result, wall_us, store_hit, ff));
         };
         let workers = self.threads.min(unique.len());
         if workers <= 1 {
@@ -830,7 +854,7 @@ impl Evaluator for Engine {
                 }
             });
         }
-        let ran: Vec<(Result<Counters, ExecError>, u64, bool)> = ran
+        let ran: Vec<RunOutcome> = ran
             .into_iter()
             .map(|m| m.into_inner().expect("slot lock").expect("slot filled"))
             .collect();
@@ -859,9 +883,13 @@ impl Evaluator for Engine {
             stats.requested += jobs.len() as u64;
             stats.evaluated += unique.len() as u64;
             stats.cache_hits += (jobs.len() - unique.len() - waits.len()) as u64;
-            stats.errors += ran.iter().filter(|(r, _, _)| r.is_err()).count() as u64;
-            stats.store_hits += ran.iter().filter(|(_, _, hit)| *hit).count() as u64;
+            stats.errors += ran.iter().filter(|(r, _, _, _)| r.is_err()).count() as u64;
+            stats.store_hits += ran.iter().filter(|(_, _, hit, _)| *hit).count() as u64;
             stats.dedup_waits += waits.len() as u64;
+            for (_, _, _, (fw, fa)) in &ran {
+                stats.ff_windows += fw;
+                stats.ff_accesses += fa;
+            }
         }
         let mut out = Vec::with_capacity(jobs.len());
         for (i, slot) in slots.iter().enumerate() {
@@ -936,14 +964,14 @@ impl Evaluator for Engine {
                 )
                 .uint(
                     "errors",
-                    ran.iter().filter(|(r, _, _)| r.is_err()).count() as u64,
+                    ran.iter().filter(|(r, _, _, _)| r.is_err()).count() as u64,
                 )
                 .uint("workers", workers as u64)
                 .uint("wall_us", batch_start.elapsed().as_micros() as u64);
             if self.store.is_some() {
                 attrs = attrs.uint(
                     "store_hits",
-                    ran.iter().filter(|(_, _, hit)| *hit).count() as u64,
+                    ran.iter().filter(|(_, _, hit, _)| *hit).count() as u64,
                 );
             }
             if !waits.is_empty() {

@@ -85,7 +85,7 @@ pub use eco_store as store;
 /// The one canonical counter type: `eco-cachesim` produces it, everything
 /// downstream (search, baselines, benches) should import it from here so
 /// call sites no longer juggle two counter structs.
-pub use eco_cachesim::{AccessKind, Counters, TagCounters};
+pub use eco_cachesim::{AccessKind, Counters, SimStats, TagCounters};
 
 #[cfg(test)]
 mod tests {

@@ -23,7 +23,10 @@
 //!   per-iteration byte stride, valid-iteration interval)`, after which
 //!   iterating is pure pointer arithmetic. Single-site fused loops hand
 //!   the whole run to [`MemoryHierarchy::access_run`], which simulates
-//!   in O(cache lines touched).
+//!   in O(cache lines touched); multi-site fused loops hand the whole
+//!   batch of address streams to [`MemoryHierarchy::access_streams`],
+//!   whose struct-of-arrays walker and exact fast-forward windows are
+//!   described in DESIGN.md §4.
 //!
 //! The plan is parameter-symbolic: compilation depends only on the
 //! program, so the engine memoizes one plan per program and re-binds it
@@ -37,7 +40,7 @@
 
 use crate::error::ExecError;
 use crate::layout::{ArrayLayout, LayoutOptions, Params, Storage};
-use eco_cachesim::{AccessKind, Counters, MemoryHierarchy};
+use eco_cachesim::{AccessKind, Counters, MemoryHierarchy, SimStats, StreamSpec};
 use eco_ir::{AffineExpr, ArrayId, ArrayRef, Bound, Cond, Program, ScalarExpr, Stmt, VarId};
 use eco_machine::MachineDesc;
 
@@ -231,6 +234,7 @@ impl ExecutablePlan {
         layout_opts: &LayoutOptions,
     ) -> Result<Counters, ExecError> {
         self.run_measure(params, machine, layout_opts, false)
+            .map(|(c, _)| c)
     }
 
     /// Like [`ExecutablePlan::measure`], but attributes demand misses
@@ -246,6 +250,38 @@ impl ExecutablePlan {
         layout_opts: &LayoutOptions,
     ) -> Result<Counters, ExecError> {
         self.run_measure(params, machine, layout_opts, true)
+            .map(|(c, _)| c)
+    }
+
+    /// Like [`ExecutablePlan::measure`], but also returns the
+    /// simulator's fast-forward telemetry ([`SimStats`]) for the run.
+    /// The counters are bit-identical to [`ExecutablePlan::measure`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExecutablePlan::measure`].
+    pub fn measure_with_stats(
+        &self,
+        params: &Params,
+        machine: &MachineDesc,
+        layout_opts: &LayoutOptions,
+    ) -> Result<(Counters, SimStats), ExecError> {
+        self.run_measure(params, machine, layout_opts, false)
+    }
+
+    /// Like [`ExecutablePlan::measure_attributed`], but also returns
+    /// the simulator's fast-forward telemetry ([`SimStats`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExecutablePlan::measure`].
+    pub fn measure_attributed_with_stats(
+        &self,
+        params: &Params,
+        machine: &MachineDesc,
+        layout_opts: &LayoutOptions,
+    ) -> Result<(Counters, SimStats), ExecError> {
+        self.run_measure(params, machine, layout_opts, true)
     }
 
     fn run_measure(
@@ -254,7 +290,7 @@ impl ExecutablePlan {
         machine: &MachineDesc,
         layout_opts: &LayoutOptions,
         attribute: bool,
-    ) -> Result<Counters, ExecError> {
+    ) -> Result<(Counters, SimStats), ExecError> {
         let layout = ArrayLayout::new(&self.program, params, layout_opts)?;
         let env = params.env_for(&self.program)?;
         let mut ctx = MeasureCtx {
@@ -266,10 +302,11 @@ impl ExecutablePlan {
             hier: MemoryHierarchy::new(machine),
             attribute,
             runs: Vec::new(),
+            streams: Vec::new(),
             active_sites: Vec::new(),
         };
         ctx.run()?;
-        Ok(ctx.hier.into_counters())
+        Ok(ctx.hier.into_parts())
     }
 
     /// Numerically executes the plan over `storage` — the compiled
@@ -730,6 +767,8 @@ struct MeasureCtx<'a> {
     attribute: bool,
     /// Reusable fused-loop binding scratch.
     runs: Vec<RunSite>,
+    /// Reusable batch scratch handed to the simulator.
+    streams: Vec<StreamSpec>,
     /// Reusable scratch: site ids of the guard-active runs, in order.
     active_sites: Vec<u32>,
 }
@@ -878,43 +917,28 @@ impl MeasureCtx<'_> {
         if flops > 0 {
             self.hier.add_flops(flops * trips as u64);
         }
-        match runs.as_mut_slice() {
-            [] => {}
-            [r] => {
-                // A single access site: the whole loop is one strided
-                // run, batched through the simulator. Prefetch sites may
-                // be valid only on a sub-interval; the skipped
-                // iterations produce no access at all.
-                let first = r.vlo.max(0);
-                let last = r.vhi.min(trips - 1);
-                if first <= last {
-                    let tag = self.attribute.then_some(r.tag);
-                    self.hier.access_run(
-                        (r.addr + r.stride * first) as u64,
-                        r.stride,
-                        (last - first + 1) as u64,
-                        r.kind,
-                        tag,
-                    );
-                }
-            }
-            runs => {
-                // Multiple interleaved sites: iterate, but each access
-                // is pure pointer arithmetic plus one simulator step.
-                for t in 0..trips {
-                    for r in runs.iter_mut() {
-                        if r.vlo <= t && t <= r.vhi {
-                            if self.attribute {
-                                self.hier.access_tagged(r.addr as u64, r.kind, r.tag);
-                            } else {
-                                self.hier.access(r.addr as u64, r.kind);
-                            }
-                        }
-                        r.addr += r.stride;
-                    }
-                }
-            }
-        }
+        // Hand the whole loop to the simulator as one batch of strided
+        // streams: demand sites cover the full trip range (checked
+        // above), prefetch sites may be valid only on a sub-interval.
+        // The simulator coalesces line runs and fast-forwards
+        // provably-resident windows — bit-identical to the per-access
+        // interleaved walk.
+        let mut streams = std::mem::take(&mut self.streams);
+        streams.clear();
+        streams.extend(
+            runs.iter()
+                .filter(|r| r.vlo.max(0) <= r.vhi.min(trips - 1))
+                .map(|r| StreamSpec {
+                    base: r.addr,
+                    stride: r.stride,
+                    vlo: r.vlo.max(0),
+                    vhi: r.vhi.min(trips - 1),
+                    kind: r.kind,
+                    tag: r.tag as u32,
+                }),
+        );
+        self.hier.access_streams(&streams, trips, self.attribute);
+        self.streams = streams;
         self.runs = runs;
         self.env[var] = l + (trips - 1) * step;
         Ok(())

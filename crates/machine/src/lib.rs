@@ -53,6 +53,24 @@ pub struct CacheDesc {
     pub miss_penalty_cycles: u64,
 }
 
+/// Precomputed set-indexing geometry of one cache level: everything the
+/// simulator's hot loop needs to map an address to a set, derived once
+/// from a [`CacheDesc`] instead of re-deriving shifts and masks per
+/// lookup. Produced by [`CacheDesc::geometry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeom {
+    /// `log2(line_bytes)`: shift that maps an address to a line number.
+    pub line_bits: u32,
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// `sets - 1`: mask that maps a line number to its set index.
+    pub set_mask: u64,
+    /// Ways per set.
+    pub ways: usize,
+    /// Total lines (`sets * ways`).
+    pub lines: usize,
+}
+
 impl CacheDesc {
     /// Number of lines in the cache.
     ///
@@ -70,6 +88,29 @@ impl CacheDesc {
     /// Number of sets (`lines / associativity`).
     pub fn num_sets(&self) -> usize {
         self.num_lines() / self.associativity
+    }
+
+    /// The precomputed set-indexing geometry ([`CacheGeom`]) of this
+    /// level.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the set count or the line size is not a power of two
+    /// (the same legality conditions the simulator asserts).
+    pub fn geometry(&self) -> CacheGeom {
+        let sets = self.num_sets();
+        assert!(sets.is_power_of_two(), "cache sets must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        CacheGeom {
+            line_bits: self.line_bytes.trailing_zeros(),
+            sets,
+            set_mask: sets as u64 - 1,
+            ways: self.associativity,
+            lines: sets * self.associativity,
+        }
     }
 
     /// Capacity in 8-byte double-precision words, the unit the paper's

@@ -14,7 +14,7 @@
 
 use crate::profile::SearchProfile;
 use eco_core::model::{estimate_refs, RefEstimate};
-use eco_core::{derive_variants, generate, Engine, EvalJob, Evaluator, Optimizer, ParamValues};
+use eco_core::{derive_variants, generate, Optimizer, ParamValues};
 use eco_kernels::Kernel;
 use eco_machine::MachineDesc;
 
@@ -47,6 +47,10 @@ pub struct AttributionRow {
     pub refs_model: f64,
     /// Simulated accesses reaching the hierarchy (loads + stores).
     pub refs_sim: u64,
+    /// Of `refs_sim`, accesses the simulator fast-forwarded (accounted
+    /// arithmetically instead of walked). Telemetry about how the
+    /// simulation ran; the counters themselves are unaffected.
+    pub ff_sim: u64,
     /// One cell per cache level, then the TLB (label `TLB`).
     pub levels: Vec<LevelCell>,
     /// Human-readable flags (`copy (not modeled)`, `model 8x low at
@@ -81,7 +85,9 @@ pub struct AttributionOptions {
     /// Tuned parameter values of the selected variant (typically read
     /// from the run manifest); adds a `tuned` table for it.
     pub tuned: Option<(String, Vec<(String, u64)>)>,
-    /// Worker threads for the re-measurement engine (0 = auto).
+    /// Worker threads for the re-measurement pass (0 = auto).
+    /// Currently advisory: variants are re-measured serially so their
+    /// fast-forward telemetry can be attributed per table.
     pub threads: usize,
 }
 
@@ -164,11 +170,6 @@ pub fn attribute_run(
         .map_err(|e| format!("kernel '{}' not analyzable: {e}", kernel.name))?;
     let variants = derive_variants(&nest, &machine, &kernel.program);
     let optimizer = Optimizer::new(machine.clone());
-    let engine = Engine::with_config(
-        machine.clone(),
-        eco_core::EngineConfig::new().threads(opts.threads),
-    )
-    .map_err(|e| e.to_string())?;
 
     // Which variants to attribute: the ones the search fully explored,
     // in span order; fall back to the screened list.
@@ -206,14 +207,17 @@ pub fn attribute_run(
             .expect("targets built from variants");
         let program = generate(&kernel, &nest, variant, &params, &machine)
             .map_err(|e| format!("{name}: generation failed: {e}"))?;
-        let counters = engine
-            .eval(
-                EvalJob::new(
-                    program.clone(),
-                    eco_exec::Params::new().with(kernel.size, n),
-                )
-                .attributed(true)
-                .with_label(format!("report/{name}")),
+        // Measured through the compiled plan directly (not the engine):
+        // the attribution table also reports the simulator's per-tag
+        // fast-forward telemetry, which only `measure_attributed_with_stats`
+        // exposes.
+        let plan = eco_exec::ExecutablePlan::compile(&program)
+            .map_err(|e| format!("{name}: compilation failed: {e}"))?;
+        let (counters, sim) = plan
+            .measure_attributed_with_stats(
+                &eco_exec::Params::new().with(kernel.size, n),
+                &machine,
+                &eco_exec::LayoutOptions::default(),
             )
             .map_err(|e| format!("{name}: measurement failed: {e}"))?;
         let model = estimate_refs(&nest, variant, &params, &machine, n as u64);
@@ -285,6 +289,7 @@ pub fn attribute_run(
                 array: array_name,
                 refs_model,
                 refs_sim: tag.accesses,
+                ff_sim: sim.per_tag_ff.get(ti).copied().unwrap_or(0),
                 levels,
                 flags,
             });

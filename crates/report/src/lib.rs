@@ -38,7 +38,9 @@ pub use profile::{LineageNode, SearchProfile, SpanNode, SpanTree, StageRow, Vari
 pub use render::{
     render_attribution_ascii, render_attribution_csv, render_profile_ascii, render_profile_csv,
 };
-pub use trajectory::{compare_trajectories, render_comparison, Comparison, MetricDelta};
+pub use trajectory::{
+    compare_trajectories, render_comparison, render_comparison_html, Comparison, MetricDelta,
+};
 
 use eco_events::read::read_records;
 use eco_events::StreamSummary;

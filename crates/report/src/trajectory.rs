@@ -204,6 +204,62 @@ pub fn render_comparison(cmp: &Comparison) -> String {
     out
 }
 
+/// Renders a comparison as a standalone HTML page (the CI artifact of
+/// the trajectory gate). Deterministic for a given comparison.
+pub fn render_comparison_html(cmp: &Comparison) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;")
+    }
+    let verdict = if cmp.passed() { "PASS" } else { "FAIL" };
+    let color = if cmp.passed() { "#2e7d32" } else { "#c62828" };
+    let mut s = String::from(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         <title>Trajectory comparison</title>\n<style>\n\
+         body{font-family:sans-serif;margin:2em;max-width:60em}\n\
+         table{border-collapse:collapse}\n\
+         th,td{border:1px solid #ccc;padding:0.3em 0.7em;text-align:right}\n\
+         th:first-child,td:first-child{text-align:left}\n\
+         tr.regressed{background:#ffebee}\n\
+         </style></head><body>\n",
+    );
+    let _ = writeln!(
+        s,
+        "<h2>Trajectory comparison: <span style=\"color:{color}\">{verdict}</span> \
+         (threshold {:.0}%)</h2>",
+        cmp.threshold_pct
+    );
+    if !cmp.deltas.is_empty() {
+        s.push_str("<table>\n<tr><th>metric</th><th>old</th><th>new</th><th>gain</th></tr>\n");
+        for d in &cmp.deltas {
+            let class = if cmp.regressions.contains(d) {
+                " class=\"regressed\""
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                s,
+                "<tr{class}><td>{}</td><td>{:.3}</td><td>{:.3}</td><td>{:+.1}%</td></tr>",
+                esc(&d.path),
+                d.old,
+                d.new,
+                d.gain_pct
+            );
+        }
+        s.push_str("</table>\n");
+    }
+    if !cmp.notes.is_empty() {
+        s.push_str("<h3>Notes</h3>\n<ul>\n");
+        for n in &cmp.notes {
+            let _ = writeln!(s, "<li>{}</li>", esc(n));
+        }
+        s.push_str("</ul>\n");
+    }
+    s.push_str("</body></html>\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +319,20 @@ mod tests {
         let cmp = compare_trajectories(&old, &slow, 25.0);
         assert_eq!(cmp.regressions.len(), 1);
         assert_eq!(cmp.regressions[0].path, "figures.fig6.wall_secs");
+    }
+
+    #[test]
+    fn html_rendering_marks_regressions_and_escapes() {
+        let old = traj(1000.0, 2.0, "0xabc");
+        let new = traj(400.0, 2.0, "0x<b>");
+        let cmp = compare_trajectories(&old, &new, 25.0);
+        let html = render_comparison_html(&cmp);
+        assert!(html.contains("FAIL"));
+        assert!(html.contains("class=\"regressed\""));
+        assert!(html.contains("0x&lt;b&gt;"), "notes must be HTML-escaped");
+        assert!(!html.contains("0x<b>"));
+        let ok = compare_trajectories(&old, &old, 25.0);
+        assert!(render_comparison_html(&ok).contains("PASS"));
     }
 
     #[test]
