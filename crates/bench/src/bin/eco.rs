@@ -11,6 +11,8 @@
 //! eco report --compare OLD NEW        benchmark-trajectory regression gate
 //! eco serve [opts]                    autotuning daemon on a Unix socket
 //! eco client <op> [opts]              one request against a running daemon
+//! eco top [--socket S] [--once]       live metrics dashboard for a daemon
+//! eco trace [FINGERPRINT] [opts]      span-tree report of a served request
 //!
 //! options:
 //!   --machine sgi|sun    target machine model       (default sgi)
@@ -34,12 +36,25 @@
 //!   --socket PATH        Unix socket to listen on   (default eco.sock)
 //!   --threads/--engine/--store  engine configuration for every request
 //!   --events FILE        request-level serve event stream
+//!   --log-level L        stderr verbosity: quiet|info|debug (default info)
+//!   --slow-ms N          slow-request log threshold in ms (default 1000)
 //!
 //! client ops: `ping`, `stats`, `store-stats`, `shutdown` print the
-//! server's JSON response; `tune <kernel>` takes the tune options above
-//! (machine, search size, strategy, certify, manifest) and sends one
-//! serialized `TuneRequest` — the daemon answers with the same
-//! deterministic manifest a local `eco tune --manifest` writes.
+//! server's JSON response; `metrics` prints the daemon's Prometheus
+//! text exposition; `watch <FINGERPRINT>` streams a live request's
+//! event lines until it completes; `tune <kernel>` takes the tune
+//! options above (machine, search size, strategy, certify, manifest)
+//! and sends one serialized `TuneRequest` — the daemon answers with
+//! the same deterministic manifest a local `eco tune --manifest`
+//! writes.
+//!
+//! `eco top` polls the daemon's `metrics` op and renders a
+//! serve/engine/store/sweep dashboard with rates and latency
+//! quantiles (`--interval SECS`, default 2); `--once` prints a single
+//! deterministic snapshot. `eco trace [FINGERPRINT]` fetches a
+//! completed request's stored event stream from the daemon (latest
+//! request when the fingerprint is omitted) and renders it through
+//! the `eco report` span-tree profile.
 //!
 //! report options:
 //!   --events PATH        event stream file, or a directory of `*.jsonl` streams
@@ -67,7 +82,7 @@
 
 use eco_analysis::NestInfo;
 use eco_bench::cli::{flag_value, parse_machine, EngineFlags};
-use eco_bench::serve::{self, ServeConfig, Server};
+use eco_bench::serve::{self, LogLevel, ServeConfig, Server};
 use eco_core::{
     derive_variants, describe_variant, run_manifest, EngineConfig, SearchOptions, SearchStrategy,
     TuneRequest,
@@ -203,7 +218,8 @@ fn main() {
     let result = match args.split_first() {
         Some((cmd, rest)) => dispatch(cmd, rest),
         None => Err(
-            "usage: eco <kernels|show|variants|tune|lint|measure|report|serve|client> ...".into(),
+            "usage: eco <kernels|show|variants|tune|lint|measure|report|serve|client|top|trace> ..."
+                .into(),
         ),
     };
     if let Err(e) = result {
@@ -379,6 +395,8 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
         "report" => report_cmd(rest),
         "serve" => serve_cmd(rest),
         "client" => client_cmd(rest),
+        "top" => top_cmd(rest),
+        "trace" => trace_cmd(rest),
         other => Err(format!("unknown command {other}")),
     }
 }
@@ -387,11 +405,19 @@ fn serve_cmd(rest: &[String]) -> Result<(), String> {
     let mut socket = "eco.sock".to_string();
     let mut engine = EngineFlags::new();
     let mut events = None;
+    let mut log_level = LogLevel::default();
+    let mut slow_ms = 1000u64;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--socket" => socket = flag_value("--socket", &mut it)?,
             "--events" => events = Some(flag_value("--events", &mut it)?),
+            "--log-level" => log_level = LogLevel::parse(&flag_value("--log-level", &mut it)?)?,
+            "--slow-ms" => {
+                slow_ms = flag_value("--slow-ms", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("bad --slow-ms: {e}"))?
+            }
             other => {
                 if !engine.accept(other, &mut it)? {
                     return Err(format!("unknown serve option {other}"));
@@ -400,19 +426,106 @@ fn serve_cmd(rest: &[String]) -> Result<(), String> {
         }
     }
     let server = Server::bind(ServeConfig {
-        socket: socket.clone().into(),
+        socket: socket.into(),
         engine: engine.apply(EngineConfig::new()),
         events,
+        log_level,
+        slow_ms,
     })?;
-    println!("eco serve: listening on {socket}");
     server.run()
+}
+
+fn top_cmd(rest: &[String]) -> Result<(), String> {
+    let mut socket = "eco.sock".to_string();
+    let mut once = false;
+    let mut interval = 2.0f64;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = flag_value("--socket", &mut it)?,
+            "--once" => once = true,
+            "--interval" => {
+                interval = flag_value("--interval", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("bad --interval: {e}"))?
+            }
+            other => return Err(format!("unknown top option {other}")),
+        }
+    }
+    eco_bench::top::run(std::path::Path::new(&socket), once, interval)
+}
+
+fn trace_cmd(rest: &[String]) -> Result<(), String> {
+    use eco_core::events::Json;
+    let mut socket = "eco.sock".to_string();
+    let mut fingerprint: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = flag_value("--socket", &mut it)?,
+            other if fingerprint.is_none() && !other.starts_with("--") => {
+                fingerprint = Some(other.to_string());
+            }
+            other => return Err(format!("unknown trace option {other}")),
+        }
+    }
+    let mut line = Json::obj().field("op", Json::str("trace"));
+    if let Some(fp) = &fingerprint {
+        line = line.field("fingerprint", Json::str(fp));
+    }
+    let response = serve::request(std::path::Path::new(&socket), &line)?;
+    if response.get("ok").and_then(Json::as_bool) != Some(true) {
+        let msg = response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("trace request failed");
+        return Err(format!("server: {msg}"));
+    }
+    let fp = response
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .unwrap_or("?");
+    let op = response.get("op").and_then(Json::as_str).unwrap_or("?");
+    let events = response
+        .get("events")
+        .and_then(Json::as_str)
+        .ok_or("trace response has no 'events' field")?;
+    println!("trace {fp} ({op} request)");
+    if events.trim().is_empty() {
+        println!("(no events captured for this request)");
+    } else {
+        // The stored stream renders through the same span-tree profile
+        // as `eco report`; attribution needs a live engine, so skip it.
+        let opts = eco_report::ReportOptions {
+            attribute: false,
+            ..Default::default()
+        };
+        let report = eco_report::analyze_stream(events, &format!("trace:{fp}"), &opts)?;
+        print!("{}", eco_report::render_profile_ascii(&report));
+    }
+    if let Some(doc) = response.get("response") {
+        if let Some(stats) = doc.get("engine_stats") {
+            println!("engine: {}", stats.render_compact());
+        }
+        if let Some(variant) = doc
+            .get_path("manifest.selected.variant")
+            .and_then(Json::as_str)
+        {
+            let cycles = doc
+                .get_path("manifest.selected.cycles")
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            println!("selected {variant} ({cycles} cycles)");
+        }
+    }
+    Ok(())
 }
 
 fn client_cmd(rest: &[String]) -> Result<(), String> {
     use eco_core::events::Json;
-    let usage = "usage: eco client <ping|stats|store-stats|shutdown|tune> [--socket PATH] \
-                 [tune: <kernel> --machine M --scale F --search-n N --strategy S --certify \
-                 --manifest FILE]";
+    let usage = "usage: eco client <ping|stats|store-stats|metrics|watch|shutdown|tune> \
+                 [--socket PATH] [watch: <FINGERPRINT>] [tune: <kernel> --machine M --scale F \
+                 --search-n N --strategy S --certify --manifest FILE]";
     let (op, rest) = rest.split_first().ok_or(usage)?;
     let mut socket = "eco.sock".to_string();
     let mut manifest = None;
@@ -425,8 +538,21 @@ fn client_cmd(rest: &[String]) -> Result<(), String> {
             other => tune_args.push(other.to_string()),
         }
     }
+    if op == "watch" {
+        let fp_text = tune_args
+            .first()
+            .ok_or("usage: eco client watch <FINGERPRINT> [--socket PATH]")?;
+        let text = fp_text.strip_prefix("0x").unwrap_or(fp_text);
+        let fp =
+            u64::from_str_radix(text, 16).map_err(|e| format!("bad fingerprint {fp_text}: {e}"))?;
+        // Raw JSONL to stdout: pipeable into a file for `eco report`.
+        serve::watch(std::path::Path::new(&socket), fp, |line| println!("{line}"))?;
+        return Ok(());
+    }
     let line = match op.as_str() {
-        "ping" | "stats" | "store-stats" | "shutdown" => Json::obj().field("op", Json::str(op)),
+        "ping" | "stats" | "store-stats" | "metrics" | "shutdown" => {
+            Json::obj().field("op", Json::str(op))
+        }
         "tune" => {
             let (kernel, optargs) = tune_args
                 .split_first()
@@ -451,7 +577,15 @@ fn client_cmd(rest: &[String]) -> Result<(), String> {
             .unwrap_or("request failed");
         return Err(format!("server: {msg}"));
     }
-    if op == "tune" {
+    if op == "metrics" {
+        print!(
+            "{}",
+            response
+                .get("metrics")
+                .and_then(Json::as_str)
+                .ok_or("metrics response has no 'metrics' field")?
+        );
+    } else if op == "tune" {
         let doc = response
             .get("manifest")
             .ok_or("server response has no manifest")?;

@@ -8,6 +8,7 @@ pub mod cli;
 pub mod figures;
 pub mod serve;
 pub mod sweep;
+pub mod top;
 
 use eco_exec::{measure, Counters, EvalJob, Evaluator, LayoutOptions, Params};
 use eco_ir::{AffineExpr, Program};

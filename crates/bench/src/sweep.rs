@@ -28,6 +28,7 @@ use crate::Sweep;
 use eco_core::events::{names, Attrs, EventStream, Fnv64, Json};
 use eco_core::{Engine, EngineConfig, Evaluator, Shard, ShardKind, SweepPlan, SweepSpec};
 use eco_exec::{EvalJob, Params};
+use eco_metrics::{Counter, Gauge, Registry};
 use eco_store::{counters_from_json, counters_to_json, ResultStore};
 use std::collections::{BTreeMap, VecDeque};
 use std::fs;
@@ -44,6 +45,50 @@ fn hex(fp: u64) -> String {
     format!("{fp:#018x}")
 }
 
+/// Process-wide sweep counters (see `eco-metrics`): shard lifecycle
+/// totals and a points-per-second throughput gauge. Observability
+/// only — never read back into sweep decisions, manifests or goldens.
+struct SweepMetrics {
+    started: Arc<Counter>,
+    completed: Arc<Counter>,
+    failed: Arc<Counter>,
+    resumed: Arc<Counter>,
+    points_per_second: Arc<Gauge>,
+}
+
+impl SweepMetrics {
+    fn resolve() -> SweepMetrics {
+        let r = Registry::global();
+        SweepMetrics {
+            started: r.counter(
+                "eco_sweep_shards_started_total",
+                "Shard executions started in this process.",
+                &[],
+            ),
+            completed: r.counter(
+                "eco_sweep_shards_completed_total",
+                "Shard executions that finished successfully.",
+                &[],
+            ),
+            failed: r.counter(
+                "eco_sweep_shards_failed_total",
+                "Shard executions that returned an error.",
+                &[],
+            ),
+            resumed: r.counter(
+                "eco_sweep_shards_resumed_total",
+                "Shards skipped because a completion record already existed.",
+                &[],
+            ),
+            points_per_second: r.gauge(
+                "eco_sweep_points_per_second",
+                "Requested evaluation points per wall second of the most recent shard.",
+                &[],
+            ),
+        }
+    }
+}
+
 /// Executes one shard on a fresh engine built from `config`, wrapping
 /// the work in a `shard` span on the engine's event stream.
 ///
@@ -57,7 +102,25 @@ fn hex(fp: u64) -> String {
 /// Returns a message when the engine cannot be built, the family is
 /// unknown, a search fails, or a measurement fails.
 pub fn execute_shard(shard: &Shard, config: EngineConfig) -> Result<Json, String> {
-    let engine = Engine::with_config(shard.machine.clone(), config)
+    execute_shard_with_events(shard, config, None)
+}
+
+/// [`execute_shard`] with an injected event stream: the daemon routes
+/// a shard's search/engine events into the in-memory buffer its
+/// `watch` op tails. `None` falls back to the config's `events_path`.
+///
+/// # Errors
+///
+/// Same conditions as [`execute_shard`].
+pub fn execute_shard_with_events(
+    shard: &Shard,
+    config: EngineConfig,
+    injected_events: Option<Arc<EventStream>>,
+) -> Result<Json, String> {
+    let metrics = SweepMetrics::resolve();
+    metrics.started.inc();
+    let started = Instant::now();
+    let engine = Engine::with_config_and_events(shard.machine.clone(), config, injected_events)
         .map_err(|e| format!("shard engine: {e}"))?;
     // Span-less bracketing events: the search and evaluation open
     // their own root spans on this stream, so a wrapping span here
@@ -73,14 +136,25 @@ pub fn execute_shard(shard: &Shard, config: EngineConfig) -> Result<Json, String
             .str("fingerprint", hex(shard.fingerprint())),
     );
     let result = execute_on(shard, &engine);
-    scope.event(
-        names::SHARD_DONE,
-        None,
-        Attrs::new()
-            .str("fingerprint", hex(shard.fingerprint()))
-            .bool("ok", result.is_ok()),
-    );
+    let mut attrs = Attrs::new()
+        .str("fingerprint", hex(shard.fingerprint()))
+        .bool("ok", result.is_ok());
+    if let Err(error) = &result {
+        attrs = attrs.str("error", error);
+    }
+    scope.event(names::SHARD_DONE, None, attrs);
     scope.flush();
+    match &result {
+        Ok(_) => {
+            metrics.completed.inc();
+            let wall = started.elapsed().as_secs_f64();
+            if wall > 0.0 {
+                let pps = engine.stats().requested as f64 / wall;
+                metrics.points_per_second.set(pps as i64);
+            }
+        }
+        Err(_) => metrics.failed.inc(),
+    }
     result
 }
 
@@ -342,18 +416,21 @@ struct Running {
     log: PathBuf,
 }
 
-fn shard_done_event(events: &EventStream, shard: &Shard, status: &str, wall_ms: u64) {
-    events.event(
-        names::SHARD_DONE,
-        None,
-        Attrs::new()
-            .str("fingerprint", hex(shard.fingerprint()))
-            .str("figure", &shard.figure)
-            .str("family", &shard.family)
-            .str("kind", shard.kind.as_str())
-            .str("status", status)
-            .uint("wall_ms", wall_ms),
-    );
+/// Emits the orchestrator-side `shard_done` event. A non-empty
+/// `error` (failed shards) is recorded as an `error` attribute so
+/// `eco report` shard timelines can say *why* a shard failed.
+fn shard_done_event(events: &EventStream, shard: &Shard, status: &str, wall_ms: u64, error: &str) {
+    let mut attrs = Attrs::new()
+        .str("fingerprint", hex(shard.fingerprint()))
+        .str("figure", &shard.figure)
+        .str("family", &shard.family)
+        .str("kind", shard.kind.as_str())
+        .str("status", status)
+        .uint("wall_ms", wall_ms);
+    if !error.is_empty() {
+        attrs = attrs.str("error", error);
+    }
+    events.event(names::SHARD_DONE, None, attrs);
 }
 
 fn shard_spawn_event(events: &EventStream, shard: &Shard) {
@@ -477,7 +554,8 @@ fn partition_complete<'p>(
     for &shard in pending {
         if store.shard_complete(shard.fingerprint()).is_some() {
             skipped += 1;
-            shard_done_event(events, shard, "skipped", 0);
+            SweepMetrics::resolve().resumed.inc();
+            shard_done_event(events, shard, "skipped", 0, "");
             if verbose {
                 println!(
                     "   skip    {} ({}/{} already complete)",
@@ -522,8 +600,8 @@ fn run_stage_local(
                     // clean exit without a record is still a failure.
                     let ok =
                         status.success() && store.shard_complete(r.shard.fingerprint()).is_some();
-                    shard_done_event(events, &r.shard, if ok { "ok" } else { "failed" }, wall_ms);
                     if ok {
+                        shard_done_event(events, &r.shard, "ok", wall_ms, "");
                         executed += 1;
                         if config.verbose {
                             println!(
@@ -535,19 +613,21 @@ fn run_stage_local(
                             );
                         }
                     } else {
+                        let error = format!("worker exited {status}; log: {}", r.log.display());
+                        shard_done_event(events, &r.shard, "failed", wall_ms, &error);
                         failures.push(format!(
-                            "{} ({}/{}): worker exited {status}; log: {}",
+                            "{} ({}/{}): {error}",
                             hex(r.shard.fingerprint()),
                             r.shard.family,
                             r.shard.kind.as_str(),
-                            r.log.display()
                         ));
                     }
                 }
                 Err(e) => {
-                    shard_done_event(events, &r.shard, "failed", 0);
+                    let error = format!("cannot wait on worker: {e}");
+                    shard_done_event(events, &r.shard, "failed", 0, &error);
                     failures.push(format!(
-                        "{} ({}/{}): cannot wait on worker: {e}",
+                        "{} ({}/{}): {error}",
                         hex(r.shard.fingerprint()),
                         r.shard.family,
                         r.shard.kind.as_str()
@@ -665,7 +745,7 @@ fn run_stage_remote(
                 match outcome {
                     Ok(()) => {
                         executed.fetch_add(1, Ordering::SeqCst);
-                        shard_done_event(events, shard, "ok", wall_ms);
+                        shard_done_event(events, shard, "ok", wall_ms, "");
                         if config.verbose {
                             println!(
                                 "   ok      {} ({}/{} remote in {:.1}s)",
@@ -677,7 +757,7 @@ fn run_stage_remote(
                         }
                     }
                     Err(e) => {
-                        shard_done_event(events, shard, "failed", wall_ms);
+                        shard_done_event(events, shard, "failed", wall_ms, &e);
                         fails.lock().expect("fails lock").push(format!(
                             "{} ({}/{}): {e}",
                             hex(fp),

@@ -82,8 +82,12 @@ pub mod names {
     pub const STORE_ERROR: &str = "store_error";
     /// `eco serve` accepted a request (op, client id).
     pub const SERVE_REQUEST: &str = "serve_request";
-    /// `eco serve` finished a request (status, wall time).
+    /// `eco serve` finished a request (status, wall time; an `error`
+    /// attribute carries the failure string on error paths).
     pub const SERVE_DONE: &str = "serve_done";
+    /// `eco serve` handled a request slower than its `--slow-ms`
+    /// threshold (op, wall time).
+    pub const SERVE_SLOW: &str = "serve_slow";
     /// A sweep orchestrator started executing a plan (figure, shard
     /// totals, workers).
     pub const SWEEP_BEGIN: &str = "sweep_begin";

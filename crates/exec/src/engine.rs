@@ -107,6 +107,7 @@ use eco_cachesim::Counters;
 use eco_events::{json_escape, names, Attrs, EventStream, Fnv64, Json, SpanId};
 use eco_ir::Program;
 use eco_machine::MachineDesc;
+use eco_metrics::{Counter, Histogram, Registry};
 use eco_store::{ResultStore, StoreKey};
 
 /// One search point: a generated program plus everything that affects
@@ -465,6 +466,75 @@ pub trait Evaluator {
     }
 }
 
+/// Process-wide metric handles, resolved once per engine so the hot
+/// paths pay only relaxed atomic increments. Like
+/// [`EngineStats::store_hits`], metrics are operational telemetry and
+/// never enter run manifests or golden results.
+#[derive(Debug)]
+struct EngineMetrics {
+    requested: Arc<Counter>,
+    evaluated: Arc<Counter>,
+    memo_hits: Arc<Counter>,
+    store_hits: Arc<Counter>,
+    dedup_waits: Arc<Counter>,
+    errors: Arc<Counter>,
+    ff_windows: Arc<Counter>,
+    ff_accesses: Arc<Counter>,
+    plan_compiles: Arc<Counter>,
+    eval_duration_us: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    fn resolve() -> EngineMetrics {
+        let r = Registry::global();
+        let c = |name: &str, help: &str| r.counter(name, help, &[]);
+        EngineMetrics {
+            requested: c(
+                "eco_engine_points_requested_total",
+                "Points submitted to eval_batch.",
+            ),
+            evaluated: c(
+                "eco_engine_points_evaluated_total",
+                "Unique points resolved (simulated or store-read).",
+            ),
+            memo_hits: c(
+                "eco_engine_memo_hits_total",
+                "Points served from the in-process memo cache.",
+            ),
+            store_hits: c(
+                "eco_engine_store_hits_total",
+                "Unique points served from the persistent store.",
+            ),
+            dedup_waits: c(
+                "eco_engine_dedup_waits_total",
+                "Points that waited on a concurrent batch's in-flight result.",
+            ),
+            errors: c(
+                "eco_engine_eval_errors_total",
+                "Unique points that failed to evaluate.",
+            ),
+            ff_windows: c(
+                "eco_engine_ff_windows_total",
+                "Simulator windows resolved by exact fast-forward.",
+            ),
+            ff_accesses: c(
+                "eco_engine_ff_accesses_total",
+                "Accesses accounted arithmetically by fast-forward.",
+            ),
+            plan_compiles: c(
+                "eco_engine_plan_compiles_total",
+                "Programs lowered to an executable plan.",
+            ),
+            eval_duration_us: r.histogram(
+                "eco_engine_eval_duration_us",
+                "Wall time per unique point (store read or simulation), microseconds.",
+                &[],
+                eco_metrics::LATENCY_US_BOUNDS,
+            ),
+        }
+    }
+}
+
 /// The production [`Evaluator`]: a thread-pool simulator with a
 /// content-addressed memo cache and optional JSONL telemetry.
 #[derive(Debug)]
@@ -489,6 +559,8 @@ pub struct Engine {
     /// cell instead of re-simulating. Lock order: `memo` before
     /// `inflight` (both are only ever taken in that order).
     inflight: Mutex<HashMap<EvalKey, Arc<InflightCell>>>,
+    /// Live service metrics (process-wide registry handles).
+    metrics: EngineMetrics,
 }
 
 /// The rendezvous for one in-flight evaluation: the owning batch fills
@@ -546,6 +618,22 @@ impl Engine {
     /// cannot be opened ([`ExecError::Store`]) — detected here, before
     /// any evaluation runs, so a bad path fails fast.
     pub fn with_config(machine: MachineDesc, config: EngineConfig) -> Result<Self, ExecError> {
+        Engine::with_config_and_events(machine, config, None)
+    }
+
+    /// Like [`with_config`](Self::with_config), but writing events to
+    /// a caller-supplied stream instead of opening
+    /// `config.events_path`. The `eco serve` daemon uses this to tail
+    /// a live request's engine events over a `watch` connection.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`with_config`](Self::with_config).
+    pub fn with_config_and_events(
+        machine: MachineDesc,
+        config: EngineConfig,
+        injected_events: Option<Arc<EventStream>>,
+    ) -> Result<Self, ExecError> {
         let telemetry_err = |kind: &str, path: &PathBuf, e: std::io::Error| ExecError::Telemetry {
             kind: kind.to_string(),
             path: path.display().to_string(),
@@ -558,11 +646,12 @@ impl Engine {
             }
             None => None,
         };
-        let events = match &config.events_path {
-            Some(path) => Some(Arc::new(
+        let events = match (injected_events, &config.events_path) {
+            (Some(stream), _) => Some(stream),
+            (None, Some(path)) => Some(Arc::new(
                 EventStream::to_file(path).map_err(|e| telemetry_err("events", path, e))?,
             )),
-            None => None,
+            (None, None) => None,
         };
         let store = match &config.store_path {
             Some(path) => Some(ResultStore::open(path).map_err(|e| ExecError::Store {
@@ -601,6 +690,7 @@ impl Engine {
             seq: AtomicUsize::new(0),
             store,
             inflight: Mutex::new(HashMap::new()),
+            metrics: EngineMetrics::resolve(),
             machine,
         })
     }
@@ -630,6 +720,7 @@ impl Engine {
         }
         let started = Instant::now();
         let plan = Arc::new(ExecutablePlan::compile(program)?);
+        self.metrics.plan_compiles.inc();
         if let Some(events) = &self.events {
             let s = plan.lowering_stats();
             events.event(
@@ -830,6 +921,7 @@ impl Evaluator for Engine {
                 }
             };
             let wall_us = started.elapsed().as_micros() as u64;
+            self.metrics.eval_duration_us.observe(wall_us);
             if let Some(mut g) = guard {
                 g.cell.fill(result.clone());
                 g.armed = false;
@@ -879,17 +971,33 @@ impl Evaluator for Engine {
             }
         }
         {
+            let errors = ran.iter().filter(|(r, _, _, _)| r.is_err()).count() as u64;
+            let store_hits = ran.iter().filter(|(_, _, hit, _)| *hit).count() as u64;
+            let (mut ff_windows, mut ff_accesses) = (0u64, 0u64);
+            for (_, _, _, (fw, fa)) in &ran {
+                ff_windows += fw;
+                ff_accesses += fa;
+            }
             let mut stats = self.stats.lock().expect("stats lock");
             stats.requested += jobs.len() as u64;
             stats.evaluated += unique.len() as u64;
             stats.cache_hits += (jobs.len() - unique.len() - waits.len()) as u64;
-            stats.errors += ran.iter().filter(|(r, _, _, _)| r.is_err()).count() as u64;
-            stats.store_hits += ran.iter().filter(|(_, _, hit, _)| *hit).count() as u64;
+            stats.errors += errors;
+            stats.store_hits += store_hits;
             stats.dedup_waits += waits.len() as u64;
-            for (_, _, _, (fw, fa)) in &ran {
-                stats.ff_windows += fw;
-                stats.ff_accesses += fa;
-            }
+            stats.ff_windows += ff_windows;
+            stats.ff_accesses += ff_accesses;
+            drop(stats);
+            let m = &self.metrics;
+            m.requested.add(jobs.len() as u64);
+            m.evaluated.add(unique.len() as u64);
+            m.memo_hits
+                .add((jobs.len() - unique.len() - waits.len()) as u64);
+            m.errors.add(errors);
+            m.store_hits.add(store_hits);
+            m.dedup_waits.add(waits.len() as u64);
+            m.ff_windows.add(ff_windows);
+            m.ff_accesses.add(ff_accesses);
         }
         let mut out = Vec::with_capacity(jobs.len());
         for (i, slot) in slots.iter().enumerate() {

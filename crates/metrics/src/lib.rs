@@ -1,0 +1,672 @@
+//! In-process service metrics: counters, gauges and fixed-bucket
+//! histograms behind a registry with deterministic, Prometheus-text
+//! compatible exposition.
+//!
+//! Zero dependencies (the container is offline) and near-zero cost on
+//! hot paths: instrumented subsystems resolve their handles
+//! ([`Counter`] / [`Gauge`] / [`Histogram`] `Arc`s) once at
+//! construction, so recording is one or a few relaxed atomic
+//! operations — no locks, no allocation, nothing measurable when no
+//! scraper is attached. The registry mutex is only taken at
+//! registration and at [`Registry::render`] time.
+//!
+//! Metrics are *operational* telemetry and deliberately live outside
+//! the determinism boundary: they never enter run manifests, golden
+//! CSVs or event streams, so enabling or scraping them cannot change
+//! any committed byte (the same contract `EngineStats::store_hits`
+//! already documents).
+//!
+//! The exposition format is the Prometheus text format:
+//!
+//! ```text
+//! # HELP eco_serve_requests_total Requests handled, by op.
+//! # TYPE eco_serve_requests_total counter
+//! eco_serve_requests_total{op="ping"} 3
+//! # TYPE eco_engine_eval_duration_us histogram
+//! eco_engine_eval_duration_us_bucket{le="100"} 2
+//! eco_engine_eval_duration_us_bucket{le="+Inf"} 5
+//! eco_engine_eval_duration_us_sum 12345
+//! eco_engine_eval_duration_us_count 5
+//! ```
+//!
+//! Families are rendered sorted by name and label sets sorted within a
+//! family, so the same registry state always renders the same bytes.
+//! [`parse_exposition`] reads the format back (for `eco top`, tests
+//! and CI invariant checks) and [`Exposition::quantile`] estimates
+//! histogram quantiles from the cumulative buckets.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonic counter. All operations are relaxed atomics.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down. Relaxed atomics.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrements by one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency bucket bounds in microseconds: 100µs to 1s.
+pub const LATENCY_US_BOUNDS: &[u64] = &[
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000,
+];
+
+/// A fixed-bucket histogram over `u64` observations (microseconds for
+/// every latency metric in this workspace). One relaxed atomic add per
+/// bucket/sum/count on [`observe`](Self::observe).
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper bounds (inclusive) of the finite buckets, ascending.
+    bounds: Vec<u64>,
+    /// Per-bucket counts (`bounds.len() + 1`, the last is overflow).
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations so far.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bucket counts, one per finite bound plus `+Inf`.
+    fn cumulative(&self) -> Vec<u64> {
+        let mut total = 0;
+        self.buckets
+            .iter()
+            .map(|b| {
+                total += b.load(Ordering::Relaxed);
+                total
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Family {
+    help: String,
+    /// One metric per rendered label set (sorted keys ⇒ deterministic).
+    metrics: BTreeMap<String, Metric>,
+}
+
+/// A namespace of metric families. Most code uses the process-wide
+/// [`Registry::global`]; the `eco serve` daemon additionally keeps a
+/// per-server registry so its request counters are isolated per
+/// instance (and exactly assertable under test).
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+/// Renders a label set as it appears in a sample line; labels are
+/// sorted by key so equal sets render equal.
+fn label_key(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort_unstable();
+    let body: Vec<String> = sorted
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry every subsystem records into.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+        get: impl FnOnce(&Metric) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let mut families = self.families.lock().expect("metrics registry lock");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            metrics: BTreeMap::new(),
+        });
+        let metric = family.metrics.entry(label_key(labels)).or_insert_with(make);
+        get(metric)
+            .unwrap_or_else(|| panic!("metric {name} already registered as a {}", metric.kind()))
+    }
+
+    /// The counter `name{labels}`, registering it on first sight.
+    /// Re-registration returns the same handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name{labels}` is already registered as another kind.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.register(
+            name,
+            help,
+            labels,
+            || Metric::Counter(Arc::new(Counter::default())),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// The gauge `name{labels}`, registering it on first sight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name{labels}` is already registered as another kind.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.register(
+            name,
+            help,
+            labels,
+            || Metric::Gauge(Arc::new(Gauge::default())),
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// The histogram `name{labels}` with finite bucket `bounds`,
+    /// registering it on first sight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name{labels}` is already registered as another kind,
+    /// or if `bounds` is not strictly ascending.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+    ) -> Arc<Histogram> {
+        self.register(
+            name,
+            help,
+            labels,
+            || Metric::Histogram(Arc::new(Histogram::new(bounds))),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Renders every family in the Prometheus text exposition format,
+    /// deterministically (families by name, label sets sorted).
+    pub fn render(&self) -> String {
+        let families = self.families.lock().expect("metrics registry lock");
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let kind = family
+                .metrics
+                .values()
+                .next()
+                .map_or("counter", Metric::kind);
+            if !family.help.is_empty() {
+                let _ = writeln!(out, "# HELP {name} {}", family.help);
+            }
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (labels, metric) in &family.metrics {
+                match metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(out, "{name}{labels} {}", c.get());
+                    }
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{labels} {}", g.get());
+                    }
+                    Metric::Histogram(h) => {
+                        let cum = h.cumulative();
+                        for (i, bound) in h.bounds.iter().enumerate() {
+                            let le = bucket_label(labels, &bound.to_string());
+                            let _ = writeln!(out, "{name}_bucket{le} {}", cum[i]);
+                        }
+                        let le = bucket_label(labels, "+Inf");
+                        let _ = writeln!(out, "{name}_bucket{le} {}", cum[h.bounds.len()]);
+                        let _ = writeln!(out, "{name}_sum{labels} {}", h.sum());
+                        let _ = writeln!(out, "{name}_count{labels} {}", h.count());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Splices an `le="..."` label into an already-rendered label set.
+fn bucket_label(labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exposition parsing (for `eco top`, tests, and CI invariants)
+// ---------------------------------------------------------------------
+
+/// One parsed sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (histogram samples keep their `_bucket`/`_sum`/
+    /// `_count` suffix).
+    pub name: String,
+    /// Label pairs in sorted order.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: f64,
+}
+
+/// A parsed exposition: samples plus the `# TYPE` declarations.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// Every sample, in document order.
+    pub samples: Vec<Sample>,
+    /// `name → kind` from `# TYPE` lines.
+    pub types: BTreeMap<String, String>,
+}
+
+impl Exposition {
+    /// The value of the sample matching `name` and exactly `labels`.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        want.sort();
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels == want)
+            .map(|s| s.value)
+    }
+
+    /// The sum of every sample named exactly `name`, across all label
+    /// sets (e.g. total requests over all ops). 0.0 when absent.
+    pub fn total(&self, name: &str) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    }
+
+    /// Estimates the `q`-quantile (0..=1) of histogram `name` with
+    /// the given non-`le` labels, from its cumulative `_bucket`
+    /// samples: the upper bound of the first bucket covering the
+    /// target rank (the mean for the overflow bucket). `None` when
+    /// the histogram is absent or empty.
+    pub fn quantile(&self, name: &str, labels: &[(&str, &str)], q: f64) -> Option<f64> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        want.sort();
+        let bucket_name = format!("{name}_bucket");
+        let mut buckets: Vec<(f64, f64)> = Vec::new(); // (le, cumulative)
+        for s in self.samples.iter().filter(|s| s.name == bucket_name) {
+            let mut le = None;
+            let mut rest = Vec::new();
+            for (k, v) in &s.labels {
+                if k == "le" {
+                    le = Some(v.clone());
+                } else {
+                    rest.push((k.clone(), v.clone()));
+                }
+            }
+            if rest != want {
+                continue;
+            }
+            let bound = match le.as_deref() {
+                Some("+Inf") => f64::INFINITY,
+                Some(text) => text.parse().ok()?,
+                None => continue,
+            };
+            buckets.push((bound, s.value));
+        }
+        buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite-or-inf bounds"));
+        let total = buckets.last().map(|&(_, c)| c)?;
+        if total <= 0.0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * total;
+        for &(bound, cum) in &buckets {
+            if cum >= target {
+                if bound.is_infinite() {
+                    // Overflow bucket: fall back to the mean.
+                    let sum = self.value(&format!("{name}_sum"), labels)?;
+                    return Some(sum / total);
+                }
+                return Some(bound);
+            }
+        }
+        None
+    }
+}
+
+/// Parses a Prometheus text exposition (the subset [`Registry::render`]
+/// emits: `# HELP`/`# TYPE` comments and `name{labels} value` samples).
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut out = Exposition::default();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.splitn(2, ' ');
+            let name = it.next().unwrap_or_default();
+            let kind = it
+                .next()
+                .ok_or(format!("line {}: TYPE without kind", no + 1))?;
+            out.types.insert(name.to_string(), kind.trim().to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        out.samples
+            .push(parse_sample(line).map_err(|e| format!("line {}: {e}", no + 1))?);
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_labels, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("no value in {line:?}"))?;
+    let value: f64 = value
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad value in {line:?}"))?;
+    let (name, labels) = match name_labels.find('{') {
+        Some(open) => {
+            let body = name_labels[open..]
+                .strip_prefix('{')
+                .and_then(|s| s.strip_suffix('}'))
+                .ok_or_else(|| format!("unclosed labels in {line:?}"))?;
+            (&name_labels[..open], parse_labels(body)?)
+        }
+        None => (name_labels, Vec::new()),
+    };
+    let mut labels = labels;
+    labels.sort();
+    Ok(Sample {
+        name: name.trim().to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=' in {body:?}"))?;
+        let key = rest[..eq].trim().to_string();
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("unquoted label value in {body:?}"))?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    let (_, esc) = chars
+                        .next()
+                        .ok_or_else(|| format!("dangling escape in {body:?}"))?;
+                    value.push(esc);
+                }
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value in {body:?}"))?;
+        labels.push((key, value));
+        rest = rest[end + 1..].trim_start_matches(',');
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_histograms_render_deterministically() {
+        let r = Registry::new();
+        let ping = r.counter(
+            "eco_serve_requests_total",
+            "Requests by op.",
+            &[("op", "ping")],
+        );
+        let tune = r.counter(
+            "eco_serve_requests_total",
+            "Requests by op.",
+            &[("op", "tune")],
+        );
+        let inflight = r.gauge("eco_serve_inflight", "In-flight requests.", &[]);
+        let lat = r.histogram("eco_lat_us", "Latency.", &[], &[10, 100]);
+        ping.inc();
+        ping.inc();
+        tune.add(3);
+        inflight.set(2);
+        lat.observe(5);
+        lat.observe(50);
+        lat.observe(5_000);
+        let text = r.render();
+        assert_eq!(text, r.render(), "same state, same bytes");
+        let expected = "\
+# HELP eco_lat_us Latency.
+# TYPE eco_lat_us histogram
+eco_lat_us_bucket{le=\"10\"} 1
+eco_lat_us_bucket{le=\"100\"} 2
+eco_lat_us_bucket{le=\"+Inf\"} 3
+eco_lat_us_sum 5055
+eco_lat_us_count 3
+# HELP eco_serve_inflight In-flight requests.
+# TYPE eco_serve_inflight gauge
+eco_serve_inflight 2
+# HELP eco_serve_requests_total Requests by op.
+# TYPE eco_serve_requests_total counter
+eco_serve_requests_total{op=\"ping\"} 2
+eco_serve_requests_total{op=\"tune\"} 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn reregistration_returns_the_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("c_total", "h", &[("k", "v")]);
+        let b = r.counter("c_total", "h", &[("k", "v")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+        // Label order does not matter.
+        let c = r.counter("multi_total", "h", &[("a", "1"), ("b", "2")]);
+        let d = r.counter("multi_total", "h", &[("b", "2"), ("a", "1")]);
+        assert!(Arc::ptr_eq(&c, &d));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x_total", "h", &[]);
+        let _ = r.gauge("x_total", "h", &[]);
+    }
+
+    #[test]
+    fn exposition_round_trips_and_queries() {
+        let r = Registry::new();
+        r.counter("req_total", "Requests.", &[("op", "a b\"c")])
+            .add(7);
+        let h = r.histogram("lat_us", "", &[("op", "x")], &[100, 1000]);
+        for v in [50, 60, 70, 500, 5000] {
+            h.observe(v);
+        }
+        let parsed = parse_exposition(&r.render()).expect("parses");
+        assert_eq!(parsed.value("req_total", &[("op", "a b\"c")]), Some(7.0));
+        assert_eq!(parsed.total("req_total"), 7.0);
+        assert_eq!(
+            parsed.types.get("lat_us").map(String::as_str),
+            Some("histogram")
+        );
+        assert_eq!(parsed.value("lat_us_count", &[("op", "x")]), Some(5.0));
+        assert_eq!(parsed.value("lat_us_sum", &[("op", "x")]), Some(5680.0));
+        // p50 of {50,60,70,500,5000} lands in the first bucket (≤100).
+        assert_eq!(parsed.quantile("lat_us", &[("op", "x")], 0.5), Some(100.0));
+        assert_eq!(parsed.quantile("lat_us", &[("op", "x")], 0.8), Some(1000.0));
+        // p100 hits the overflow bucket → mean estimate.
+        assert_eq!(
+            parsed.quantile("lat_us", &[("op", "x")], 1.0),
+            Some(5680.0 / 5.0)
+        );
+        assert_eq!(parsed.quantile("lat_us", &[("op", "y")], 0.5), None);
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let r = Registry::new();
+        let c = r.counter("n_total", "h", &[]);
+        let h = r.histogram("hh", "h", &[], &[10]);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(i % 20);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        assert_eq!(h.count(), 8000);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = Registry::global();
+        let b = Registry::global();
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -5,7 +5,7 @@
 //! and constraints, then lets empirical measurement overrule it. This
 //! module makes that tension visible: for every variant a run searched,
 //! it regenerates the variant's program, re-measures it with per-array
-//! attribution ([`EvalJob::attributed`]), and joins the simulator's
+//! attribution ([`eco_core::EvalJob::attributed`]), and joins the simulator's
 //! per-tag counters against the static model's per-reference
 //! predictions ([`eco_core::model::estimate_refs`]) — one table per
 //! variant, one row per array, one column pair per memory level

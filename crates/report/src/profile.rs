@@ -259,6 +259,8 @@ pub struct ShardRow {
     pub status: String,
     /// Wall time of the worker, as the orchestrator saw it.
     pub wall_ms: u64,
+    /// Failure detail for `failed` shards (empty otherwise).
+    pub error: String,
 }
 
 /// One milestone of the winning point's lineage, reconstructed from the
@@ -415,6 +417,7 @@ impl SearchProfile {
                 kind: r.attr_str("kind").unwrap_or_default().to_string(),
                 status: status.to_string(),
                 wall_ms: r.attr_u64("wall_ms").unwrap_or(0),
+                error: r.attr_str("error").unwrap_or_default().to_string(),
             });
         }
 

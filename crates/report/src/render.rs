@@ -130,23 +130,34 @@ pub fn render_profile_ascii(report: &RunReport) -> String {
 
     if !p.shards.is_empty() {
         let _ = writeln!(out, "\nShard timeline:");
-        let mut rows = vec![vec![
+        // The error column appears only when some shard failed with a
+        // recorded error, so all-ok timelines keep their exact shape.
+        let with_error = p.shards.iter().any(|s| !s.error.is_empty());
+        let mut header = vec![
             "shard".to_string(),
             "figure".to_string(),
             "family".to_string(),
             "kind".to_string(),
             "status".to_string(),
             "wall_ms".to_string(),
-        ]];
+        ];
+        if with_error {
+            header.push("error".to_string());
+        }
+        let mut rows = vec![header];
         for s in &p.shards {
-            rows.push(vec![
+            let mut row = vec![
                 s.fingerprint.clone(),
                 s.figure.clone(),
                 s.family.clone(),
                 s.kind.clone(),
                 s.status.clone(),
                 s.wall_ms.to_string(),
-            ]);
+            ];
+            if with_error {
+                row.push(s.error.clone());
+            }
+            rows.push(row);
         }
         table(&mut out, "  ", &rows);
     }

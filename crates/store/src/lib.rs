@@ -37,6 +37,7 @@
 
 use eco_cachesim::{Counters, TagCounters};
 use eco_events::Json;
+use eco_metrics::{Counter, Registry};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -44,7 +45,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Version stamp written into every record; readers reject records
 /// from other versions (forward and backward) instead of guessing.
@@ -144,6 +145,41 @@ struct Inner {
     stats: StoreStats,
 }
 
+/// Process-wide metric handles, resolved once per store handle.
+/// Operational telemetry only: never recorded in manifests or golden
+/// results, and unlike [`StoreStats`] the totals aggregate across
+/// every open handle in the process.
+#[derive(Debug)]
+struct StoreMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    puts: Arc<Counter>,
+    rejected: Arc<Counter>,
+    gc_evicted: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+}
+
+impl StoreMetrics {
+    fn resolve() -> StoreMetrics {
+        let r = Registry::global();
+        let c = |name: &str, help: &str| r.counter(name, help, &[]);
+        StoreMetrics {
+            hits: c("eco_store_hits_total", "Lookups served from disk."),
+            misses: c(
+                "eco_store_misses_total",
+                "Lookups that found no valid record.",
+            ),
+            puts: c("eco_store_puts_total", "Records written."),
+            rejected: c(
+                "eco_store_rejected_total",
+                "Records rejected as corrupt, wrong version, or wrong key.",
+            ),
+            gc_evicted: c("eco_store_gc_evicted_total", "Records evicted by gc."),
+            bytes_written: c("eco_store_bytes_written_total", "Record bytes written."),
+        }
+    }
+}
+
 /// A disk-backed result store rooted at one directory.
 ///
 /// All operations take `&self`; an interior mutex serialises index
@@ -154,6 +190,7 @@ struct Inner {
 pub struct ResultStore {
     root: PathBuf,
     inner: Mutex<Inner>,
+    metrics: StoreMetrics,
 }
 
 impl ResultStore {
@@ -172,6 +209,7 @@ impl ResultStore {
         Ok(ResultStore {
             root,
             inner: Mutex::new(inner),
+            metrics: StoreMetrics::resolve(),
         })
     }
 
@@ -197,11 +235,13 @@ impl ResultStore {
         let clock = inner.clock;
         let Some(text) = text else {
             inner.stats.misses += 1;
+            self.metrics.misses.inc();
             return None;
         };
         match parse_record(&text, key) {
             Some(counters) => {
                 inner.stats.hits += 1;
+                self.metrics.hits.inc();
                 if let Some(entry) = inner.index.get_mut(&key) {
                     entry.last_used = clock;
                 } else {
@@ -219,6 +259,8 @@ impl ResultStore {
             None => {
                 inner.stats.misses += 1;
                 inner.stats.rejected += 1;
+                self.metrics.misses.inc();
+                self.metrics.rejected.inc();
                 None
             }
         }
@@ -236,6 +278,8 @@ impl ResultStore {
         let bytes = doc.render();
         let path = self.record_path(&key);
         write_atomic(&path, bytes.as_bytes())?;
+        self.metrics.puts.inc();
+        self.metrics.bytes_written.add(bytes.len() as u64);
         let mut inner = self.inner.lock().unwrap();
         inner.clock += 1;
         let clock = inner.clock;
@@ -303,6 +347,7 @@ impl ResultStore {
             evicted += 1;
         }
         drop(inner);
+        self.metrics.gc_evicted.add(evicted);
         self.flush()?;
         Ok(GcStats {
             evicted,

@@ -4,7 +4,7 @@
 //! embed the same deterministic manifest a local run renders, and the
 //! stats/store-stats/ping/shutdown ops answer as documented.
 
-use eco_bench::serve::{self, ServeConfig, Server};
+use eco_bench::serve::{self, LogLevel, ServeConfig, Server};
 use eco_core::events::Json;
 use eco_core::{EngineConfig, SearchOptions, TuneRequest};
 use eco_kernels::Kernel;
@@ -40,6 +40,8 @@ fn start_server(
         socket: socket.clone(),
         engine,
         events: Some(dir.join("serve.events.jsonl").display().to_string()),
+        log_level: LogLevel::Quiet,
+        slow_ms: 1000,
     })
     .expect("bind");
     let handle = std::thread::spawn(move || server.run().expect("serve loop"));
@@ -148,6 +150,211 @@ fn concurrent_identical_tunes_share_one_simulation_pass() {
         events.matches("serve_done").count(),
         "every request gets a done event"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite coverage for `ServeStats` and the per-server metrics
+/// registry: mixed concurrent traffic — pings, unknown ops, identical
+/// tunes — then exact totals from both the `stats` op and a parsed
+/// `metrics` exposition.
+#[test]
+fn mixed_concurrent_traffic_counts_exactly() {
+    use eco_metrics::parse_exposition;
+
+    let dir = scratch("mixed");
+    let (socket, handle) = start_server(&dir, EngineConfig::new());
+
+    let mut clients = Vec::new();
+    for _ in 0..3 {
+        let socket = socket.clone();
+        clients.push(std::thread::spawn(move || {
+            let doc =
+                serve::request(&socket, &Json::obj().field("op", Json::str("ping"))).expect("ping");
+            assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        }));
+    }
+    for _ in 0..2 {
+        let socket = socket.clone();
+        clients.push(std::thread::spawn(move || {
+            let doc = serve::request(&socket, &Json::obj().field("op", Json::str("explode")))
+                .expect("error response");
+            assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        }));
+    }
+    for _ in 0..4 {
+        let socket = socket.clone();
+        let line = Json::obj()
+            .field("op", Json::str("tune"))
+            .field("request", tiny_request().to_json())
+            .render_compact();
+        clients.push(std::thread::spawn(move || {
+            let doc = serve::request(&socket, &Json::parse(&line).expect("request parses"))
+                .expect("tune");
+            assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "{doc:?}");
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // Exact ServeStats totals: 3 pings + 2 unknown + 4 tunes + this
+    // stats request itself = 10 requests, 2 of them errors.
+    let stats =
+        serve::request(&socket, &Json::obj().field("op", Json::str("stats"))).expect("stats");
+    assert_eq!(stats.get("requests").and_then(Json::as_u64), Some(10));
+    assert_eq!(stats.get("tunes").and_then(Json::as_u64), Some(4));
+    assert_eq!(stats.get("shards").and_then(Json::as_u64), Some(0));
+    assert_eq!(stats.get("errors").and_then(Json::as_u64), Some(2));
+    let deduped = stats
+        .get("deduped_requests")
+        .and_then(Json::as_u64)
+        .expect("deduped_requests");
+    assert!(deduped <= 3, "at most 3 of 4 identical tunes follow");
+
+    // The same totals through the metrics op, as Prometheus text. The
+    // per-server registry makes these exact even under a parallel test
+    // run (global-registry engine counters would cross-pollute).
+    let scraped =
+        serve::request(&socket, &Json::obj().field("op", Json::str("metrics"))).expect("metrics");
+    assert_eq!(scraped.get("ok").and_then(Json::as_bool), Some(true));
+    let text = scraped
+        .get("metrics")
+        .and_then(Json::as_str)
+        .expect("metrics text");
+    let exp = parse_exposition(text).expect("exposition parses");
+    assert_eq!(
+        exp.value("eco_serve_requests_total", &[("op", "ping")]),
+        Some(3.0)
+    );
+    assert_eq!(
+        exp.value("eco_serve_requests_total", &[("op", "tune")]),
+        Some(4.0)
+    );
+    assert_eq!(
+        exp.value("eco_serve_requests_total", &[("op", "other")]),
+        Some(2.0),
+        "unknown ops land in the bounded 'other' label"
+    );
+    assert_eq!(
+        exp.value("eco_serve_requests_total", &[("op", "stats")]),
+        Some(1.0)
+    );
+    assert_eq!(exp.value("eco_serve_errors_total", &[]), Some(2.0));
+    assert_eq!(
+        exp.value("eco_serve_deduped_requests_total", &[]),
+        Some(deduped as f64)
+    );
+    // 11 handled so far (the metrics scrape included); every one timed.
+    assert_eq!(exp.total("eco_serve_requests_total"), 11.0);
+    assert_eq!(
+        exp.value("eco_serve_request_duration_us_count", &[("op", "tune")]),
+        Some(4.0),
+        "every tune request is timed"
+    );
+    assert_eq!(
+        exp.value("eco_serve_inflight", &[]),
+        Some(1.0),
+        "the only request in flight at scrape time is the scrape itself"
+    );
+    assert_eq!(
+        exp.types
+            .get("eco_serve_requests_total")
+            .map(String::as_str),
+        Some("counter")
+    );
+    assert_eq!(
+        exp.types
+            .get("eco_serve_request_duration_us")
+            .map(String::as_str),
+        Some("histogram")
+    );
+
+    shutdown(&socket);
+    handle.join().expect("server thread");
+
+    // Failed requests carry the error string on their serve_done event.
+    let events = std::fs::read_to_string(dir.join("serve.events.jsonl")).expect("events");
+    let error_dones = events
+        .lines()
+        .filter(|l| l.contains("serve_done") && l.contains("unknown op 'explode'"))
+        .count();
+    assert_eq!(
+        error_dones, 2,
+        "both failures record their error:\n{events}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The live-telemetry ops: `watch` replays a completed tune's event
+/// stream over the connection, and `trace` returns the same stream
+/// with the stored response for offline rendering.
+#[test]
+fn watch_and_trace_replay_a_completed_tune() {
+    use eco_core::events::check_stream;
+
+    let dir = scratch("watch");
+    let (socket, handle) = start_server(&dir, EngineConfig::new());
+
+    let served = serve::request(
+        &socket,
+        &Json::obj()
+            .field("op", Json::str("tune"))
+            .field("request", tiny_request().to_json()),
+    )
+    .expect("tune");
+    assert_eq!(served.get("ok").and_then(Json::as_bool), Some(true));
+    let fp_text = served
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .expect("fingerprint")
+        .to_string();
+    let fp = u64::from_str_radix(fp_text.trim_start_matches("0x"), 16).expect("hex fingerprint");
+
+    // watch replays the search's event stream line by line.
+    let mut lines = Vec::new();
+    let header = serve::watch(&socket, fp, |line| lines.push(line.to_string())).expect("watch");
+    assert_eq!(header.get("live").and_then(Json::as_bool), Some(false));
+    assert!(!lines.is_empty(), "a tune search emits events");
+    let replayed = lines.join("\n") + "\n";
+    check_stream(&replayed).expect("replayed stream is well-formed");
+
+    // trace returns the identical stream plus the stored response.
+    let traced = serve::request(
+        &socket,
+        &Json::obj()
+            .field("op", Json::str("trace"))
+            .field("fingerprint", Json::str(&fp_text)),
+    )
+    .expect("trace");
+    assert_eq!(traced.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(traced.get("op").and_then(Json::as_str), Some("tune"));
+    assert_eq!(
+        traced.get("events").and_then(Json::as_str),
+        Some(replayed.as_str()),
+        "trace and watch see the same stored stream"
+    );
+    assert_eq!(
+        traced
+            .get_path("response.manifest")
+            .map(eco_core::events::Json::render),
+        served.get("manifest").map(eco_core::events::Json::render),
+        "trace stores the original response"
+    );
+
+    // trace without a fingerprint returns the latest completed request.
+    let latest = serve::request(&socket, &Json::obj().field("op", Json::str("trace")))
+        .expect("trace latest");
+    assert_eq!(
+        latest.get("fingerprint").and_then(Json::as_str),
+        Some(fp_text.as_str())
+    );
+
+    // Watching an unknown fingerprint is an error, not a hang.
+    let missing = serve::watch(&socket, fp ^ 0xdead_beef, |_| {});
+    assert!(missing.is_err(), "unknown fingerprint refuses cleanly");
+
+    shutdown(&socket);
+    handle.join().expect("server thread");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
