@@ -6,6 +6,9 @@
 //! eco variants <kernel> [opts]        Phase 1: derived variants (Table-4 style)
 //! eco tune <kernel> [opts]            Phase 1 + 2: full optimization
 //! eco lint <kernel> [opts]            statically certify every derived variant
+//! eco lint --sched [--seed S] [--schedules N]
+//!                                     concurrency lint: explore service-layer
+//!                                     interleavings, fail on ECO-S diagnostics
 //! eco measure <kernel> --n <N> [opts] simulate the untransformed kernel
 //! eco report --events PATH [opts]     analyze an event stream (see below)
 //! eco report --compare OLD NEW        benchmark-trajectory regression gate
@@ -334,6 +337,9 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
             Ok(())
         }
         "lint" => {
+            if rest.first().map(String::as_str) == Some("--sched") {
+                return lint_sched(&rest[1..]);
+            }
             let (name, optargs) = rest
                 .split_first()
                 .ok_or("usage: eco lint <kernel> [opts]")?;
@@ -433,6 +439,69 @@ fn serve_cmd(rest: &[String]) -> Result<(), String> {
         slow_ms,
     })?;
     server.run()
+}
+
+/// `eco lint --sched`: the concurrency lint. Runs the built-in
+/// eco-sched checker models over the service layer's shared-state
+/// protocols and the lock-order analysis across every explored
+/// schedule; prints one deterministic block per model and exits
+/// nonzero on any ECO-S diagnostic.
+fn lint_sched(rest: &[String]) -> Result<(), String> {
+    let mut cfg = eco_sched::Config::from_env();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                cfg.seed = flag_value("--seed", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--schedules" => {
+                cfg.max_schedules = flag_value("--schedules", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("bad --schedules: {e}"))?
+            }
+            other => {
+                return Err(format!(
+                    "unknown lint --sched option {other} (expected --seed, --schedules)"
+                ))
+            }
+        }
+    }
+    let reports = eco_core::lint_sched(&cfg);
+    let mut schedules = 0u64;
+    let mut findings = 0usize;
+    for m in &reports {
+        let r = &m.report;
+        schedules += r.schedules;
+        println!("{:<24} {}", m.name, m.covers);
+        println!(
+            "  schedules: {}{}  seed: {}",
+            r.schedules,
+            if r.truncated { " (cap reached)" } else { "" },
+            r.seed
+        );
+        for (from, to) in &r.edges {
+            println!("  lock order: {from} -> {to}");
+        }
+        if r.is_clean() {
+            println!("  clean");
+        }
+        for d in &r.diags {
+            findings += 1;
+            println!("{}", d.render());
+        }
+    }
+    println!(
+        "sched lint: {} models, {} schedules explored, {} diagnostics",
+        reports.len(),
+        schedules,
+        findings
+    );
+    if findings > 0 {
+        std::process::exit(1);
+    }
+    Ok(())
 }
 
 fn top_cmd(rest: &[String]) -> Result<(), String> {

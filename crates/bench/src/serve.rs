@@ -48,6 +48,8 @@
 //! op, an in-flight gauge, dedupe joins, slow requests); the
 //! `metrics` op returns that registry plus the process-wide one
 //! (engine / store / sweep counters) as one Prometheus text document.
+//! The scrape itself is excluded from those counters and from the
+//! in-flight gauge — observing the server must not perturb it.
 //! The owner of every `tune`/`shard` request additionally writes its
 //! search/engine event stream into an in-memory buffer keyed by the
 //! request fingerprint: `watch` tails that buffer live over the
@@ -73,12 +75,12 @@ use eco_core::{
 };
 use eco_machine::MachineDesc;
 use eco_metrics::{Counter, Gauge, Histogram, Registry};
+use eco_sched::sync::atomic::{AtomicBool, Ordering};
+use eco_sched::sync::{labeled_condvar, labeled_mutex, Arc, Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Protocol version answered by `ping` (bumped with
@@ -359,8 +361,8 @@ struct InflightRequest {
 impl InflightRequest {
     fn new() -> Self {
         InflightRequest {
-            done: Mutex::new(None),
-            cv: Condvar::new(),
+            done: labeled_mutex("serve.inflight.cell", None),
+            cv: labeled_condvar("serve.inflight.cv"),
         }
     }
 
@@ -386,10 +388,18 @@ struct LiveState {
 
 /// The event-line buffer of one in-flight request: the owner's event
 /// stream appends lines, any number of `watch` connections tail them.
-#[derive(Default)]
 struct LiveBuf {
     state: Mutex<LiveState>,
     cv: Condvar,
+}
+
+impl Default for LiveBuf {
+    fn default() -> Self {
+        LiveBuf {
+            state: labeled_mutex("serve.live.buf", LiveState::default()),
+            cv: labeled_condvar("serve.live.cv"),
+        }
+    }
 }
 
 impl LiveBuf {
@@ -608,14 +618,14 @@ impl Server {
             socket: config.socket,
             inner: Arc::new(ServerInner {
                 template,
-                engines: Mutex::new(HashMap::new()),
-                inflight: Mutex::new(HashMap::new()),
-                stats: Mutex::new(ServeStats::default()),
+                engines: labeled_mutex("serve.engines", HashMap::new()),
+                inflight: labeled_mutex("serve.inflight", HashMap::new()),
+                stats: labeled_mutex("serve.stats", ServeStats::default()),
                 events,
                 shutdown: AtomicBool::new(false),
                 metrics: ServeMetrics::new(),
-                live: Mutex::new(HashMap::new()),
-                completed: Mutex::new(VecDeque::new()),
+                live: labeled_mutex("serve.live", HashMap::new()),
+                completed: labeled_mutex("serve.completed_ring", VecDeque::new()),
                 log,
                 slow_ms: config.slow_ms,
             }),
@@ -755,7 +765,8 @@ fn fp_of(header: &Json) -> u64 {
 }
 
 /// Parses and dispatches one request line, counting it in the serve
-/// stats and metrics and emitting `serve_request`/`serve_done` events.
+/// stats and metrics (except `metrics` scrapes, which do not count
+/// themselves) and emitting `serve_request`/`serve_done` events.
 fn handle_line(inner: &ServerInner, line: &str, socket: &Path) -> Reply {
     inner.stats.lock().expect("stats lock").requests += 1;
     let parsed = Json::parse(line).map_err(|e| format!("bad request line: {e}"));
@@ -765,16 +776,25 @@ fn handle_line(inner: &ServerInner, line: &str, socket: &Path) -> Reply {
         .and_then(|doc| doc.get("op").and_then(Json::as_str))
         .unwrap_or("?")
         .to_string();
-    inner.metrics.requests(&op).inc();
-    inner.metrics.inflight.inc();
+    // A `metrics` scrape must not perturb what it reports: it stays out
+    // of the request counters, the latency histograms and the in-flight
+    // gauge, so two back-to-back scrapes with no traffic in between are
+    // byte-identical and the gauge reads the *other* work in flight.
+    let scrape = op == "metrics";
+    if !scrape {
+        inner.metrics.requests(&op).inc();
+        inner.metrics.inflight.inc();
+    }
     if let Some(stream) = &inner.events {
         stream.event(names::SERVE_REQUEST, None, Attrs::new().str("op", &op));
     }
     let started = Instant::now();
     let result = parsed.and_then(|doc| dispatch(inner, &doc, &op, socket));
     let wall_us = started.elapsed().as_micros() as u64;
-    inner.metrics.duration(&op).observe(wall_us);
-    inner.metrics.inflight.dec();
+    if !scrape {
+        inner.metrics.duration(&op).observe(wall_us);
+        inner.metrics.inflight.dec();
+    }
     let reply = match result {
         Ok(reply) => reply,
         Err(msg) => {
@@ -885,8 +905,18 @@ fn with_inflight(
     key: u64,
     run: impl FnOnce() -> Result<Json, String>,
 ) -> (Result<Json, String>, bool) {
+    with_inflight_map(&inner.inflight, key, run)
+}
+
+/// [`with_inflight`] against a bare dedupe table — the piece the
+/// eco-sched checker model drives without a full daemon.
+fn with_inflight_map(
+    map: &Mutex<HashMap<u64, Arc<InflightRequest>>>,
+    key: u64,
+    run: impl FnOnce() -> Result<Json, String>,
+) -> (Result<Json, String>, bool) {
     let (cell, owner) = {
-        let mut inflight = inner.inflight.lock().expect("inflight lock");
+        let mut inflight = map.lock().expect("inflight lock");
         match inflight.get(&key) {
             Some(cell) => (Arc::clone(cell), false),
             None => {
@@ -910,14 +940,26 @@ fn with_inflight(
             .render_compact(),
     };
     cell.fill(line);
-    inner.inflight.lock().expect("inflight lock").remove(&key);
+    map.lock().expect("inflight lock").remove(&key);
     (outcome, false)
 }
 
 /// Retains a finished request's event stream and response for
 /// `trace` / `watch` replay, evicting the oldest past the ring cap.
 fn push_completed(inner: &ServerInner, fp: u64, op: &'static str, events: String, response: &Json) {
-    let mut ring = inner.completed.lock().expect("completed lock");
+    push_completed_ring(&inner.completed, fp, op, events, response);
+}
+
+/// [`push_completed`] against a bare ring — the piece the eco-sched
+/// checker model drives without a full daemon.
+fn push_completed_ring(
+    completed: &Mutex<VecDeque<Completed>>,
+    fp: u64,
+    op: &'static str,
+    events: String,
+    response: &Json,
+) {
+    let mut ring = completed.lock().expect("completed lock");
     ring.retain(|c| c.fingerprint != fp);
     ring.push_back(Completed {
         fingerprint: fp,
@@ -1239,4 +1281,88 @@ pub fn watch(
         on_line(&line);
     }
     Err("stream ended without a done trailer".to_string())
+}
+
+// ---------------------------------------------------------------------
+// eco-sched probe
+// ---------------------------------------------------------------------
+
+/// Hooks for the eco-sched checker (`--cfg eco_sched` builds only):
+/// the daemon's in-flight dedupe and completed-ring protocols behind
+/// the *same* code paths the daemon runs, but callable without a
+/// socket, an engine or a store. The checker model in
+/// `tests/sched_model.rs` drives these under the controlled scheduler.
+#[cfg(eco_sched)]
+pub mod model_probe {
+    use super::*;
+
+    /// The request-dedupe table exactly as [`ServerInner`] holds it.
+    #[derive(Default)]
+    pub struct InflightTable {
+        map: Mutex<HashMap<u64, Arc<InflightRequest>>>,
+    }
+
+    impl InflightTable {
+        #[must_use]
+        pub fn new() -> Self {
+            InflightTable {
+                map: labeled_mutex("serve.inflight", HashMap::new()),
+            }
+        }
+
+        /// Runs `run` deduped under `key` — the real [`with_inflight`]
+        /// path. Returns the response text (owner's render or the
+        /// follower's parsed copy re-rendered) and the deduped flag.
+        pub fn run(
+            &self,
+            key: u64,
+            run: impl FnOnce() -> Result<Json, String>,
+        ) -> (Result<String, String>, bool) {
+            let (outcome, deduped) = with_inflight_map(&self.map, key, run);
+            (outcome.map(|doc| doc.render_compact()), deduped)
+        }
+
+        /// True when no request is currently in flight.
+        #[must_use]
+        pub fn is_idle(&self) -> bool {
+            self.map.lock().expect("inflight lock").is_empty()
+        }
+    }
+
+    /// The completed-request ring exactly as [`ServerInner`] holds it.
+    #[derive(Default)]
+    pub struct CompletedRing {
+        ring: Mutex<VecDeque<Completed>>,
+    }
+
+    impl CompletedRing {
+        #[must_use]
+        pub fn new() -> Self {
+            CompletedRing {
+                ring: labeled_mutex("serve.completed_ring", VecDeque::new()),
+            }
+        }
+
+        /// The real [`push_completed`] path.
+        pub fn push(&self, fp: u64, events: String, response: &Json) {
+            push_completed_ring(&self.ring, fp, "tune", events, response);
+        }
+
+        /// The ring cap every schedule must respect.
+        #[must_use]
+        pub fn cap() -> usize {
+            COMPLETED_RING
+        }
+
+        /// Fingerprints currently retained, oldest first.
+        #[must_use]
+        pub fn fingerprints(&self) -> Vec<u64> {
+            self.ring
+                .lock()
+                .expect("completed lock")
+                .iter()
+                .map(|c| c.fingerprint)
+                .collect()
+        }
+    }
 }

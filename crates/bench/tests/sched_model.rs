@@ -1,0 +1,158 @@
+//! Checker models driving the *real* serve-layer protocols under the
+//! controlled scheduler (`--cfg eco_sched`): the whole-request in-flight
+//! dedupe (`with_inflight`) and the 8-deep completed ring that backs
+//! `watch` / `trace`. Every explored schedule must keep the owner's and
+//! every follower's response bytes identical, retire the key, and never
+//! let the ring grow past its cap or lose its newest entry.
+#![cfg(eco_sched)]
+
+use eco_bench::serve::model_probe::{CompletedRing, InflightTable};
+use eco_core::events::Json;
+use eco_sched::model::{self, check};
+use eco_sched::{explore, Config, DiagCode};
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
+fn cfg() -> Config {
+    Config {
+        max_schedules: 2_000,
+        ..Config::default()
+    }
+}
+
+fn response(gen: u64) -> Json {
+    Json::obj()
+        .field("ok", Json::Bool(true))
+        .field("generation", Json::UInt(gen))
+}
+
+/// Three clients race the same fingerprint through the real dedupe
+/// table: exactly the schedules `serve` sees when identical tunes
+/// arrive together. In every schedule all responses must be
+/// byte-identical per owner generation, at least one client must be
+/// the owner, and the key must be retired at quiescence.
+#[test]
+fn inflight_dedupe_keeps_response_bytes_identical() {
+    let report = explore(cfg(), || {
+        let table = Arc::new(InflightTable::new());
+        // Outside the model: collects (line, deduped) per client.
+        let seen = Arc::new(StdMutex::new(Vec::new()));
+        let threads: Vec<_> = (0..3)
+            .map(|i| {
+                let table = Arc::clone(&table);
+                let seen = Arc::clone(&seen);
+                model::thread::spawn(&format!("client-{i}"), move || {
+                    // Each would-be owner renders a distinguishable
+                    // response, so a follower crossing generations (or
+                    // reading a half-filled cell) changes the bytes.
+                    let (line, deduped) = table.run(42, || Ok(response(i)));
+                    seen.lock()
+                        .unwrap()
+                        .push((line.expect("response"), deduped));
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join();
+        }
+        let seen = seen.lock().unwrap();
+        check(DiagCode::DedupeByteMismatch, seen.len() == 3, || {
+            format!("{} of 3 clients got a response", seen.len())
+        });
+        // Followers must carry the exact bytes of the owner they
+        // joined: every deduped line equals some owner's line.
+        let owners: Vec<&String> = seen.iter().filter(|(_, d)| !d).map(|(l, _)| l).collect();
+        check(DiagCode::DedupeByteMismatch, !owners.is_empty(), || {
+            "all three clients claim they were deduped followers".to_string()
+        });
+        for (line, deduped) in seen.iter() {
+            if *deduped {
+                check(DiagCode::DedupeByteMismatch, owners.contains(&line), || {
+                    format!("follower bytes match no owner: {line}")
+                });
+            }
+        }
+        check(DiagCode::DedupeByteMismatch, table.is_idle(), || {
+            "fingerprint not retired after all clients finished".to_string()
+        });
+    });
+    assert!(
+        report.is_clean(),
+        "in-flight dedupe reported: {:?}",
+        report.diags
+    );
+    assert!(
+        report.schedules >= 100,
+        "only {} schedules",
+        report.schedules
+    );
+    // The protocol takes the cell lock while holding no other lock and
+    // vice versa: no nested acquisition, so no order edges at all.
+    assert!(
+        report.edges.iter().all(|(a, _)| !a.starts_with("serve.")),
+        "unexpected serve lock nesting: {:?}",
+        report.edges
+    );
+}
+
+/// Concurrent owners retiring into the completed ring: the cap holds
+/// in every schedule, each fingerprint appears at most once, and a
+/// pusher can always find its own entry unless someone evicted it by
+/// pushing past the cap.
+#[test]
+fn completed_ring_never_exceeds_cap() {
+    let report = explore(cfg(), || {
+        let ring = Arc::new(CompletedRing::new());
+        let cap = CompletedRing::cap();
+        // Pre-fill to one below the cap so eviction is in play.
+        for fp in 0..(cap as u64 - 1) {
+            ring.push(fp, String::new(), &response(fp));
+        }
+        let threads: Vec<_> = (0..2)
+            .map(|i| {
+                let ring = Arc::clone(&ring);
+                model::thread::spawn(&format!("owner-{i}"), move || {
+                    let fp = 1_000 + i;
+                    ring.push(fp, String::new(), &response(fp));
+                    let now = ring.fingerprints();
+                    check(DiagCode::RingOverflow, now.len() <= cap, || {
+                        format!("ring holds {} entries, cap is {cap}", now.len())
+                    });
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join();
+        }
+        let fps = ring.fingerprints();
+        check(DiagCode::RingOverflow, fps.len() <= cap, || {
+            format!(
+                "ring holds {} entries at quiescence, cap is {}",
+                fps.len(),
+                cap
+            )
+        });
+        // Both racing pushes survived: they are the two newest entries.
+        check(
+            DiagCode::RingOverflow,
+            fps.contains(&1_000) && fps.contains(&1_001),
+            || "a fresh completion was evicted by an older one".to_string(),
+        );
+        let mut dedup = fps.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        check(DiagCode::RingOverflow, dedup.len() == fps.len(), || {
+            format!("duplicate fingerprints in the ring: {fps:?}")
+        });
+    });
+    assert!(
+        report.is_clean(),
+        "completed ring reported: {:?}",
+        report.diags
+    );
+    assert!(
+        report.schedules >= 50,
+        "only {} schedules",
+        report.schedules
+    );
+}

@@ -88,6 +88,8 @@
 //! # }
 //! ```
 
+use eco_sched::sync::atomic::{AtomicUsize, Ordering};
+use eco_sched::sync::{labeled_condvar, labeled_mutex, Arc, Condvar, Mutex};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -95,8 +97,6 @@ use std::fs::File;
 use std::hash::{Hash, Hasher as _};
 use std::io::{BufWriter, Write as _};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crate::error::ExecError;
@@ -565,10 +565,19 @@ pub struct Engine {
 
 /// The rendezvous for one in-flight evaluation: the owning batch fills
 /// `done` and notifies; waiting batches block on the condvar.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct InflightCell {
     done: Mutex<Option<Result<Counters, ExecError>>>,
     cv: Condvar,
+}
+
+impl Default for InflightCell {
+    fn default() -> Self {
+        InflightCell {
+            done: labeled_mutex("engine.inflight.cell", None),
+            cv: labeled_condvar("engine.inflight.cv"),
+        }
+    }
 }
 
 impl InflightCell {
@@ -642,7 +651,7 @@ impl Engine {
         let trace = match &config.trace_path {
             Some(path) => {
                 let file = File::create(path).map_err(|e| telemetry_err("trace", path, e))?;
-                Some(Mutex::new(BufWriter::new(file)))
+                Some(labeled_mutex("engine.trace", BufWriter::new(file)))
             }
             None => None,
         };
@@ -682,14 +691,14 @@ impl Engine {
             threads: resolve_threads(config.threads),
             memoize: config.memoize,
             backend: config.backend,
-            memo: Mutex::new(HashMap::new()),
-            plans: Mutex::new(HashMap::new()),
-            stats: Mutex::new(EngineStats::default()),
+            memo: labeled_mutex("engine.memo", HashMap::new()),
+            plans: labeled_mutex("engine.plans", HashMap::new()),
+            stats: labeled_mutex("engine.stats", EngineStats::default()),
             trace,
             events,
             seq: AtomicUsize::new(0),
             store,
-            inflight: Mutex::new(HashMap::new()),
+            inflight: labeled_mutex("engine.inflight", HashMap::new()),
             metrics: EngineMetrics::resolve(),
             machine,
         })

@@ -643,6 +643,64 @@ eco_serve_requests_total{op=\"tune\"} 3
     }
 
     #[test]
+    fn malformed_expositions_are_rejected_with_line_numbers() {
+        // A scrape cut off mid-histogram (connection dropped): the
+        // truncated bucket line has no value, and the error names it.
+        let truncated = "\
+# TYPE lat_us histogram
+lat_us_bucket{le=\"10\"} 1
+lat_us_bucket{le=\"+In";
+        let err = parse_exposition(truncated).expect_err("truncated");
+        assert!(err.starts_with("line 3:"), "{err}");
+        assert!(err.contains("no value"), "{err}");
+
+        // Non-numeric values fail, naming the offending line.
+        let err = parse_exposition("req_total 7\nbad_total x\n").expect_err("non-numeric");
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("bad value"), "{err}");
+        let err = parse_exposition("req_total{op=\"a\"} NaN-ish").expect_err("non-numeric");
+        assert!(err.contains("bad value"), "{err}");
+
+        // Broken label syntax: unclosed braces, unquoted and
+        // unterminated values, all rejected rather than misparsed.
+        for bad in [
+            "req_total{op=\"a\" 1",
+            "req_total{op=a} 1",
+            "req_total{op=\"a} 1",
+            "req_total{op} 1",
+        ] {
+            assert!(parse_exposition(bad).is_err(), "accepted {bad:?}");
+        }
+
+        // A TYPE comment missing its kind is malformed; other comments
+        // are skipped.
+        assert!(parse_exposition("# TYPE lonely").is_err());
+        assert!(parse_exposition("# HELP x h\n")
+            .expect("comments ok")
+            .samples
+            .is_empty());
+    }
+
+    #[test]
+    fn duplicate_sample_names_accumulate_in_document_order() {
+        // Prometheus forbids duplicate series, but a concatenation of
+        // two registries (the daemon's `metrics` op appends the
+        // process-wide registry to the per-server one) can repeat a
+        // name. Pin the lenient semantics the dashboard relies on:
+        // both samples survive, `value` returns the first exact label
+        // match, `total` sums across every occurrence.
+        let text = "\
+req_total{op=\"a\"} 1
+req_total{op=\"a\"} 2
+req_total{op=\"b\"} 4
+";
+        let exp = parse_exposition(text).expect("parses");
+        assert_eq!(exp.samples.len(), 3);
+        assert_eq!(exp.value("req_total", &[("op", "a")]), Some(1.0));
+        assert_eq!(exp.total("req_total"), 7.0);
+    }
+
+    #[test]
     fn concurrent_increments_are_lossless() {
         let r = Registry::new();
         let c = r.counter("n_total", "h", &[]);

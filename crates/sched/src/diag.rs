@@ -1,0 +1,154 @@
+//! Stable diagnostics for the interleaving checker and lock-order analysis.
+//!
+//! Codes mirror the `ECO-E001..` scheme of `eco-verify`: each check that the
+//! scheduler or a protocol model performs maps to one stable `ECO-S` code, so
+//! CI and humans can grep for a code and know exactly which invariant broke.
+
+use std::fmt;
+
+/// Stable diagnostic codes (`ECO-S001` ...), one per scheduler/model check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagCode {
+    /// `ECO-S001`: the acquisition graph accumulated across all explored
+    /// schedules contains a cycle — two threads can each hold one lock of
+    /// the cycle while requesting the next (deadlock potential).
+    LockOrderCycle,
+    /// `ECO-S002`: a thread entered `Condvar::wait` while holding a lock
+    /// *other* than the mutex it waits on; a notifier that needs that lock
+    /// can never run.
+    LockHeldAcrossWait,
+    /// `ECO-S003`: the model's main body returned while a spawned thread
+    /// had not been joined.
+    ThreadNotJoined,
+    /// `ECO-S004`: an explored schedule reached a state where every
+    /// unfinished thread is blocked (actual deadlock, not just potential).
+    Deadlock,
+    /// `ECO-S005`: the store atomic-write protocol produced a temp-file
+    /// collision — two in-flight writers chose the same temporary name and
+    /// one rename destroyed or published the other's bytes.
+    StoreTempCollision,
+    /// `ECO-S006`: the store index published an entry before the data file
+    /// was durable — a concurrent reader saw an index hit with missing or
+    /// stale bytes on disk.
+    StoreIndexOrder,
+    /// `ECO-S007`: in the serve in-flight dedupe protocol, a waiter
+    /// observed response bytes that differ from the owner's response
+    /// (byte-identity violation).
+    DedupeByteMismatch,
+    /// `ECO-S008`: a bounded completed-ring or memo publish invariant
+    /// broke — the ring exceeded its capacity or a memo key was published
+    /// twice with different values.
+    RingOverflow,
+    /// `ECO-S009`: a model thread panicked for a reason not covered by a
+    /// more specific code.
+    ModelPanic,
+}
+
+impl DiagCode {
+    /// The stable textual code, e.g. `"ECO-S001"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DiagCode::LockOrderCycle => "ECO-S001",
+            DiagCode::LockHeldAcrossWait => "ECO-S002",
+            DiagCode::ThreadNotJoined => "ECO-S003",
+            DiagCode::Deadlock => "ECO-S004",
+            DiagCode::StoreTempCollision => "ECO-S005",
+            DiagCode::StoreIndexOrder => "ECO-S006",
+            DiagCode::DedupeByteMismatch => "ECO-S007",
+            DiagCode::RingOverflow => "ECO-S008",
+            DiagCode::ModelPanic => "ECO-S009",
+        }
+    }
+
+    /// One-line human description of the class of failure.
+    pub fn title(&self) -> &'static str {
+        match self {
+            DiagCode::LockOrderCycle => "lock-order cycle (deadlock potential)",
+            DiagCode::LockHeldAcrossWait => "lock held across Condvar::wait",
+            DiagCode::ThreadNotJoined => "thread not joined at model exit",
+            DiagCode::Deadlock => "deadlock: all unfinished threads blocked",
+            DiagCode::StoreTempCollision => "store temp-file name collision",
+            DiagCode::StoreIndexOrder => "store index published before data durable",
+            DiagCode::DedupeByteMismatch => "in-flight dedupe byte-identity violation",
+            DiagCode::RingOverflow => "bounded ring/memo publish invariant broken",
+            DiagCode::ModelPanic => "model thread panicked",
+        }
+    }
+
+    /// Every code, in catalog order (for docs and tests).
+    pub fn all() -> [DiagCode; 9] {
+        [
+            DiagCode::LockOrderCycle,
+            DiagCode::LockHeldAcrossWait,
+            DiagCode::ThreadNotJoined,
+            DiagCode::Deadlock,
+            DiagCode::StoreTempCollision,
+            DiagCode::StoreIndexOrder,
+            DiagCode::DedupeByteMismatch,
+            DiagCode::RingOverflow,
+            DiagCode::ModelPanic,
+        ]
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding from an explored schedule (or from the post-hoc lock-order
+/// analysis, in which case `schedule` is empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedDiag {
+    pub code: DiagCode,
+    pub message: String,
+    /// The thread chosen at each choice point of the failing schedule.
+    /// Replay the exact interleaving with `ECO_SCHED_SEED=<seed>` — the
+    /// explorer revisits schedules in the same order for the same seed.
+    pub schedule: Vec<usize>,
+    /// Seed the explorer ran under when the schedule was found.
+    pub seed: u64,
+}
+
+impl SchedDiag {
+    /// Render as a stable single paragraph, mirroring `Certificate::render`.
+    pub fn render(&self) -> String {
+        let mut out = format!("{} {}: {}", self.code, self.code.title(), self.message);
+        if !self.schedule.is_empty() {
+            let steps: Vec<String> = self.schedule.iter().map(|t| t.to_string()).collect();
+            out.push_str(&format!(
+                "\n  schedule (seed {}): [{}]",
+                self.seed,
+                steps.join(",")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_sequential() {
+        for (i, c) in DiagCode::all().iter().enumerate() {
+            assert_eq!(c.as_str(), format!("ECO-S00{}", i + 1));
+        }
+    }
+
+    #[test]
+    fn render_includes_code_and_schedule() {
+        let d = SchedDiag {
+            code: DiagCode::Deadlock,
+            message: "t0 holds a, wants b; t1 holds b, wants a".into(),
+            schedule: vec![0, 1, 0, 1],
+            seed: 7,
+        };
+        let r = d.render();
+        assert!(r.contains("ECO-S004"), "{r}");
+        assert!(r.contains("[0,1,0,1]"), "{r}");
+        assert!(r.contains("seed 7"), "{r}");
+    }
+}

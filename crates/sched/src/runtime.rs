@@ -1,0 +1,853 @@
+//! The controlled scheduler and DFS schedule explorer.
+//!
+//! Model threads are real OS threads, but exactly one is ever allowed to run:
+//! every instrumented operation (mutex acquire/release, condvar wait/notify,
+//! atomic access, spawn/join, explicit yield point) parks the calling thread
+//! and hands the run token to the scheduler, which picks the next thread
+//! according to the schedule currently being explored. Exploration is a
+//! depth-first walk over scheduling choice points with two reductions:
+//!
+//! * **bounded preemption** — a runnable thread is only switched away from at
+//!   most `max_preemptions` times per schedule (CHESS-style), and
+//! * **DPOR-lite** — a preemptive alternative is only explored when the two
+//!   adjacent pending operations *conflict* (same object, at least one
+//!   write); commuting adjacent steps are skipped.
+//!
+//! Determinism: all scheduler state lives in `BTreeMap`s/`Vec`s, runnable
+//! sets are ordered by thread id, and the only tie-break is a splitmix hash
+//! of `(seed, depth)` — the same seed always yields the same sequence of
+//! explored schedules, which is what makes `ECO_SCHED_SEED` replay work.
+
+use crate::diag::{DiagCode, SchedDiag};
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Sentinel for "no thread holds the run token".
+const NONE: usize = usize::MAX;
+
+/// Explorer configuration. `Default` gives the values CI runs with.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Seed for schedule-order tie-breaks (`ECO_SCHED_SEED`).
+    pub seed: u64,
+    /// Maximum preemptive context switches per schedule.
+    pub max_preemptions: usize,
+    /// Hard cap on explored schedules; the report is marked truncated if hit.
+    pub max_schedules: u64,
+    /// Stop exploring after the first aborting diagnostic.
+    pub stop_on_first: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            seed: 0,
+            max_preemptions: 2,
+            max_schedules: 4_000,
+            stop_on_first: true,
+        }
+    }
+}
+
+impl Config {
+    /// Default config with the seed taken from `ECO_SCHED_SEED` (if set).
+    pub fn from_env() -> Self {
+        let mut cfg = Config::default();
+        if let Ok(s) = std::env::var("ECO_SCHED_SEED") {
+            if let Ok(v) = s.trim().parse::<u64>() {
+                cfg.seed = v;
+            }
+        }
+        cfg
+    }
+}
+
+/// Result of exploring one model.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Number of complete schedules (distinct interleavings) executed.
+    pub schedules: u64,
+    /// True if `max_schedules` stopped the walk before exhaustion.
+    pub truncated: bool,
+    /// All diagnostics found, deduplicated by (code, message).
+    pub diags: Vec<SchedDiag>,
+    /// Lock acquisition edges (`held -> acquired`) seen across all schedules.
+    pub edges: Vec<(String, String)>,
+    /// The seed the walk ran under.
+    pub seed: u64,
+}
+
+impl Report {
+    /// True when no diagnostic of any kind was recorded.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+}
+
+/// One instrumented operation, declared *before* it takes effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// Thread registered but has not run yet.
+    Start,
+    Lock(u64),
+    Unlock(u64),
+    CvNotify(u64),
+    AtLoad(u64),
+    AtWrite(u64),
+    /// Explicit yield point (e.g. between a temp write and its rename).
+    Yield,
+    Spawn,
+    Join(usize),
+}
+
+fn op_obj(op: Op) -> Option<(u64, bool)> {
+    // (object id, is-write)
+    match op {
+        Op::Lock(i) | Op::Unlock(i) => Some((i, true)),
+        Op::CvNotify(i) => Some((i, true)),
+        Op::AtLoad(i) => Some((i, false)),
+        Op::AtWrite(i) => Some((i, true)),
+        Op::Start | Op::Yield | Op::Spawn | Op::Join(_) => None,
+    }
+}
+
+/// DPOR-lite conflict test: do two adjacent pending operations fail to
+/// commute? Yield points conflict with each other (their effects — file I/O
+/// and the like — are invisible to the checker, so reorderings must be
+/// explored).
+fn conflicts(a: Op, b: Op) -> bool {
+    if a == Op::Yield && b == Op::Yield {
+        return true;
+    }
+    match (op_obj(a), op_obj(b)) {
+        (Some((oa, wa)), Some((ob, wb))) => oa == ob && (wa || wb),
+        _ => false,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    /// Parked in `Condvar::wait`; `pending` holds the mutex re-acquire op.
+    CvWaiting(u64),
+    Finished,
+}
+
+#[derive(Debug)]
+struct Th {
+    name: String,
+    status: Status,
+    pending: Op,
+    held: Vec<u64>,
+    joined: bool,
+}
+
+/// A DFS choice point: thread options in exploration order, and the index of
+/// the option the *next* run will take.
+#[derive(Debug)]
+struct Point {
+    options: Vec<usize>,
+    next: usize,
+}
+
+struct State {
+    threads: Vec<Th>,
+    running: usize,
+    choice_idx: usize,
+    preemptions: usize,
+    abort: bool,
+    hard_failure: bool,
+    trace: Vec<usize>,
+    lock_owner: BTreeMap<u64, usize>,
+    names: BTreeMap<u64, String>,
+    reg_seq: u64,
+    // Exploration state, persistent across runs of one `explore` call.
+    stack: Vec<Point>,
+    diags: Vec<SchedDiag>,
+    edges: BTreeSet<(String, String)>,
+    schedules: u64,
+    real_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Runtime {
+    state: StdMutex<State>,
+    cv: StdCondvar,
+    cfg: Config,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Runtime>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn current() -> Option<(Arc<Runtime>, usize)> {
+    // An unwinding thread (e.g. a Drop impl flushing state after a recorded
+    // violation) must not re-enter the scheduler: fall back to plain std
+    // behavior so teardown cannot double-panic or self-deadlock.
+    if std::thread::panicking() {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(rt: Arc<Runtime>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((rt, tid)));
+}
+
+pub(crate) fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// True while the calling thread is a registered model thread of an active
+/// exploration (instrumented primitives fall back to `std` otherwise).
+pub fn active() -> bool {
+    current().is_some()
+}
+
+/// Payload used to unwind model threads when a run is aborted.
+pub(crate) struct AbortRun;
+
+fn panic_abort() -> ! {
+    panic::panic_any(AbortRun)
+}
+
+/// Global object-id allocator; ids are only assigned on first *model* use,
+/// so fallback (non-explore) usage costs one relaxed load.
+static NEXT_OBJ: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) struct ObjCell {
+    id: AtomicU64,
+}
+
+impl ObjCell {
+    pub(crate) const fn new() -> Self {
+        ObjCell {
+            id: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn id(&self) -> u64 {
+        let v = self.id.load(Ordering::Relaxed);
+        if v != 0 {
+            return v;
+        }
+        let fresh = NEXT_OBJ.fetch_add(1, Ordering::Relaxed);
+        match self
+            .id
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(winner) => winner,
+        }
+    }
+}
+
+fn seed_mix(seed: u64, d: u64) -> u64 {
+    let mut x = seed ^ d.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Runtime {
+    fn new(cfg: Config) -> Self {
+        Runtime {
+            state: StdMutex::new(State {
+                threads: Vec::new(),
+                running: NONE,
+                choice_idx: 0,
+                preemptions: 0,
+                abort: false,
+                hard_failure: false,
+                trace: Vec::new(),
+                lock_owner: BTreeMap::new(),
+                names: BTreeMap::new(),
+                reg_seq: 0,
+                stack: Vec::new(),
+                diags: Vec::new(),
+                edges: BTreeSet::new(),
+                schedules: 0,
+                real_handles: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+            cfg,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Register a per-run display name for an object the first time it is
+    /// touched in this run.
+    fn ensure_name(&self, st: &mut State, id: u64, kind: &str, label: Option<&'static str>) {
+        if !st.names.contains_key(&id) {
+            let name = match label {
+                Some(l) => l.to_string(),
+                None => {
+                    let n = format!("{kind}#{}", st.reg_seq);
+                    st.reg_seq += 1;
+                    n
+                }
+            };
+            st.names.insert(id, name);
+        }
+    }
+
+    fn name_of(st: &State, id: u64) -> String {
+        st.names
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| format!("obj#{id}"))
+    }
+
+    /// Is thread `t`'s pending operation executable right now?
+    fn executable(st: &State, t: usize) -> bool {
+        let th = &st.threads[t];
+        if th.status != Status::Ready {
+            return false;
+        }
+        match th.pending {
+            Op::Lock(id) => !st.lock_owner.contains_key(&id),
+            Op::Join(target) => st.threads[target].status == Status::Finished,
+            _ => true,
+        }
+    }
+
+    fn runnable(st: &State) -> Vec<usize> {
+        (0..st.threads.len())
+            .filter(|&t| Self::executable(st, t))
+            .collect()
+    }
+
+    fn push_diag(&self, st: &mut State, code: DiagCode, message: String, with_trace: bool) {
+        if st
+            .diags
+            .iter()
+            .any(|d| d.code == code && d.message == message)
+        {
+            return;
+        }
+        st.diags.push(SchedDiag {
+            code,
+            message,
+            schedule: if with_trace {
+                st.trace.clone()
+            } else {
+                Vec::new()
+            },
+            seed: self.cfg.seed,
+        });
+    }
+
+    /// Record a hard failure and wake everyone so the run can unwind.
+    fn abort_run(&self, st: &mut State, code: DiagCode, message: String) {
+        self.push_diag(st, code, message, true);
+        st.abort = true;
+        st.hard_failure = true;
+        st.running = NONE;
+        self.cv.notify_all();
+    }
+
+    /// Pick the next thread to run. Called with the state lock held, by the
+    /// thread that currently has the token (or by run teardown).
+    fn choose_next(&self, st: &mut State) {
+        let runnable = Self::runnable(st);
+        if runnable.is_empty() {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                st.running = NONE;
+                self.cv.notify_all();
+                return;
+            }
+            let mut parts = Vec::new();
+            for th in st.threads.iter() {
+                let what = match (th.status, th.pending) {
+                    (Status::Finished, _) => continue,
+                    (Status::CvWaiting(cv), _) => {
+                        format!("waiting on condvar {}", Self::name_of(st, cv))
+                    }
+                    (_, Op::Lock(id)) => {
+                        let owner = st
+                            .lock_owner
+                            .get(&id)
+                            .map(|&o| st.threads[o].name.clone())
+                            .unwrap_or_else(|| "?".into());
+                        format!("blocked on lock {} held by {owner}", Self::name_of(st, id))
+                    }
+                    (_, Op::Join(t)) => format!("joining unfinished thread {}", st.threads[t].name),
+                    (_, op) => format!("blocked at {op:?}"),
+                };
+                parts.push(format!("{}: {what}", th.name));
+            }
+            self.abort_run(st, DiagCode::Deadlock, parts.join("; "));
+            return;
+        }
+
+        let yielder = st.running;
+        let yielder_runnable = yielder != NONE && runnable.contains(&yielder);
+        let free_choice = !yielder_runnable || st.threads[yielder].pending == Op::Spawn;
+
+        let mut options: Vec<usize> = Vec::new();
+        if free_choice {
+            // The previous thread blocked/finished (or just spawned a
+            // thread): every runnable thread is a zero-cost alternative.
+            let def = if yielder_runnable {
+                yielder
+            } else {
+                runnable[(seed_mix(self.cfg.seed, st.choice_idx as u64) as usize) % runnable.len()]
+            };
+            options.push(def);
+            for &u in &runnable {
+                if u != def {
+                    options.push(u);
+                }
+            }
+        } else {
+            // Default: keep running the current thread. Alternatives are
+            // preemptions, taken only within budget and only when the two
+            // adjacent operations conflict (DPOR-lite). A thread that has
+            // not run yet always counts as conflicting: its first real
+            // operation is unknown until it is scheduled.
+            options.push(yielder);
+            if st.preemptions < self.cfg.max_preemptions {
+                let here = st.threads[yielder].pending;
+                for &u in &runnable {
+                    if u != yielder
+                        && (st.threads[u].pending == Op::Start
+                            || conflicts(here, st.threads[u].pending))
+                    {
+                        options.push(u);
+                    }
+                }
+            }
+        }
+
+        let chosen = if options.len() <= 1 {
+            options[0]
+        } else {
+            let d = st.choice_idx;
+            if d >= st.stack.len() {
+                st.stack.push(Point { options, next: 0 });
+            }
+            st.choice_idx += 1;
+            let p = &st.stack[d];
+            debug_assert!(p.next < p.options.len());
+            let c = p.options[p.next];
+            debug_assert!(
+                runnable.contains(&c),
+                "replay divergence: model is nondeterministic (chose t{c} from {runnable:?})"
+            );
+            c
+        };
+
+        if yielder_runnable && chosen != yielder && st.threads[yielder].pending != Op::Spawn {
+            st.preemptions += 1;
+        }
+        st.trace.push(chosen);
+        st.running = chosen;
+        self.cv.notify_all();
+    }
+
+    /// Declare the calling thread's next operation, hand over the token, and
+    /// park until this thread is scheduled again.
+    fn switch(&self, me: usize, op: Op) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            panic_abort();
+        }
+        st.threads[me].pending = op;
+        self.choose_next(&mut st);
+        loop {
+            if st.abort {
+                drop(st);
+                panic_abort();
+            }
+            if st.running == me {
+                break;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    // ---- instrumented operation entry points -------------------------------
+
+    pub(crate) fn acquire(&self, me: usize, id: u64, label: Option<&'static str>) {
+        {
+            let mut st = self.lock();
+            self.ensure_name(&mut st, id, "lock", label);
+        }
+        self.switch(me, Op::Lock(id));
+        let mut st = self.lock();
+        debug_assert!(!st.lock_owner.contains_key(&id));
+        st.lock_owner.insert(id, me);
+        let held: Vec<u64> = st.threads[me].held.clone();
+        for h in held {
+            let edge = (Self::name_of(&st, h), Self::name_of(&st, id));
+            st.edges.insert(edge);
+        }
+        st.threads[me].held.push(id);
+    }
+
+    pub(crate) fn release(&self, me: usize, id: u64) {
+        {
+            let st = self.lock();
+            if st.abort {
+                // Unwinding guards must not reschedule.
+                return;
+            }
+        }
+        self.switch(me, Op::Unlock(id));
+        let mut st = self.lock();
+        st.lock_owner.remove(&id);
+        st.threads[me].held.retain(|&h| h != id);
+    }
+
+    /// Atomically release `mutex`, park on `cv`, and re-acquire once
+    /// notified. The caller has already dropped the real guard.
+    pub(crate) fn cv_wait(&self, me: usize, cv: u64, mutex: u64, label: Option<&'static str>) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            panic_abort();
+        }
+        self.ensure_name(&mut st, cv, "condvar", label);
+        let others: Vec<String> = st.threads[me]
+            .held
+            .iter()
+            .filter(|&&h| h != mutex)
+            .map(|&h| Self::name_of(&st, h))
+            .collect();
+        if !others.is_empty() {
+            let msg = format!(
+                "{} waits on {} while holding {}",
+                st.threads[me].name,
+                Self::name_of(&st, cv),
+                others.join(", ")
+            );
+            self.push_diag(&mut st, DiagCode::LockHeldAcrossWait, msg, true);
+        }
+        // Effect: release the mutex and park on the condvar.
+        st.lock_owner.remove(&mutex);
+        st.threads[me].held.retain(|&h| h != mutex);
+        st.threads[me].status = Status::CvWaiting(cv);
+        st.threads[me].pending = Op::Lock(mutex);
+        self.choose_next(&mut st);
+        loop {
+            if st.abort {
+                drop(st);
+                panic_abort();
+            }
+            if st.threads[me].status == Status::Ready && st.running == me {
+                break;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        // Scheduled with the mutex free: take it back.
+        debug_assert!(!st.lock_owner.contains_key(&mutex));
+        st.lock_owner.insert(mutex, me);
+        st.threads[me].held.push(mutex);
+    }
+
+    pub(crate) fn cv_notify(&self, me: usize, cv: u64, all: bool, label: Option<&'static str>) {
+        {
+            let mut st = self.lock();
+            self.ensure_name(&mut st, cv, "condvar", label);
+        }
+        self.switch(me, Op::CvNotify(cv));
+        let mut st = self.lock();
+        let waiters: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::CvWaiting(cv))
+            .map(|(i, _)| i)
+            .collect();
+        for (n, w) in waiters.into_iter().enumerate() {
+            if all || n == 0 {
+                st.threads[w].status = Status::Ready;
+            }
+        }
+    }
+
+    pub(crate) fn atomic_op(&self, me: usize, id: u64, write: bool) {
+        {
+            let mut st = self.lock();
+            self.ensure_name(&mut st, id, "atomic", None);
+        }
+        let op = if write {
+            Op::AtWrite(id)
+        } else {
+            Op::AtLoad(id)
+        };
+        self.switch(me, op);
+    }
+
+    pub(crate) fn yield_point(&self, me: usize) {
+        self.switch(me, Op::Yield);
+    }
+
+    // ---- threads -----------------------------------------------------------
+
+    pub(crate) fn register_thread(&self, name: String) -> usize {
+        let mut st = self.lock();
+        let tid = st.threads.len();
+        st.threads.push(Th {
+            name,
+            status: Status::Ready,
+            pending: Op::Start,
+            held: Vec::new(),
+            joined: false,
+        });
+        tid
+    }
+
+    pub(crate) fn add_real_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.lock().real_handles.push(h);
+    }
+
+    /// Park a freshly spawned model thread until its first grant. Returns
+    /// false if the run aborted before this thread ever ran (the caller must
+    /// skip the thread body).
+    pub(crate) fn first_park(&self, me: usize) -> bool {
+        let mut st = self.lock();
+        loop {
+            if st.abort {
+                return false;
+            }
+            if st.running == me {
+                return true;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    pub(crate) fn spawn_point(&self, me: usize) {
+        self.switch(me, Op::Spawn);
+    }
+
+    pub(crate) fn join_point(&self, me: usize, target: usize) {
+        self.switch(me, Op::Join(target));
+        let mut st = self.lock();
+        st.threads[target].joined = true;
+    }
+
+    pub(crate) fn thread_exit(&self, me: usize) {
+        let mut st = self.lock();
+        st.threads[me].status = Status::Finished;
+        if st.abort {
+            self.cv.notify_all();
+        } else {
+            self.choose_next(&mut st);
+        }
+    }
+
+    pub(crate) fn handle_thread_panic(&self, me: usize, payload: &(dyn std::any::Any + Send)) {
+        if payload.downcast_ref::<AbortRun>().is_some() {
+            return;
+        }
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "model thread panicked".into());
+        let mut st = self.lock();
+        let msg = format!("{}: {msg}", st.threads[me].name);
+        self.abort_run(&mut st, DiagCode::ModelPanic, msg);
+    }
+
+    /// Record a model-invariant violation on the calling thread and unwind.
+    pub(crate) fn violation(&self, code: DiagCode, message: String) -> ! {
+        {
+            let mut st = self.lock();
+            st.abort = true;
+            st.hard_failure = true;
+            self.push_diag(&mut st, code, message, true);
+            self.cv.notify_all();
+        }
+        panic_abort()
+    }
+}
+
+/// Serialize explorations per process: instrumented statics (e.g. the store's
+/// `TMP_SEQ`) are shared, so two concurrent walks would perturb each other.
+static EXPLORE_GUARD: StdMutex<()> = StdMutex::new(());
+
+/// Exhaustively explore the bounded interleavings of `body` and report what
+/// was found. `body` is re-run once per schedule; it must be deterministic
+/// given a schedule (fresh state per call, no wall-clock or OS randomness).
+pub fn explore<F: Fn()>(cfg: Config, body: F) -> Report {
+    assert!(
+        current().is_none(),
+        "nested eco_sched::explore is not supported"
+    );
+    let _guard = EXPLORE_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    let seed = cfg.seed;
+    let rt = Arc::new(Runtime::new(cfg));
+
+    // Suppress the default "thread panicked" chatter for controlled unwinds.
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|info| {
+        if info.payload().downcast_ref::<AbortRun>().is_none() {
+            // A genuine panic: stay quiet too — it is caught, recorded as a
+            // diagnostic, and surfaced in the report.
+        }
+    }));
+
+    let mut truncated = false;
+    loop {
+        // ---- begin one run -------------------------------------------------
+        {
+            let mut st = rt.lock();
+            st.threads.clear();
+            st.threads.push(Th {
+                name: "main".into(),
+                status: Status::Ready,
+                pending: Op::Start,
+                held: Vec::new(),
+                joined: true,
+            });
+            st.running = 0;
+            st.choice_idx = 0;
+            st.preemptions = 0;
+            st.abort = false;
+            st.trace.clear();
+            st.lock_owner.clear();
+            st.names.clear();
+            st.reg_seq = 0;
+        }
+        CURRENT.with(|c| *c.borrow_mut() = Some((rt.clone(), 0)));
+
+        let result = panic::catch_unwind(AssertUnwindSafe(&body));
+
+        // ---- end the run ---------------------------------------------------
+        {
+            let mut st = rt.lock();
+            if let Err(p) = result {
+                if p.downcast_ref::<AbortRun>().is_none() {
+                    let msg = p
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| p.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "model body panicked".into());
+                    let msg = format!("main: {msg}");
+                    rt.abort_run(&mut st, DiagCode::ModelPanic, msg);
+                }
+            } else {
+                for i in 1..st.threads.len() {
+                    if !st.threads[i].joined {
+                        let msg =
+                            format!("thread {} was not joined at model exit", st.threads[i].name);
+                        rt.push_diag(&mut st, DiagCode::ThreadNotJoined, msg, false);
+                    }
+                }
+            }
+            st.threads[0].status = Status::Finished;
+            if !st.abort {
+                rt.choose_next(&mut st);
+            } else {
+                rt.cv.notify_all();
+            }
+            while !st.threads.iter().all(|t| t.status == Status::Finished) {
+                st = rt.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            st.schedules += 1;
+        }
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        let handles: Vec<_> = rt.lock().real_handles.drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+
+        // ---- advance the DFS stack ----------------------------------------
+        let mut st = rt.lock();
+        if st.hard_failure && rt.cfg.stop_on_first {
+            break;
+        }
+        if st.schedules >= rt.cfg.max_schedules {
+            truncated = !st.stack.is_empty();
+            break;
+        }
+        let mut advanced = false;
+        while let Some(p) = st.stack.last_mut() {
+            p.next += 1;
+            if p.next < p.options.len() {
+                advanced = true;
+                break;
+            }
+            st.stack.pop();
+        }
+        if !advanced {
+            break;
+        }
+    }
+    panic::set_hook(prev_hook);
+
+    let st = rt.lock();
+    let mut diags = st.diags.clone();
+    diags.extend(lock_order_cycles(&st.edges, seed));
+    Report {
+        schedules: st.schedules,
+        truncated,
+        diags,
+        edges: st.edges.iter().cloned().collect(),
+        seed,
+    }
+}
+
+/// Detect cycles in the accumulated acquisition graph and render each as an
+/// `ECO-S001` diagnostic. Deterministic: nodes are visited in sorted order.
+fn lock_order_cycles(edges: &BTreeSet<(String, String)>, seed: u64) -> Vec<SchedDiag> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges {
+        adj.entry(a.as_str()).or_default().push(b.as_str());
+    }
+    let mut diags = Vec::new();
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    for &start in adj.keys() {
+        if done.contains(start) {
+            continue;
+        }
+        // DFS from `start` looking for a path back to a node on the stack.
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut path: Vec<&str> = vec![start];
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        seen.insert(start);
+        while let Some((node, idx)) = stack.last_mut() {
+            let next = adj.get(node).and_then(|v| v.get(*idx)).copied();
+            *idx += 1;
+            match next {
+                Some(n) => {
+                    if let Some(pos) = path.iter().position(|&p| p == n) {
+                        let mut cycle: Vec<&str> = path[pos..].to_vec();
+                        cycle.push(n);
+                        let msg = format!("acquisition cycle: {}", cycle.join(" -> "));
+                        let d = SchedDiag {
+                            code: DiagCode::LockOrderCycle,
+                            message: msg,
+                            schedule: Vec::new(),
+                            seed,
+                        };
+                        if !diags.contains(&d) {
+                            diags.push(d);
+                        }
+                    } else if !seen.contains(n) {
+                        seen.insert(n);
+                        path.push(n);
+                        stack.push((n, 0));
+                    }
+                }
+                None => {
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+        done.extend(seen);
+    }
+    diags
+}

@@ -1,0 +1,54 @@
+//! The `sync` shim the service layer imports instead of `std::sync`.
+//!
+//! In normal builds every name here is a re-export of `std::sync` — zero
+//! cost, zero behavior change. Under `--cfg eco_sched` the same names
+//! resolve to the instrumented primitives in [`crate::model`], so every
+//! acquire/release/load/store in the ported crates becomes a scheduling
+//! point when a model run is active (and transparently falls back to `std`
+//! when one is not).
+
+#[cfg(not(eco_sched))]
+pub use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+#[cfg(not(eco_sched))]
+pub mod atomic {
+    pub use std::sync::atomic::*;
+}
+
+/// A mutex carrying a stable label for lock-order analysis. In normal
+/// builds the label is dropped and this is exactly `Mutex::new`.
+#[cfg(not(eco_sched))]
+#[inline]
+pub fn labeled_mutex<T>(_label: &'static str, value: T) -> Mutex<T> {
+    Mutex::new(value)
+}
+
+/// A condvar carrying a stable label for diagnostics. In normal builds
+/// the label is dropped and this is exactly `Condvar::new`.
+#[cfg(not(eco_sched))]
+#[inline]
+pub fn labeled_condvar(_label: &'static str) -> Condvar {
+    Condvar::new()
+}
+
+#[cfg(eco_sched)]
+pub fn labeled_mutex<T>(label: &'static str, value: T) -> Mutex<T> {
+    Mutex::labeled(label, value)
+}
+
+#[cfg(eco_sched)]
+pub fn labeled_condvar(label: &'static str) -> Condvar {
+    Condvar::labeled(label)
+}
+
+#[cfg(eco_sched)]
+pub use crate::sync_model::{Condvar, Mutex, MutexGuard};
+
+#[cfg(eco_sched)]
+pub use std::sync::Arc;
+
+#[cfg(eco_sched)]
+pub mod atomic {
+    pub use crate::sync_model::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+    pub use std::sync::atomic::Ordering;
+}

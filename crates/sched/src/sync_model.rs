@@ -1,0 +1,430 @@
+//! Instrumented synchronization primitives, usable from model code in any
+//! build. Inside an active [`crate::explore`] run every operation is a
+//! scheduling point routed through the controlled scheduler; outside a run
+//! they transparently delegate to `std::sync`, so code ported onto the shim
+//! behaves identically when no checker is driving it.
+
+use crate::diag::DiagCode;
+use crate::runtime::{current, ObjCell, Runtime};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+use std::sync::{LockResult, PoisonError};
+
+/// A mutex whose acquire/release are scheduling points under exploration.
+/// API mirrors the `std::sync::Mutex` subset the service layer uses.
+pub struct Mutex<T: ?Sized> {
+    obj: ObjCell,
+    label: Option<&'static str>,
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; releases at drop like `std`'s.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    model: Option<(Arc<Runtime>, usize)>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            obj: ObjCell::new(),
+            label: None,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// A mutex with a stable display name for lock-order reports.
+    pub fn labeled(label: &'static str, value: T) -> Self {
+        Mutex {
+            obj: ObjCell::new(),
+            label: Some(label),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match current() {
+            Some((rt, me)) => {
+                rt.acquire(me, self.obj.id(), self.label);
+                let inner = self
+                    .inner
+                    .try_lock()
+                    .expect("eco-sched: model mutex contended outside the scheduler");
+                Ok(MutexGuard {
+                    lock: self,
+                    model: Some((rt, me)),
+                    inner: Some(inner),
+                })
+            }
+            None => match self.inner.lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    lock: self,
+                    model: None,
+                    inner: Some(inner),
+                }),
+                Err(poison) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    model: None,
+                    inner: Some(poison.into_inner()),
+                })),
+            },
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T>
+    where
+        T: Sized,
+    {
+        self.inner.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            drop(inner);
+            if let Some((rt, me)) = self.model.take() {
+                rt.release(me, self.lock.obj.id());
+            }
+        }
+    }
+}
+
+/// A condition variable whose wait/notify are scheduling points under
+/// exploration. Lost wakeups are modeled faithfully: a notify with no
+/// waiters is a no-op, exactly like `std`.
+pub struct Condvar {
+    obj: ObjCell,
+    label: Option<&'static str>,
+    inner: std::sync::Condvar,
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar {
+            obj: ObjCell::new(),
+            label: None,
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// A condvar with a stable display name for diagnostics.
+    pub fn labeled(label: &'static str) -> Self {
+        Condvar {
+            obj: ObjCell::new(),
+            label: Some(label),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match guard.model.take() {
+            Some((rt, me)) => {
+                let lock = guard.lock;
+                drop(guard.inner.take());
+                drop(guard);
+                rt.cv_wait(me, self.obj.id(), lock.obj.id(), self.label);
+                let inner = lock
+                    .inner
+                    .try_lock()
+                    .expect("eco-sched: model mutex contended outside the scheduler");
+                Ok(MutexGuard {
+                    lock,
+                    model: Some((rt, me)),
+                    inner: Some(inner),
+                })
+            }
+            None => {
+                let lock = guard.lock;
+                let inner = guard.inner.take().expect("guard already released");
+                drop(guard);
+                match self.inner.wait(inner) {
+                    Ok(inner) => Ok(MutexGuard {
+                        lock,
+                        model: None,
+                        inner: Some(inner),
+                    }),
+                    Err(poison) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        model: None,
+                        inner: Some(poison.into_inner()),
+                    })),
+                }
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match current() {
+            Some((rt, me)) => rt.cv_notify(me, self.obj.id(), false, self.label),
+            None => self.inner.notify_one(),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match current() {
+            Some((rt, me)) => rt.cv_notify(me, self.obj.id(), true, self.label),
+            None => self.inner.notify_all(),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+/// Instrumented atomics. Only the types and operations the service layer
+/// actually uses are provided; `Ordering` is re-exported from `std` since
+/// the controlled scheduler serializes every access anyway.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! model_atomic {
+        ($name:ident, $std:ty, $prim:ty) => {
+            /// Instrumented counterpart of the `std` atomic: every access is
+            /// a scheduling point inside an exploration.
+            pub struct $name {
+                obj: super::ObjCell,
+                inner: $std,
+            }
+
+            impl $name {
+                pub const fn new(v: $prim) -> Self {
+                    $name {
+                        obj: super::ObjCell::new(),
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                fn touch(&self, write: bool) {
+                    if let Some((rt, me)) = super::current() {
+                        rt.atomic_op(me, self.obj.id(), write);
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $prim {
+                    self.touch(false);
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, v: $prim, order: Ordering) {
+                    self.touch(true);
+                    self.inner.store(v, order)
+                }
+
+                pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                    self.touch(true);
+                    self.inner.fetch_add(v, order)
+                }
+
+                pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                    self.touch(true);
+                    self.inner.swap(v, order)
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(Default::default())
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    self.inner.fmt(f)
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    /// Instrumented `AtomicBool` (separate because `fetch_add` does not
+    /// exist on the `std` type).
+    pub struct AtomicBool {
+        obj: super::ObjCell,
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            AtomicBool {
+                obj: super::ObjCell::new(),
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        fn touch(&self, write: bool) {
+            if let Some((rt, me)) = super::current() {
+                rt.atomic_op(me, self.obj.id(), write);
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            self.touch(false);
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, v: bool, order: Ordering) {
+            self.touch(true);
+            self.inner.store(v, order)
+        }
+
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            self.touch(true);
+            self.inner.swap(v, order)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+}
+
+/// Model threads: spawn/join are scheduling points inside an exploration and
+/// plain `std::thread` otherwise.
+pub mod thread {
+    use super::current;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    enum Inner<T> {
+        Model {
+            rt: Arc<crate::runtime::Runtime>,
+            me: usize,
+            tid: usize,
+            slot: Arc<std::sync::Mutex<Option<T>>>,
+        },
+        Std(std::thread::JoinHandle<T>),
+    }
+
+    /// Handle for a model thread; `join` blocks (as a scheduling point under
+    /// exploration) until the thread finishes and returns its value.
+    pub struct JoinHandle<T>(Inner<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Join the thread and return its result. Unlike `std`, a panicking
+        /// model thread aborts the whole schedule (recorded as a
+        /// diagnostic), so there is no `Result` to unwrap.
+        pub fn join(self) -> T {
+            match self.0 {
+                Inner::Model { rt, me, tid, slot } => {
+                    rt.join_point(me, tid);
+                    slot.lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .expect("joined model thread left no result")
+                }
+                Inner::Std(h) => h.join().expect("spawned thread panicked"),
+            }
+        }
+    }
+
+    /// Spawn a model thread. Inside an exploration the new thread only runs
+    /// when the scheduler grants it; outside it is a plain OS thread.
+    pub fn spawn<T, F>(name: &str, f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        match current() {
+            Some((rt, me)) => {
+                let tid = rt.register_thread(name.to_string());
+                let slot: Arc<std::sync::Mutex<Option<T>>> = Arc::new(std::sync::Mutex::new(None));
+                let rt2 = rt.clone();
+                let slot2 = slot.clone();
+                let handle = std::thread::spawn(move || {
+                    crate::runtime::set_current(rt2.clone(), tid);
+                    if rt2.first_park(tid) {
+                        match catch_unwind(AssertUnwindSafe(f)) {
+                            Ok(v) => {
+                                *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                            }
+                            Err(p) => rt2.handle_thread_panic(tid, &*p),
+                        }
+                    }
+                    rt2.thread_exit(tid);
+                    crate::runtime::clear_current();
+                });
+                rt.add_real_handle(handle);
+                rt.spawn_point(me);
+                JoinHandle(Inner::Model { rt, me, tid, slot })
+            }
+            None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+        }
+    }
+}
+
+/// Explicit scheduling point. Inside an exploration this lets the scheduler
+/// interleave other threads here (used to mark effect boundaries that the
+/// checker cannot see, e.g. between a temp-file write and its rename);
+/// outside it is free.
+pub fn yield_point(_site: &'static str) {
+    if let Some((rt, me)) = current() {
+        rt.yield_point(me);
+    }
+}
+
+/// Assert a model invariant. On failure inside an exploration the violation
+/// is recorded under `code` with the failing schedule attached and the run
+/// unwinds; outside an exploration it panics like `assert!`.
+pub fn check(code: DiagCode, cond: bool, msg: impl FnOnce() -> String) {
+    if cond {
+        return;
+    }
+    match current() {
+        Some((rt, _)) => rt.violation(code, msg()),
+        None => panic!("{}: {}", code, msg()),
+    }
+}

@@ -38,14 +38,14 @@
 use eco_cachesim::{Counters, TagCounters};
 use eco_events::Json;
 use eco_metrics::{Counter, Registry};
+use eco_sched::sync::atomic::{AtomicU64, Ordering};
+use eco_sched::sync::{Arc, Mutex};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 
 /// Version stamp written into every record; readers reject records
 /// from other versions (forward and backward) instead of guessing.
@@ -277,9 +277,28 @@ impl ResultStore {
         let doc = render_record(key, program, counters);
         let bytes = doc.render();
         let path = self.record_path(&key);
+        #[cfg(eco_sched)]
+        if faults::INDEX_BEFORE_WRITE.load(std::sync::atomic::Ordering::Relaxed) {
+            // BUG, reintroduced for the checker: publish the index entry
+            // before the record bytes are durable. A concurrent reader can
+            // observe an index hit with no data file behind it.
+            self.publish_index(key, bytes.len() as u64);
+            eco_sched::model::yield_point("store.put.index_before_data");
+            write_atomic(&path, bytes.as_bytes())?;
+            self.metrics.puts.inc();
+            self.metrics.bytes_written.add(bytes.len() as u64);
+            return self.flush();
+        }
         write_atomic(&path, bytes.as_bytes())?;
         self.metrics.puts.inc();
         self.metrics.bytes_written.add(bytes.len() as u64);
+        self.publish_index(key, bytes.len() as u64);
+        self.flush()
+    }
+
+    /// Second half of [`put`](Self::put): bump the logical clock and publish
+    /// the index entry, after the record bytes are durable on disk.
+    fn publish_index(&self, key: StoreKey, record_bytes: u64) {
         let mut inner = self.inner.lock().unwrap();
         inner.clock += 1;
         let clock = inner.clock;
@@ -289,10 +308,8 @@ impl ResultStore {
             created: clock,
             last_used: clock,
         });
-        entry.bytes = bytes.len() as u64;
+        entry.bytes = record_bytes;
         entry.last_used = clock;
-        drop(inner);
-        self.flush()
     }
 
     /// Number of records currently indexed.
@@ -455,16 +472,43 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     // the sweep orchestrator) would otherwise truncate each other's
     // half-written temp file and race the rename.
     static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-    let tmp = dir.join(format!(
+    #[allow(unused_mut)]
+    let mut tmp = dir.join(format!(
         ".{stem}.{}.{}.tmp",
         std::process::id(),
         TMP_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
+    #[cfg(eco_sched)]
+    if faults::TMP_NAME_COLLISION.load(std::sync::atomic::Ordering::Relaxed) {
+        // BUG, reintroduced for the checker: the historical temp name had no
+        // per-call sequence number, so two threads flushing the same path
+        // truncate each other's half-written temp file and race the rename.
+        tmp = dir.join(format!(".{stem}.{}.tmp", std::process::id()));
+    }
     let mut f = fs::File::create(&tmp).map_err(|e| store_err(&tmp, e))?;
+    #[cfg(eco_sched)]
+    eco_sched::model::yield_point("store.write_atomic.tmp_created");
     f.write_all(bytes).map_err(|e| store_err(&tmp, e))?;
     f.sync_all().map_err(|e| store_err(&tmp, e))?;
     drop(f);
+    #[cfg(eco_sched)]
+    eco_sched::model::yield_point("store.write_atomic.pre_rename");
     fs::rename(&tmp, path).map_err(|e| store_err(path, e))
+}
+
+/// Fault hooks for the interleaving checker: each knob re-introduces one
+/// historical (or representative) ordering bug so `eco-sched` regression
+/// tests can prove the checker catches it. Compiled only under
+/// `--cfg eco_sched`; the knobs default to off, so even checker builds
+/// behave correctly unless a test opts in.
+#[cfg(eco_sched)]
+pub mod faults {
+    use std::sync::atomic::AtomicBool;
+
+    /// Drop the `TMP_SEQ` uniqueness from temp names (the PR 7 collision).
+    pub static TMP_NAME_COLLISION: AtomicBool = AtomicBool::new(false);
+    /// Publish the index entry before the record file is durable.
+    pub static INDEX_BEFORE_WRITE: AtomicBool = AtomicBool::new(false);
 }
 
 fn load_index(root: &Path, inner: &mut Inner) {
@@ -753,6 +797,47 @@ mod tests {
         assert_eq!(gc.evicted, 2);
         assert_eq!(store.len(), 0);
         assert_eq!(store.bytes(), 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn gc_edge_cases_are_total() {
+        // gc on an empty store is a no-op at any budget, including 0.
+        let root = tmp_root("gc-edge");
+        let store = ResultStore::open(&root).expect("open");
+        let gc = store.gc(0).expect("gc empty at 0");
+        assert_eq!((gc.evicted, gc.remaining_bytes), (0, 0));
+        let gc = store.gc(u64::MAX).expect("gc empty at max");
+        assert_eq!((gc.evicted, gc.remaining_bytes), (0, 0));
+
+        // `max_bytes = 0` on a populated store evicts everything and
+        // leaves index, counters and disk agreeing.
+        for i in 0..3 {
+            let k = StoreKey::new(20, i);
+            store
+                .put(k, "k", &sample_counters(k.point_fp))
+                .expect("put");
+        }
+        let gc = store.gc(0).expect("gc all");
+        assert_eq!(gc.evicted, 3);
+        assert_eq!(gc.remaining_bytes, 0);
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.bytes(), 0);
+
+        // gc twice: the second pass finds nothing to evict.
+        let gc = store.gc(0).expect("gc again");
+        assert_eq!(gc.evicted, 0);
+        assert_eq!(gc.remaining_bytes, 0);
+
+        // The emptied store is still fully usable, and a reopen agrees.
+        let k = StoreKey::new(21, 0);
+        store
+            .put(k, "k", &sample_counters(7))
+            .expect("put after gc");
+        assert!(store.get(k).is_some());
+        let reopened = ResultStore::open(&root).expect("reopen");
+        assert!(reopened.get(k).is_some());
+        assert_eq!(reopened.len(), 1);
         let _ = fs::remove_dir_all(&root);
     }
 

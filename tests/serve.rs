@@ -244,8 +244,8 @@ fn mixed_concurrent_traffic_counts_exactly() {
         exp.value("eco_serve_deduped_requests_total", &[]),
         Some(deduped as f64)
     );
-    // 11 handled so far (the metrics scrape included); every one timed.
-    assert_eq!(exp.total("eco_serve_requests_total"), 11.0);
+    // 10 handled so far — the metrics scrape does not count itself.
+    assert_eq!(exp.total("eco_serve_requests_total"), 10.0);
     assert_eq!(
         exp.value("eco_serve_request_duration_us_count", &[("op", "tune")]),
         Some(4.0),
@@ -253,8 +253,8 @@ fn mixed_concurrent_traffic_counts_exactly() {
     );
     assert_eq!(
         exp.value("eco_serve_inflight", &[]),
-        Some(1.0),
-        "the only request in flight at scrape time is the scrape itself"
+        Some(0.0),
+        "the scrape excludes itself from the in-flight gauge"
     );
     assert_eq!(
         exp.types
